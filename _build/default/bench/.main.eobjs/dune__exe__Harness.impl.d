@@ -1,0 +1,1 @@
+bench/harness.ml: Jim_core Jim_partition Jim_relational Jim_workloads List Optimal Oracle Printf Session Strategy String

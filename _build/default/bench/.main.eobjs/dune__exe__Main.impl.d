@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Harness Hashtbl Instance Jim_core Jim_workloads List Measure Oracle Printf Random Session Sigclass Staged Strategy Sys Test Time Toolkit

@@ -1,0 +1,453 @@
+(* jim — the Join Inference Machine, at the terminal.
+
+   Subcommands:
+     demo      the guided four-mode demonstration on the paper's instance
+     infer     interactive inference on a CSV file (a human labels tuples)
+     compare   strategy comparison on a synthetic or built-in instance
+     setcards  the joining-sets-of-pictures scenario (Fig. 5)
+     tpch      crowd-style join tasks over the TPC-H-lite database *)
+
+module Partition = Jim_partition.Partition
+module Relation = Jim_relational.Relation
+module Schema = Jim_relational.Schema
+module Csv = Jim_relational.Csv
+module W = Jim_workloads
+open Jim_core
+
+let strategy_of_name name =
+  match Strategy.find name with
+  | Some s -> Ok s
+  | None ->
+    if name = "optimal" then Ok (Optimal.strategy ())
+    else
+      Error
+        (Printf.sprintf "unknown strategy %S (try: %s, optimal)" name
+           (String.concat ", "
+              (List.map (fun s -> s.Strategy.name) Strategy.all)))
+
+let strategy_arg =
+  let open Cmdliner in
+  let doc =
+    "Strategy for proposing tuples: "
+    ^ String.concat ", " (List.map (fun s -> s.Strategy.name) Strategy.all)
+    ^ ", or optimal."
+  in
+  Arg.(
+    value
+    & opt string "lookahead-entropy"
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Interactive loop shared by `infer`, `demo -i` and `setcards -i`.    *)
+
+let save_transcript eng = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Transcript.to_string (Transcript.of_engine eng)));
+    Printf.printf "Transcript written to %s\n" path
+
+let interactive_loop ?(describe_row = fun rel r ->
+    Jim_relational.Tuple0.to_string (Relation.tuple rel r))
+    ?transcript ?eng ~strategy rel =
+  let eng = match eng with Some e -> e | None -> Session.create rel in
+  let rng = Random.State.make_self_init () in
+  let src = Jim_tui.Prompt.stdin_source in
+  let schema = Relation.schema rel in
+  let rec loop () =
+    match Session.question eng strategy rng with
+    | None ->
+      let q = Session.result eng in
+      Printf.printf "\nInferred join predicate: %s\n"
+        (Jim_tui.Render.partition_line schema q);
+      Printf.printf "SQL: %s\n"
+        (Jquery.to_sql ~from:[ Relation.name rel ] (Jquery.make schema q));
+      (match Minimal.most_general (Session.state eng) with
+      | [ mg ] when not (Jim_partition.Partition.equal mg q) ->
+        Printf.printf "Most general equivalent: %s\n"
+          (Jim_tui.Render.partition_line schema mg)
+      | _ -> ());
+      save_transcript eng transcript;
+      `Done
+    | Some ci ->
+      let row = Sigclass.representative (Session.classes eng).(ci) in
+      print_newline ();
+      print_string (Jim_tui.Render.engine_view eng rel);
+      print_string (Jim_tui.Progress.panel (Stats.of_engine eng));
+      let question =
+        Printf.sprintf "Should this tuple be in the join result?\n  %s\n"
+          (describe_row rel row)
+      in
+      (match Jim_tui.Prompt.ask_label src question with
+      | Jim_tui.Prompt.Quit ->
+        print_endline "Session aborted.";
+        save_transcript eng transcript;
+        `Aborted
+      | Jim_tui.Prompt.Help ->
+        print_endline
+          "Answer y if the shown tuple belongs to the join result you have \
+           in mind, n otherwise; q aborts.  Grayed-out rows and why:";
+        Array.iteri
+          (fun r _ ->
+            if Session.row_status eng r <> State.Informative then
+              Printf.printf "  row %d: %s\n" (r + 1)
+                (Explain.to_string schema (Session.explain_row eng r)))
+          (Array.of_list (Relation.tuples rel));
+        loop ()
+      | Jim_tui.Prompt.Undo ->
+        (match Session.undo eng with
+        | Ok () -> print_endline "Last answer retracted."
+        | Error `Nothing_to_undo -> print_endline "Nothing to undo.");
+        loop ()
+      | Jim_tui.Prompt.Yes | Jim_tui.Prompt.No as a ->
+        let label =
+          if a = Jim_tui.Prompt.Yes then State.Pos else State.Neg
+        in
+        (match Session.answer eng ci label with
+        | Ok () -> loop ()
+        | Error `Contradiction ->
+          print_endline
+            "That answer contradicts your earlier labels: no join predicate \
+             is consistent with all of them.  (Last answer discarded.)";
+          loop ()))
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+(* Replay the paper's Section-2 narrative screen by screen: each answer,
+   the grayed-out table, the statistics, and the certificates. *)
+let run_walkthrough strategy =
+  let instance = W.Flights.instance in
+  let schema = W.Flights.schema in
+  let goal = W.Flights.q2 in
+  let oracle = Oracle.of_goal goal in
+  let eng = Session.create instance in
+  let rng = Random.State.make [| 0 |] in
+  Printf.printf "Goal the simulated user has in mind: %s\n\n"
+    (Jim_tui.Render.partition_line schema goal);
+  print_string (Jim_tui.Render.engine_view eng instance);
+  print_string (Jim_tui.Progress.panel (Stats.of_engine eng));
+  let step = ref 0 in
+  let rec go () =
+    match Session.question eng strategy rng with
+    | None ->
+      Printf.printf "\nNo informative tuple left: unique up to \
+                     instance-equivalence.\nInferred: %s\n"
+        (Jim_tui.Render.partition_line schema (Session.result eng));
+      0
+    | Some ci ->
+      incr step;
+      let row = Sigclass.representative (Session.classes eng).(ci) in
+      let sg = (Session.classes eng).(ci).Sigclass.sg in
+      let label = Oracle.label oracle sg in
+      Printf.printf "\n--- question %d: tuple (%d) -> user answers %s ---\n"
+        !step (row + 1)
+        (match label with State.Pos -> "yes (+)" | State.Neg -> "no (-)");
+      (match Session.answer eng ci label with
+      | Ok () -> ()
+      | Error `Contradiction -> assert false);
+      print_string (Jim_tui.Render.engine_view eng instance);
+      print_string (Jim_tui.Progress.panel (Stats.of_engine eng));
+      (* Certificates for what just got grayed out. *)
+      Array.iteri
+        (fun r _ ->
+          if Session.row_status eng r <> State.Informative then
+            Printf.printf "  (%d) %s\n" (r + 1)
+              (Explain.to_string schema (Session.explain_row eng r)))
+        (Array.of_list (Jim_relational.Relation.tuples instance));
+      go ()
+  in
+  go ()
+
+let run_demo interactive walkthrough strategy_name =
+  match strategy_of_name strategy_name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok strategy ->
+    let instance = W.Flights.instance in
+    Printf.printf
+      "JIM demo - the travel agency's flight&hotel packages (Fig. 1)\n\n";
+    print_string (Jim_tui.Render.table instance);
+    if walkthrough then run_walkthrough strategy
+    else if interactive then begin
+      print_endline
+        "\nThink of a join predicate over (From, To, Airline, City, \
+         Discount)\n\
+         - for instance To = City, or To = City AND Airline = Discount -\n\
+         and answer the questions.";
+      match interactive_loop ~strategy instance with `Done | `Aborted -> 0
+    end
+    else begin
+      let goal = W.Flights.q2 in
+      let oracle = Oracle.of_goal goal in
+      Printf.printf "\nSimulated user goal: %s\n\n"
+        (Jim_tui.Render.partition_line W.Flights.schema goal);
+      let order = List.init (Relation.cardinality instance) (fun i -> i) in
+      let r1 = Interaction.mode1_label_all ~order ~oracle instance in
+      let r2 = Interaction.mode2_gray_out ~order ~oracle instance in
+      let r3 = Interaction.mode3_top_k ~k:3 ~strategy ~oracle instance in
+      let r4 = Interaction.mode4_interactive ~strategy ~oracle instance in
+      print_string
+        (Jim_tui.Barchart.benefit
+           ~baseline:("1 label everything", r1.Interaction.labels_given)
+           [
+             ("2 gray out", r2.Interaction.labels_given);
+             ("3 top-3", r3.Interaction.labels_given);
+             ("4 JIM", r4.Interaction.labels_given);
+           ]);
+      Printf.printf "\nInferred (mode 4): %s\n"
+        (Jim_tui.Render.partition_line W.Flights.schema r4.Interaction.query);
+      0
+    end
+
+(* ------------------------------------------------------------------ *)
+(* infer                                                               *)
+
+let run_infer path strategy_name transcript replay_path =
+  match strategy_of_name strategy_name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok strategy -> (
+    match Csv.load_auto path with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      1
+    | Ok rel ->
+      Printf.printf "Loaded %s: %d tuples, schema %s\n" path
+        (Relation.cardinality rel)
+        (Schema.to_string (Relation.schema rel));
+      let replayed =
+        match replay_path with
+        | None -> Ok None
+        | Some rp -> (
+          let ic = open_in rp in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Transcript.of_string text with
+          | Error e -> Error (Printf.sprintf "bad transcript %s: %s" rp e)
+          | Ok t -> (
+            let eng = Session.create rel in
+            match Transcript.replay t eng with
+            | Ok () ->
+              Printf.printf "Replayed %d labels from %s.\n"
+                (List.length t.Transcript.entries)
+                rp;
+              Ok (Some eng)
+            | Error `Contradiction ->
+              Error "transcript contradicts this instance"
+            | Error `Arity_mismatch ->
+              Error "transcript arity does not match this instance"))
+      in
+      match replayed with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok eng -> (
+        match interactive_loop ?transcript ?eng ~strategy rel with
+        | `Done | `Aborted -> 0))
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let run_compare n_attrs rank tuples seed =
+  let inst =
+    W.Synthetic.generate
+      {
+        W.Synthetic.n_attrs;
+        n_tuples = tuples;
+        domain = max n_attrs 8;
+        goal_rank = rank;
+        seed;
+      }
+  in
+  Printf.printf "Synthetic instance: %d attributes, %d tuples, goal %s\n\n"
+    n_attrs tuples
+    (Partition.to_string_names (Schema.names inst.W.Synthetic.schema)
+       inst.W.Synthetic.goal);
+  let oracle = Oracle.of_goal inst.W.Synthetic.goal in
+  let counts =
+    List.map
+      (fun strat ->
+        let o =
+          Session.run ~strategy:strat ~oracle inst.W.Synthetic.relation
+        in
+        (strat.Strategy.name, o.Session.interactions))
+      Strategy.all
+  in
+  print_string (Jim_tui.Barchart.render (Jim_tui.Barchart.of_counts counts));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* setcards                                                            *)
+
+let run_setcards interactive strategy_name sample =
+  match strategy_of_name strategy_name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok strategy ->
+    let instance = W.Setcards.pair_instance ~sample ~seed:5 () in
+    let describe_row rel r =
+      W.Setcards.pair_to_string (Relation.tuple rel r)
+    in
+    if interactive then begin
+      print_endline
+        "Think of a rule for pairing Set cards (e.g. same colour and same \
+         shading) and answer the questions.";
+      match interactive_loop ~describe_row ~strategy instance with
+      | `Done | `Aborted -> 0
+    end
+    else begin
+      let goal = W.Setcards.same [ "colour"; "shading" ] in
+      let oracle = Oracle.of_goal goal in
+      let outcome = Session.run ~strategy ~oracle instance in
+      Printf.printf "Goal: same colour and same shading\n";
+      List.iter
+        (fun (e : Session.event) ->
+          Printf.printf "  %s -> %s\n"
+            (describe_row instance e.Session.row)
+            (match e.Session.label with State.Pos -> "yes" | State.Neg -> "no"))
+        outcome.Session.events;
+      Printf.printf "Inferred in %d questions: %s\n"
+        outcome.Session.interactions
+        (Jim_tui.Render.partition_line W.Setcards.pair_schema
+           outcome.Session.query);
+      0
+    end
+
+(* ------------------------------------------------------------------ *)
+(* tpch                                                                *)
+
+let run_tpch strategy_name =
+  match strategy_of_name strategy_name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok strategy ->
+    let db = W.Tpch.generate ~seed:2 W.Tpch.tiny in
+    let tasks =
+      [
+        ("customer-orders", W.Tpch.fk_customer_orders);
+        ("orders-lineitem", W.Tpch.fk_orders_lineitem);
+        ("region-nation-customer", W.Tpch.fk_nation_chain);
+      ]
+    in
+    List.iter
+      (fun (name, spec) ->
+        match W.Denorm.task_of_names ~sample:300 ~seed:3 db spec with
+        | Error e -> Printf.eprintf "%s: %s\n" name e
+        | Ok task ->
+          let outcome =
+            Session.run ~strategy ~oracle:(W.Denorm.oracle task)
+              task.W.Denorm.instance
+          in
+          let cross =
+            Partition.restrict outcome.Session.query
+              ~allowed:task.W.Denorm.cross_only
+          in
+          Printf.printf "%-24s %2d questions   %s\n" name
+            outcome.Session.interactions
+            (Jquery.to_sql ~from:task.W.Denorm.sources
+               (Jquery.make task.W.Denorm.schema cross)))
+      tasks;
+    0
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+
+open Cmdliner
+
+let interactive_flag =
+  Arg.(
+    value & flag
+    & info [ "i"; "interactive" ] ~doc:"Ask a human instead of simulating.")
+
+let demo_cmd =
+  let walkthrough =
+    Arg.(
+      value & flag
+      & info [ "w"; "walkthrough" ]
+          ~doc:"Screen-by-screen replay of the paper's Section 2 narrative.")
+  in
+  let term =
+    Term.(const run_demo $ interactive_flag $ walkthrough $ strategy_arg)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"The guided demonstration on the paper's instance.")
+    term
+
+let infer_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CSV" ~doc:"Instance to label (CSV with header).")
+  in
+  let transcript =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "transcript" ] ~docv:"FILE"
+          ~doc:"Write the session transcript here (audit / resume).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Replay a previous transcript before asking questions.")
+  in
+  let term = Term.(const run_infer $ path $ strategy_arg $ transcript $ replay) in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Interactive join inference over a CSV instance.")
+    term
+
+let compare_cmd =
+  let n_attrs =
+    Arg.(value & opt int 6 & info [ "n"; "attrs" ] ~doc:"Attribute count.")
+  in
+  let rank =
+    Arg.(value & opt int 2 & info [ "r"; "rank" ] ~doc:"Goal equality atoms.")
+  in
+  let tuples =
+    Arg.(value & opt int 80 & info [ "t"; "tuples" ] ~doc:"Instance size.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  let term = Term.(const run_compare $ n_attrs $ rank $ tuples $ seed) in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all strategies on a synthetic instance.")
+    term
+
+let setcards_cmd =
+  let sample =
+    Arg.(value & opt int 400 & info [ "sample" ] ~doc:"Pairs on screen.")
+  in
+  let term =
+    Term.(const run_setcards $ interactive_flag $ strategy_arg $ sample)
+  in
+  Cmd.v
+    (Cmd.info "setcards" ~doc:"Joining sets of pictures (Set cards, Fig. 5).")
+    term
+
+let tpch_cmd =
+  let term = Term.(const run_tpch $ strategy_arg) in
+  Cmd.v
+    (Cmd.info "tpch" ~doc:"Foreign-key join tasks over TPC-H-lite.")
+    term
+
+let () =
+  let doc = "JIM: interactive join query inference (VLDB 2014)" in
+  let info = Cmd.info "jim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ demo_cmd; infer_cmd; compare_cmd; setcards_cmd; tpch_cmd ]))

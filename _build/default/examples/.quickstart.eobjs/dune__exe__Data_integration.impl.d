@@ -1,0 +1,1 @@
+examples/data_integration.ml: Array Explain Jim_core Jim_partition Jim_relational Jim_workloads Jquery List Oracle Printf Random Session Sigclass Strategy String

@@ -1,0 +1,1 @@
+examples/disjunctive_packages.ml: Array Disjunctive Jim_core Jim_partition Jim_relational Jim_tui Jim_workloads Oracle Printf Session State Strategy

@@ -1,0 +1,1 @@
+examples/disjunctive_packages.mli:

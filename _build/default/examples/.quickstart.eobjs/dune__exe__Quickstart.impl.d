@@ -1,0 +1,1 @@
+examples/quickstart.ml: Jim_core Jim_partition Jim_relational Jim_tui Jim_workloads Jquery List Oracle Printf Session State Strategy

@@ -1,0 +1,1 @@
+examples/schema_mapping.ml: Jim_core Jim_partition Jim_relational Jim_workloads Jquery List Printf Session Strategy

@@ -1,0 +1,1 @@
+examples/set_cards.ml: Jim_core Jim_relational Jim_tui Jim_workloads Jquery List Oracle Printf Session State Strategy

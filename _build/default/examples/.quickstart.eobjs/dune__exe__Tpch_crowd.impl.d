@@ -1,0 +1,1 @@
+examples/tpch_crowd.ml: Jim_core Jim_partition Jim_relational Jim_workloads Jquery List Printf Session Strategy String

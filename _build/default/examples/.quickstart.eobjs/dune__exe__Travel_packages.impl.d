@@ -1,0 +1,1 @@
+examples/travel_packages.ml: Interaction Jim_core Jim_relational Jim_tui Jim_workloads Jquery List Option Oracle Printf Session Sigclass State Stats Strategy

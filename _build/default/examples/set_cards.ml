@@ -1,0 +1,43 @@
+(* Joining sets of pictures (Section 3, part 3 / Fig. 5): infer "select
+   the pairs of pictures having the same color and the same shading" over
+   pairs of Set cards, labelling a handful of proposed pairs.
+
+   Run with: dune exec examples/set_cards.exe *)
+
+module S = Jim_workloads.Setcards
+module Relation = Jim_relational.Relation
+open Jim_core
+
+let run_goal name goal =
+  (* A sampled pair table stands in for the attendee's screen: 400 pairs
+     out of the 81x81 deck product. *)
+  let instance = S.pair_instance ~sample:400 ~seed:5 () in
+  let oracle = Oracle.of_goal goal in
+  let outcome =
+    Session.run ~strategy:Strategy.lookahead_entropy ~oracle instance
+  in
+  Printf.printf "Goal: %s\n" name;
+  Printf.printf "  predicate          : %s\n"
+    (Jim_tui.Render.partition_line S.pair_schema goal);
+  Printf.printf "  pairs on screen    : %d\n" (Relation.cardinality instance);
+  Printf.printf "  questions asked    : %d\n" outcome.Session.interactions;
+  List.iter
+    (fun (e : Session.event) ->
+      Printf.printf "    %s  -> %s\n"
+        (S.pair_to_string (Relation.tuple instance e.Session.row))
+        (match e.Session.label with State.Pos -> "yes" | State.Neg -> "no"))
+    outcome.Session.events;
+  let inferred = Jquery.make S.pair_schema outcome.Session.query in
+  let wanted = Jquery.make S.pair_schema goal in
+  Printf.printf "  inferred           : %s\n"
+    (Jim_tui.Render.partition_line S.pair_schema outcome.Session.query);
+  Printf.printf "  matches goal on it : %b\n\n"
+    (Jquery.equivalent_on inferred wanted instance)
+
+let () =
+  Printf.printf "Deck: %d cards; features: number, symbol, shading, colour\n\n"
+    (Relation.cardinality S.deck);
+  run_goal "same colour and same shading" (S.same [ "colour"; "shading" ]);
+  run_goal "same symbol" (S.same [ "symbol" ]);
+  run_goal "identical cards"
+    (S.same [ "number"; "symbol"; "shading"; "colour" ])

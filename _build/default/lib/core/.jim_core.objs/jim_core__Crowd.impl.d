@@ -1,0 +1,1 @@
+lib/core/crowd.ml: Oracle Session State

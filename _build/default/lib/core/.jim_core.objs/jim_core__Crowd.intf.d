@@ -1,0 +1,1 @@
+lib/core/crowd.mli: Jim_relational Oracle Session Strategy

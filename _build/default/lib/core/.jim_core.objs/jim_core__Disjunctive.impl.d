@@ -1,0 +1,1 @@
+lib/core/disjunctive.ml: Array Fun Jim_partition Jim_relational List Oracle Random Seq Sigclass State String

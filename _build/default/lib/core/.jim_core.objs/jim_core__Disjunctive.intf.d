@@ -1,0 +1,1 @@
+lib/core/disjunctive.mli: Jim_partition Jim_relational Oracle State

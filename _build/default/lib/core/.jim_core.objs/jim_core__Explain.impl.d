@@ -1,0 +1,1 @@
+lib/core/explain.ml: Jim_partition Jim_relational List State String

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Jim_partition Jim_relational State

@@ -1,0 +1,1 @@
+lib/core/interaction.ml: Array Jim_partition Jim_relational List Oracle Printf Random Session Sigclass State

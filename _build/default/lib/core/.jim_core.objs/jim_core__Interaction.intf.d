@@ -1,0 +1,1 @@
+lib/core/interaction.mli: Jim_partition Jim_relational Oracle Strategy

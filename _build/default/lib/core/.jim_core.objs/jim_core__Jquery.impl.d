@@ -1,0 +1,1 @@
+lib/core/jquery.ml: Array Format Hashtbl Jim_partition Jim_relational List Printf String

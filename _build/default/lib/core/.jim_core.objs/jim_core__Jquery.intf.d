@@ -1,0 +1,1 @@
+lib/core/jquery.mli: Format Jim_partition Jim_relational

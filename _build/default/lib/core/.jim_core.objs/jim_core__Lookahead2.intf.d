@@ -1,0 +1,1 @@
+lib/core/lookahead2.mli: Strategy

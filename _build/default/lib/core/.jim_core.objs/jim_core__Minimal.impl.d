@@ -1,0 +1,1 @@
+lib/core/minimal.ml: Jim_partition List Set State Stdlib

@@ -1,0 +1,1 @@
+lib/core/minimal.mli: Jim_partition State

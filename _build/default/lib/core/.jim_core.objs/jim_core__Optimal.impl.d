@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Hashtbl List Sigclass State Strategy

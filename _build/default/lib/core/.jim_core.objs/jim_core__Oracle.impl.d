@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Jim_partition Jim_relational Random State

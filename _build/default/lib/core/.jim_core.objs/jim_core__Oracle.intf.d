@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Jim_partition Jim_relational State

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Explain Jim_partition Jim_relational List Oracle Random Sigclass State Strategy Version_space

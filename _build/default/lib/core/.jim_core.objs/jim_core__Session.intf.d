@@ -1,0 +1,1 @@
+lib/core/session.mli: Explain Jim_partition Jim_relational Oracle Random Sigclass State Strategy

@@ -1,0 +1,1 @@
+lib/core/sigclass.ml: Array Hashtbl Jim_partition Jim_relational List

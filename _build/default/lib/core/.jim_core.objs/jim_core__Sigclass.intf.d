@@ -1,0 +1,1 @@
+lib/core/sigclass.mli: Jim_partition Jim_relational

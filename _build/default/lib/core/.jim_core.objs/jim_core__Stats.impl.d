@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array Format List Printf Session Sigclass State Version_space

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Jim_partition List Random Sigclass State String Version_space

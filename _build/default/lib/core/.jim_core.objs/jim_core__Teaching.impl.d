@@ -1,0 +1,1 @@
+lib/core/teaching.ml: Array Jim_partition List Sigclass State

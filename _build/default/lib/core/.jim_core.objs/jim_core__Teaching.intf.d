@@ -1,0 +1,1 @@
+lib/core/teaching.mli: Jim_partition Sigclass State

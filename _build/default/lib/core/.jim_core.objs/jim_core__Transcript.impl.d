@@ -1,0 +1,1 @@
+lib/core/transcript.ml: Buffer Jim_partition List Printf Result Session State String

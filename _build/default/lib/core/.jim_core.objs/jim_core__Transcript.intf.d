@@ -1,0 +1,1 @@
+lib/core/transcript.mli: Jim_partition Session State

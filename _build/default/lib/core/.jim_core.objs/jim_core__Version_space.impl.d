@@ -1,0 +1,1 @@
+lib/core/version_space.ml: Array Hashtbl Jim_partition List Sigclass State

@@ -1,0 +1,1 @@
+lib/core/version_space.mli: Jim_partition Sigclass State

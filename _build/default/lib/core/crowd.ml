@@ -1,0 +1,34 @@
+type outcome = {
+  session : Session.outcome;
+  questions : int;
+  paid_labels : int;
+  majority_flips : int;
+}
+
+let majority votes worker sg =
+  let pos = ref 0 in
+  for _ = 1 to votes do
+    if Oracle.label worker sg = State.Pos then incr pos
+  done;
+  let label = if 2 * !pos > votes then State.Pos else State.Neg in
+  let unanimous = !pos = 0 || !pos = votes in
+  (label, not unanimous)
+
+let run ?seed ~votes ~strategy ~worker rel =
+  if votes <= 0 || votes mod 2 = 0 then
+    invalid_arg "Crowd.run: votes must be odd and positive";
+  let questions = ref 0 and flips = ref 0 in
+  let voting =
+    Oracle.of_fun (fun sg ->
+        incr questions;
+        let label, overruled = majority votes worker sg in
+        if overruled then incr flips;
+        label)
+  in
+  let session = Session.run ?seed ~strategy ~oracle:voting rel in
+  {
+    session;
+    questions = !questions;
+    paid_labels = !questions * votes;
+    majority_flips = !flips;
+  }

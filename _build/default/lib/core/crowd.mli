@@ -1,0 +1,28 @@
+(** Crowdsourced labelling with redundancy.
+
+    The paper positions JIM for crowdsourcing, where each answer costs
+    money and workers err.  The standard mitigation is redundancy: ask
+    each membership question to several workers and keep the majority
+    answer.  This module runs the Fig. 2 loop with per-question majority
+    voting, exposing the cost/accuracy trade-off that the E7 ablation
+    bench sweeps. *)
+
+type outcome = {
+  session : Session.outcome;   (** the loop's outcome under majority labels *)
+  questions : int;             (** distinct tuples asked *)
+  paid_labels : int;           (** total worker answers bought = questions × votes *)
+  majority_flips : int;        (** questions where the majority overruled at
+                                   least one dissenting worker *)
+}
+
+val run :
+  ?seed:int ->
+  votes:int ->
+  strategy:Strategy.t ->
+  worker:Oracle.t ->
+  Jim_relational.Relation.t ->
+  outcome
+(** Each question is put to [votes] independent draws from [worker] (a
+    noisy oracle yields independent errors per draw) and the majority
+    label is absorbed.  [votes] must be odd and positive — raises
+    [Invalid_argument] otherwise. *)

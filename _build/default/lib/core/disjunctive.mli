@@ -1,0 +1,78 @@
+(** Disjunctive join predicates: finite unions of equi-join predicates,
+    the natural "future work" extension of JIM's hypothesis space.
+
+    A union [U = θ₁ ∨ … ∨ θₖ] selects tuple [t] iff some [θᵢ] refines
+    [sig t].  The set of signatures a union accepts is exactly an
+    {e upward-closed} set in the refinement order — and conversely every
+    upward-closed set is a finite union of principal filters — so
+    learning unions from membership queries is monotone concept learning
+    over the partition lattice:
+
+    - a positive example [σ⁺] forces every [σ ⊒ σ⁺] positive,
+    - a negative example [σ⁻] forces every [σ ⊑ σ⁻] negative,
+    - a signature is informative iff neither applies.
+
+    The learner keeps the minimal positive and maximal negative
+    antichains; when no informative signature class remains, the minimal
+    positive signatures {e are} the inferred union (restricted to the
+    instance, as always, up to instance-equivalence).
+
+    Conjunctive JIM is the [k = 1] case, where the meet-closure of the
+    hypothesis space buys much stronger pruning; the E9 bench quantifies
+    the price of disjunction. *)
+
+type union = Jim_partition.Partition.t list
+(** Disjuncts; [[]] is the empty union (selects nothing),
+    [[Partition.bottom n]] selects everything. *)
+
+val selects : union -> Jim_partition.Partition.t -> bool
+(** Does the union accept a tuple with this signature? *)
+
+val eval : union -> Jim_relational.Relation.t -> Jim_relational.Relation.t
+
+val normalise : union -> union
+(** Minimal antichain: drop disjuncts subsumed by more general ones. *)
+
+val to_where : Jim_relational.Schema.t -> union -> string
+(** ["(To = City) OR (Airline = Discount AND From = City)"]; ["FALSE"]
+    for the empty union, ["TRUE"] when a disjunct is the empty
+    predicate. *)
+
+(** {1 Learning state} *)
+
+type state = private {
+  n : int;
+  minimal_pos : union;  (** minimal positive signatures (antichain) *)
+  maximal_neg : union;  (** maximal negative signatures (antichain) *)
+}
+
+val create : int -> state
+
+val add :
+  state -> State.label -> Jim_partition.Partition.t ->
+  (state, [ `Contradiction ]) result
+
+val classify : state -> Jim_partition.Partition.t -> State.status
+
+val result : state -> union
+(** The inferred union: the minimal positive antichain. *)
+
+(** {1 Interactive loop} *)
+
+type outcome = {
+  union : union;
+  interactions : int;
+  contradiction : bool;
+}
+
+val oracle_of_union : union -> Oracle.t
+
+val run :
+  ?seed:int ->
+  ?strategy:[ `Random | `Maximin ] ->
+  oracle:Oracle.t ->
+  Jim_relational.Relation.t ->
+  outcome
+(** Fig.-2-style loop over the monotone hypothesis space (default
+    strategy [`Maximin]: maximise the guaranteed number of classes
+    decided). *)

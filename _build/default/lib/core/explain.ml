@@ -1,0 +1,77 @@
+module Partition = Jim_partition.Partition
+module Lattice = Jim_partition.Lattice
+module Schema = Jim_relational.Schema
+
+type why =
+  | Forced_positive of Partition.t list
+  | Forced_negative of Partition.t
+  | Open_question of Partition.t * Partition.t
+
+(* Greedy minimisation: drop any positive whose removal keeps the meet
+   below the signature.  The result is minimal (no member removable), not
+   necessarily minimum. *)
+let minimise_positive_witness n positives sg =
+  let covers subset = Partition.refines (Lattice.meet_all n subset) sg in
+  assert (covers positives);
+  let rec shrink kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+      if covers (List.rev_append kept rest) then shrink kept rest
+      else shrink (p :: kept) rest
+  in
+  shrink [] positives
+
+let explain (st : State.t) ~positives sg =
+  let n = st.State.n in
+  if not (Partition.equal (Lattice.meet_all n positives) st.State.s) then
+    invalid_arg "Explain.explain: positives do not match the state";
+  match State.classify st sg with
+  | State.Certain_pos -> Forced_positive (minimise_positive_witness n positives sg)
+  | State.Certain_neg ->
+    let m = Partition.meet st.State.s sg in
+    let u =
+      List.find (fun u -> Partition.refines m u) st.State.negatives
+    in
+    Forced_negative u
+  | State.Informative ->
+    (* Not certain-positive: s itself rejects the tuple.  Not
+       certain-negative: s ∧ sig is a consistent predicate and selects
+       it. *)
+    let selector = Partition.meet st.State.s sg in
+    Open_question (selector, st.State.s)
+
+let check (st : State.t) sg = function
+  | Forced_positive witnesses ->
+    (* The quoted positives force the selection... and they must actually
+       be at least as specific as the state knows (each within ↑s is not
+       required — they are example signatures, so s ⊑ each). *)
+    List.for_all (fun w -> Partition.refines st.State.s w) witnesses
+    && Partition.refines (Lattice.meet_all st.State.n witnesses) sg
+  | Forced_negative u ->
+    List.exists (Partition.equal u) st.State.negatives
+    && Partition.refines (Partition.meet st.State.s sg) u
+  | Open_question (selector, rejector) ->
+    State.consistent st selector
+    && State.consistent st rejector
+    && Partition.refines selector sg
+    && not (Partition.refines rejector sg)
+
+let to_string schema why =
+  let names = Schema.names schema in
+  let render p =
+    let s = Partition.to_string_names names p in
+    if Partition.is_bottom p then "(no equalities)" else s
+  in
+  match why with
+  | Forced_positive [] ->
+    "selected by every predicate (all its attributes are pairwise equal)"
+  | Forced_positive ws ->
+    "forced positive: any predicate selecting the labelled example(s) "
+    ^ String.concat ", " (List.map render ws)
+    ^ " must select this tuple"
+  | Forced_negative u ->
+    "forced negative: selecting it would also select the rejected example "
+    ^ render u
+  | Open_question (selector, rejector) ->
+    "still informative: " ^ render selector ^ " selects it but "
+    ^ render rejector ^ " does not"

@@ -1,0 +1,44 @@
+(** Explanations: {e why} is a tuple grayed out (or not)?
+
+    The demo grays out uninformative tuples; this module produces the
+    certificate behind each graying decision, so the interface can answer
+    "why can't I label this one?".  Certificates are checkable objects,
+    not prose: tests verify each one against the definition it claims to
+    witness. *)
+
+type why =
+  | Forced_positive of Jim_partition.Partition.t list
+      (** Signatures of already-labelled positives whose meet refines this
+          tuple's signature: every predicate selecting all of them selects
+          this tuple too.  A minimal such subset is returned. *)
+  | Forced_negative of Jim_partition.Partition.t
+      (** A stored negative signature [u] with [s ∧ sig ⊑ u]: any predicate
+          selecting this tuple would also select that negative example. *)
+  | Open_question of
+      Jim_partition.Partition.t * Jim_partition.Partition.t
+      (** Two consistent predicates disagreeing on the tuple:
+          (one that selects it, one that rejects it). *)
+
+val explain :
+  State.t ->
+  positives:Jim_partition.Partition.t list ->
+  Jim_partition.Partition.t ->
+  why
+(** [explain st ~positives sg] produces the certificate for the tuple
+    signature [sg]; [positives] are the signatures of the positive
+    examples labelled so far (the state only stores their meet, the
+    explanation wants actual witnesses).  Raises [Invalid_argument] when
+    [positives] is inconsistent with [st] (their meet differs from the
+    state's [s]).
+
+    The [Open_question] witnesses are the canonical [s] when it selects
+    the tuple (rejector: a maximal consistent predicate outside the
+    tuple's cone) or vice versa. *)
+
+val check : State.t -> Jim_partition.Partition.t -> why -> bool
+(** Verify a certificate against its definition: forced-positive subsets
+    must meet below the signature; the forced-negative must cover the
+    meet; open-question witnesses must be consistent and disagree. *)
+
+val to_string : Jim_relational.Schema.t -> why -> string
+(** Human-readable rendering with attribute names. *)

@@ -1,0 +1,45 @@
+(** The four types of interaction from Fig. 3 of the paper, as closed-loop
+    simulations.  All four run against the same engine and oracle; what
+    differs is who chooses the next tuple and which tuples are visible:
+
+    1. the user labels tuples in her own order, no help;
+    2. same, but tuples that became uninformative are grayed out and the
+       user skips them;
+    3. the system proposes the top-[k] informative tuples per round;
+    4. the system proposes exactly the most informative tuple (the core
+       interactive scenario of Fig. 2).
+
+    The user's "own order" is a row permutation supplied by the caller
+    (experiments use row order or a seeded shuffle).  Each mode reports
+    the number of labels the user produced, which is what Fig. 4's
+    "benefit of using a strategy" chart compares. *)
+
+type report = {
+  mode : string;
+  labels_given : int;       (** interactions performed by the user *)
+  auto_determined : int;    (** tuples decided without being labelled *)
+  total_tuples : int;
+  query : Jim_partition.Partition.t;
+}
+
+val mode1_label_all :
+  order:int list -> oracle:Oracle.t -> Jim_relational.Relation.t -> report
+(** The user labels every tuple in [order] (she has no way to know when
+    the goal is determined). *)
+
+val mode2_gray_out :
+  order:int list -> oracle:Oracle.t -> Jim_relational.Relation.t -> report
+(** The user follows [order] but skips grayed-out tuples, stopping when
+    everything is decided. *)
+
+val mode3_top_k :
+  k:int -> ?seed:int -> strategy:Strategy.t -> oracle:Oracle.t ->
+  Jim_relational.Relation.t -> report
+(** Rounds of [k] proposed tuples, all labelled (the round's remaining
+    proposals may already be decided by earlier answers in the round —
+    they still cost a label, which is the point of mode 4). *)
+
+val mode4_interactive :
+  ?seed:int -> strategy:Strategy.t -> oracle:Oracle.t ->
+  Jim_relational.Relation.t -> report
+(** One most-informative tuple at a time; the minimum-effort mode. *)

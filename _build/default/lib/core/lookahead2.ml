@@ -1,0 +1,79 @@
+(* Depth-2 maximin.  For candidate c:
+     score2(c) = min over consistent answers a of
+                   decided(c, a) + best one-step maximin in state(c, a)
+   The follow-up term is 0 when the answer already finishes the session. *)
+
+let informative_of st classes =
+  let out = ref [] in
+  Array.iteri
+    (fun i (c : Sigclass.cls) ->
+      if State.classify st c.Sigclass.sg = State.Informative then
+        out := i :: !out)
+    classes;
+  List.rev !out
+
+let one_step_maximin st classes informative c =
+  let p, n = Strategy.decided_counts st classes informative c in
+  min p n
+
+let best_one_step st classes =
+  let informative = informative_of st classes in
+  List.fold_left
+    (fun acc c -> max acc (one_step_maximin st classes informative c))
+    0 informative
+
+let strategy ?(beam = 8) () =
+  let pick (ctx : Strategy.ctx) =
+    match ctx.Strategy.informative with
+    | [] -> None
+    | informative ->
+      (* Beam: keep the candidates with the best one-step maximin. *)
+      let scored =
+        List.map
+          (fun c ->
+            (c, one_step_maximin ctx.Strategy.state ctx.Strategy.classes informative c))
+          informative
+      in
+      let beam_set =
+        List.sort (fun (_, a) (_, b) -> compare b a) scored
+        |> List.filteri (fun i _ -> i < beam)
+        |> List.map fst
+      in
+      let score2 c =
+        let sg = ctx.Strategy.classes.(c).Sigclass.sg in
+        let st_pos, st_neg = Strategy.hypothetical ctx.Strategy.state sg in
+        let arm label_state =
+          match label_state with
+          | None -> max_int (* impossible answer does not constrain the min *)
+          | Some st' ->
+            let decided =
+              List.fold_left
+                (fun acc i ->
+                  if
+                    State.classify st'
+                      ctx.Strategy.classes.(i).Sigclass.sg
+                    <> State.Informative
+                  then acc + 1
+                  else acc)
+                0 informative
+            in
+            decided + best_one_step st' ctx.Strategy.classes
+        in
+        min (arm st_pos) (arm st_neg)
+      in
+      let best =
+        List.fold_left
+          (fun (bc, bs) c ->
+            let s = score2 c in
+            if s > bs then (c, s) else (bc, bs))
+          (List.hd beam_set, score2 (List.hd beam_set))
+          (List.tl beam_set)
+      in
+      Some (fst best)
+  in
+  {
+    Strategy.name = "lookahead-2";
+    descr = "two-step maximin lookahead (beam-limited)";
+    kind = `Lookahead;
+    pick;
+  }

@@ -1,0 +1,11 @@
+(** Two-step lookahead: an ablation between the one-step heuristics and
+    the full exponential {!Optimal} policy.
+
+    Scores a candidate by the worst answer's {e best follow-up}: the
+    guaranteed number of classes decided after this question plus the
+    best one-step maximin available in the resulting state.  Depth-2
+    minimax is cubic in the number of informative classes, so candidates
+    are pre-filtered to the [beam] best one-step scores. *)
+
+val strategy : ?beam:int -> unit -> Strategy.t
+(** Default beam 8.  Named ["lookahead-2"]. *)

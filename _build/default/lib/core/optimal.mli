@@ -1,0 +1,23 @@
+(** The exact optimal strategy: the question policy minimising the
+    worst-case number of interactions.  Exponential (it explores the
+    full answer tree with memoisation on knowledge states), which is why
+    the paper deems it unusable in practice and JIM ships heuristics; we
+    keep it as the yardstick the heuristics are measured against on small
+    instances. *)
+
+exception Too_large
+
+val worst_case_depth :
+  ?max_states:int -> State.t -> Sigclass.cls array -> int
+(** Minimal number of questions that guarantees identification (up to
+    instance-equivalence) from the given state, whatever the user answers
+    (answers must stay consistent).  Raises {!Too_large} after visiting
+    [max_states] (default [200_000]) distinct knowledge states. *)
+
+val best_question :
+  ?max_states:int -> State.t -> Sigclass.cls array -> int option
+(** A class achieving {!worst_case_depth}; [None] when nothing is
+    informative. *)
+
+val strategy : ?max_states:int -> unit -> Strategy.t
+(** {!Strategy.t} wrapper named ["optimal"]. *)

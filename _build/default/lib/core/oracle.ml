@@ -1,0 +1,33 @@
+module Partition = Jim_partition.Partition
+module Tuple0 = Jim_relational.Tuple0
+
+type t = {
+  label_fn : Partition.t -> State.label;
+  goal : Partition.t option;
+}
+
+let label o sg = o.label_fn sg
+let label_tuple o t = label o (Tuple0.signature t)
+
+let of_goal g =
+  {
+    label_fn =
+      (fun sg -> if Partition.refines g sg then State.Pos else State.Neg);
+    goal = Some g;
+  }
+
+let goal o = o.goal
+
+let of_fun f = { label_fn = f; goal = None }
+
+let noisy ~seed ~flip_probability inner =
+  let rng = Random.State.make [| seed |] in
+  {
+    label_fn =
+      (fun sg ->
+        let honest = inner.label_fn sg in
+        if Random.State.float rng 1.0 < flip_probability then
+          match honest with State.Pos -> State.Neg | State.Neg -> State.Pos
+        else honest);
+    goal = None;
+  }

@@ -1,0 +1,22 @@
+(** Simulated users.  The demo paper notes that in the companion paper's
+    experiments "the user providing the examples is in fact a program that
+    labels tuples w.r.t. a goal join query" — this module is that program.
+    A real human plugs in through {!of_fun} (see the CLI). *)
+
+type t
+
+val label : t -> Jim_partition.Partition.t -> State.label
+(** Label a tuple given its signature. *)
+
+val label_tuple : t -> Jim_relational.Tuple0.t -> State.label
+
+val of_goal : Jim_partition.Partition.t -> t
+(** The sound user with goal predicate [θ*]: positive iff [θ* ⊑ sig]. *)
+
+val goal : t -> Jim_partition.Partition.t option
+
+val of_fun : (Jim_partition.Partition.t -> State.label) -> t
+
+val noisy : seed:int -> flip_probability:float -> t -> t
+(** Wraps an oracle so each answer is flipped independently with the given
+    probability — failure injection for contradiction handling. *)

@@ -1,0 +1,212 @@
+module Relation = Jim_relational.Relation
+
+type t = {
+  n : int;
+  classes : Sigclass.cls array;
+  row_class : int array;  (** row number -> class index *)
+  mutable st : State.t;
+  mutable statuses : State.status array;
+  mutable asked : int;
+  mutable positives : Jim_partition.Partition.t list;
+      (** signatures labelled +, newest first (witnesses for Explain) *)
+  mutable history : (Jim_partition.Partition.t * State.label) list;
+      (** every absorbed label, newest first (for transcripts) *)
+  mutable snapshots : (State.t * Jim_partition.Partition.t list) list;
+      (** states before each absorbed label, newest first (for undo) *)
+}
+
+let refresh_statuses eng =
+  eng.statuses <-
+    Array.map (fun (c : Sigclass.cls) -> State.classify eng.st c.sg) eng.classes
+
+(* Knowledge only grows, so certainty is monotone: a class decided under
+   the old state stays decided (with the same polarity) under the new one
+   — only the informative ones need reclassifying.  (The monotonicity is
+   pinned down by the classify-vs-brute-force property test.) *)
+let refresh_statuses_incremental eng =
+  Array.iteri
+    (fun i s ->
+      if s = State.Informative then
+        eng.statuses.(i) <- State.classify eng.st eng.classes.(i).Sigclass.sg)
+    eng.statuses
+
+let of_classes ~n classes =
+  let total = Sigclass.total_rows classes in
+  let row_class = Array.make total 0 in
+  Array.iteri
+    (fun ci (c : Sigclass.cls) ->
+      List.iter (fun r -> row_class.(r) <- ci) c.rows)
+    classes;
+  let eng =
+    {
+      n;
+      classes;
+      row_class;
+      st = State.create n;
+      statuses = [||];
+      asked = 0;
+      positives = [];
+      history = [];
+      snapshots = [];
+    }
+  in
+  refresh_statuses eng;
+  eng
+
+let create rel = of_classes ~n:(Relation.arity rel) (Sigclass.classes rel)
+
+let state eng = eng.st
+let classes eng = eng.classes
+let status eng i = eng.statuses.(i)
+let row_status eng r = eng.statuses.(eng.row_class.(r))
+
+let informative eng =
+  let out = ref [] in
+  Array.iteri
+    (fun i s -> if s = State.Informative then out := i :: !out)
+    eng.statuses;
+  List.rev !out
+
+let finished eng = informative eng = []
+let asked eng = eng.asked
+
+let ctx_of eng rng =
+  {
+    Strategy.state = eng.st;
+    classes = eng.classes;
+    informative = informative eng;
+    rng;
+  }
+
+let question eng strat rng = strat.Strategy.pick (ctx_of eng rng)
+
+let top_questions eng strat rng k =
+  let rec go masked acc k =
+    if k = 0 then List.rev acc
+    else
+      let ctx = ctx_of eng rng in
+      let remaining =
+        List.filter (fun i -> not (List.mem i masked)) ctx.Strategy.informative
+      in
+      match strat.Strategy.pick { ctx with Strategy.informative = remaining } with
+      | None -> List.rev acc
+      | Some c -> go (c :: masked) (c :: acc) (k - 1)
+  in
+  go [] [] k
+
+(* Absorb a labelled signature that need not correspond to a class of the
+   instance (transcript replay across instance revisions). *)
+let absorb eng sg label =
+  match State.add eng.st label sg with
+  | Error `Contradiction -> Error `Contradiction
+  | Ok st' ->
+    eng.snapshots <- (eng.st, eng.positives) :: eng.snapshots;
+    eng.st <- st';
+    eng.asked <- eng.asked + 1;
+    if label = State.Pos then eng.positives <- sg :: eng.positives;
+    eng.history <- (sg, label) :: eng.history;
+    refresh_statuses_incremental eng;
+    Ok ()
+
+let answer eng c label = absorb eng eng.classes.(c).Sigclass.sg label
+
+let history eng = List.rev eng.history
+
+let undo eng =
+  match (eng.snapshots, eng.history) with
+  | [], _ | _, [] -> Error `Nothing_to_undo
+  | (st, positives) :: snaps, _ :: hist ->
+    eng.st <- st;
+    eng.positives <- positives;
+    eng.snapshots <- snaps;
+    eng.history <- hist;
+    eng.asked <- eng.asked - 1;
+    (* Statuses may loosen; the incremental refresh only tightens, so do
+       the full recomputation here. *)
+    refresh_statuses eng;
+    Ok ()
+
+let result eng = State.canonical eng.st
+
+let positive_signatures eng = eng.positives
+
+let explain_class eng c =
+  Explain.explain eng.st ~positives:eng.positives eng.classes.(c).Sigclass.sg
+
+let explain_row eng r = explain_class eng eng.row_class.(r)
+
+type event = {
+  step : int;
+  cls : int;
+  row : int;
+  sg : Jim_partition.Partition.t;
+  label : State.label;
+  decided_after : int;
+  tuples_decided_after : int;
+  vs_after : float;
+}
+
+type outcome = {
+  query : Jim_partition.Partition.t;
+  events : event list;
+  interactions : int;
+  contradiction : bool;
+}
+
+let decided_totals eng =
+  let classes_decided = ref 0 and tuples_decided = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if s <> State.Informative then begin
+        incr classes_decided;
+        tuples_decided := !tuples_decided + eng.classes.(i).Sigclass.card
+      end)
+    eng.statuses;
+  (!classes_decided, !tuples_decided)
+
+let run_engine ?(seed = 0) ~strategy ~oracle eng =
+  let rng = Random.State.make [| seed |] in
+  let events = ref [] in
+  let rec loop step =
+    match question eng strategy rng with
+    | None ->
+      {
+        query = result eng;
+        events = List.rev !events;
+        interactions = eng.asked;
+        contradiction = false;
+      }
+    | Some c ->
+      let cls = eng.classes.(c) in
+      let label = Oracle.label oracle cls.Sigclass.sg in
+      (match answer eng c label with
+      | Error `Contradiction ->
+        {
+          query = result eng;
+          events = List.rev !events;
+          interactions = eng.asked;
+          contradiction = true;
+        }
+      | Ok () ->
+        let decided, tuples_decided = decided_totals eng in
+        events :=
+          {
+            step;
+            cls = c;
+            row = Sigclass.representative cls;
+            sg = cls.Sigclass.sg;
+            label;
+            decided_after = decided;
+            tuples_decided_after = tuples_decided;
+            vs_after = Version_space.count eng.st;
+          }
+          :: !events;
+        loop (step + 1))
+  in
+  loop 1
+
+let run ?seed ~strategy ~oracle rel =
+  run_engine ?seed ~strategy ~oracle (create rel)
+
+let run_classes ?seed ~strategy ~oracle ~n classes =
+  run_engine ?seed ~strategy ~oracle (of_classes ~n classes)

@@ -1,0 +1,98 @@
+(** The interactive inference engine of Fig. 2: maintain the knowledge
+    state over an instance's signature classes, hand out questions
+    according to a strategy, absorb answers, detect termination.
+
+    The engine is a thin mutable shell over the immutable {!State.t}
+    (needed by the TUI, which interleaves rendering with answers);
+    {!run} is the closed-loop driver used by experiments. *)
+
+type t
+
+val create : Jim_relational.Relation.t -> t
+(** Precomputes the signature classes of the instance. *)
+
+val of_classes : n:int -> Sigclass.cls array -> t
+(** Engine over pre-built classes ([n] = attribute count); for synthetic
+    workloads. *)
+
+val state : t -> State.t
+val classes : t -> Sigclass.cls array
+
+val status : t -> int -> State.status
+(** Current status of a class (memoised between answers). *)
+
+val row_status : t -> int -> State.status
+(** Status of an instance row (mode-2 graying). *)
+
+val informative : t -> int list
+(** Indices of informative classes, first-occurrence order. *)
+
+val finished : t -> bool
+
+val asked : t -> int
+(** Number of answers absorbed so far. *)
+
+val question : t -> Strategy.t -> Random.State.t -> int option
+(** Ask the strategy for the next class; [None] iff finished. *)
+
+val top_questions : t -> Strategy.t -> Random.State.t -> int -> int list
+(** Greedy top-[k] ranking: repeatedly ask the strategy, masking what it
+    already proposed (mode 3 of Fig. 3). *)
+
+val answer : t -> int -> State.label -> (unit, [ `Contradiction ]) result
+(** Absorb the user's label for a class.  On [`Contradiction] the engine
+    is unchanged. *)
+
+val absorb :
+  t -> Jim_partition.Partition.t -> State.label ->
+  (unit, [ `Contradiction ]) result
+(** Absorb a labelled signature directly (it need not be a class of the
+    instance) — transcript replay across instance revisions. *)
+
+val history : t -> (Jim_partition.Partition.t * State.label) list
+(** Every label absorbed so far, in chronological order. *)
+
+val undo : t -> (unit, [ `Nothing_to_undo ]) result
+(** Retract the most recent label (the user mis-clicked): the state,
+    statuses, history and counters roll back to just before it. *)
+
+val result : t -> Jim_partition.Partition.t
+(** The inferred predicate (canonical representative [s]); meaningful once
+    {!finished}. *)
+
+val positive_signatures : t -> Jim_partition.Partition.t list
+(** Signatures answered [+] so far, newest first (the witnesses
+    {!Explain} quotes). *)
+
+val explain_class : t -> int -> Explain.why
+(** Certificate for a class's current status (see {!Explain}). *)
+
+val explain_row : t -> int -> Explain.why
+
+(** {1 Closed-loop driver} *)
+
+type event = {
+  step : int;
+  cls : int;                      (** class asked *)
+  row : int;                      (** representative row shown *)
+  sg : Jim_partition.Partition.t;
+  label : State.label;
+  decided_after : int;            (** classes certain after this answer *)
+  tuples_decided_after : int;     (** tuples (cardinality-weighted) certain *)
+  vs_after : float;               (** version-space size after this answer *)
+}
+
+type outcome = {
+  query : Jim_partition.Partition.t;
+  events : event list;            (** chronological *)
+  interactions : int;             (** questions answered *)
+  contradiction : bool;           (** true iff aborted on an inconsistent user *)
+}
+
+val run :
+  ?seed:int -> strategy:Strategy.t -> oracle:Oracle.t ->
+  Jim_relational.Relation.t -> outcome
+
+val run_classes :
+  ?seed:int -> strategy:Strategy.t -> oracle:Oracle.t ->
+  n:int -> Sigclass.cls array -> outcome

@@ -1,0 +1,47 @@
+module Partition = Jim_partition.Partition
+module Relation = Jim_relational.Relation
+
+type cls = { sg : Partition.t; rows : int list; card : int }
+
+let group sigs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iteri
+    (fun i sg ->
+      let key = Partition.to_string sg in
+      match Hashtbl.find_opt tbl key with
+      | Some (sg', rows) -> Hashtbl.replace tbl key (sg', i :: rows)
+      | None ->
+        Hashtbl.add tbl key (sg, [ i ]);
+        order := key :: !order)
+    sigs;
+  let mk key =
+    let sg, rows = Hashtbl.find tbl key in
+    let rows = List.rev rows in
+    { sg; rows; card = List.length rows }
+  in
+  (* !order holds keys latest-first; rev_map restores first-occurrence
+     order. *)
+  Array.of_list (List.rev_map mk !order)
+
+let of_signatures sigs = group sigs
+
+let classes r = group (Array.to_list (Relation.signatures r))
+
+let singletons r =
+  Array.mapi
+    (fun i sg -> { sg; rows = [ i ]; card = 1 })
+    (Relation.signatures r)
+
+let representative c = match c.rows with [] -> assert false | r :: _ -> r
+
+let total_rows cs = Array.fold_left (fun acc c -> acc + c.card) 0 cs
+
+let find cs sg =
+  let n = Array.length cs in
+  let rec go i =
+    if i >= n then None
+    else if Partition.equal cs.(i).sg sg then Some i
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,81 @@
+module Partition = Jim_partition.Partition
+module Lattice = Jim_partition.Lattice
+
+type label = Pos | Neg
+
+type t = {
+  n : int;
+  s : Partition.t;
+  negatives : Partition.t list;
+  pos_count : int;
+  neg_count : int;
+}
+
+let create n =
+  { n; s = Partition.top n; negatives = []; pos_count = 0; neg_count = 0 }
+
+let normalise_negatives s negs =
+  (* Clip into ↓s, drop the ones swallowed by others, sort for canonical
+     keys.  A clipped negative equal to s means contradiction — callers
+     check before storing. *)
+  List.map (Partition.meet s) negs
+  |> Lattice.maximal_elements
+  |> List.sort Partition.compare
+
+let check_arity st sg =
+  if Partition.size sg <> st.n then invalid_arg "State: signature arity mismatch"
+
+let add st label sg =
+  check_arity st sg;
+  match label with
+  | Pos ->
+    let s' = Partition.meet st.s sg in
+    let negatives' = normalise_negatives s' st.negatives in
+    if List.exists (Partition.equal s') negatives' then Error `Contradiction
+    else
+      Ok
+        {
+          st with
+          s = s';
+          negatives = negatives';
+          pos_count = st.pos_count + 1;
+        }
+  | Neg ->
+    if Partition.refines st.s sg then Error `Contradiction
+    else
+      let negatives' = normalise_negatives st.s (sg :: st.negatives) in
+      Ok { st with negatives = negatives'; neg_count = st.neg_count + 1 }
+
+let add_exn st label sg =
+  match add st label sg with
+  | Ok st' -> st'
+  | Error `Contradiction -> invalid_arg "State.add_exn: contradictory label"
+
+type status = Certain_pos | Certain_neg | Informative
+
+let classify st sg =
+  check_arity st sg;
+  if Partition.refines st.s sg then Certain_pos
+  else
+    let m = Partition.meet st.s sg in
+    if List.exists (fun u -> Partition.refines m u) st.negatives then
+      Certain_neg
+    else Informative
+
+let selects st sg = Partition.refines st.s sg
+
+let consistent st q =
+  Partition.refines q st.s
+  && not (List.exists (fun u -> Partition.refines q u) st.negatives)
+
+let canonical st = st.s
+
+let key st =
+  String.concat "|"
+    (Partition.to_string st.s :: List.map Partition.to_string st.negatives)
+
+let pp fmt st =
+  Format.fprintf fmt "@[<v>s = %a@ negatives = {%s}@ (%d+, %d-)@]"
+    Partition.pp st.s
+    (String.concat "; " (List.map Partition.to_string st.negatives))
+    st.pos_count st.neg_count

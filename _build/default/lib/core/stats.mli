@@ -1,0 +1,21 @@
+(** Progress statistics shown in the interface after every interaction
+    ("the total number (and the relative percentage) of tuples that have
+    been explicitly labeled by the user or deemed as uninformative"). *)
+
+type t = {
+  labeled : int;              (** tuples explicitly labelled *)
+  auto_determined : int;      (** tuples decided without a label *)
+  still_informative : int;
+  total : int;
+  labeled_pct : float;
+  auto_pct : float;
+  version_space : float;      (** consistent predicates remaining *)
+}
+
+val of_engine : Session.t -> t
+
+val of_outcome : total:int -> Session.outcome -> t
+(** Final statistics of a closed-loop run. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,197 @@
+module Partition = Jim_partition.Partition
+
+type ctx = {
+  state : State.t;
+  classes : Sigclass.cls array;
+  informative : int list;
+  rng : Random.State.t;
+}
+
+type t = {
+  name : string;
+  descr : string;
+  kind : [ `Random | `Local | `Lookahead ];
+  pick : ctx -> int option;
+}
+
+let hypothetical st sg =
+  let branch label =
+    match State.add st label sg with Ok st' -> Some st' | Error `Contradiction -> None
+  in
+  (branch State.Pos, branch State.Neg)
+
+let decided_counts st classes informative c =
+  let sg = classes.(c).Sigclass.sg in
+  let st_pos, st_neg = hypothetical st sg in
+  let count = function
+    | None -> List.length informative
+    | Some st' ->
+      List.fold_left
+        (fun acc i ->
+          if State.classify st' classes.(i).Sigclass.sg <> State.Informative then
+            acc + 1
+          else acc)
+        0 informative
+  in
+  (count st_pos, count st_neg)
+
+(* Same, but weighting each decided class by its tuple count — the measure
+   shown to the user ("how many tuples got grayed out"). *)
+let decided_cards st classes informative c =
+  let sg = classes.(c).Sigclass.sg in
+  let st_pos, st_neg = hypothetical st sg in
+  let total =
+    List.fold_left (fun acc i -> acc + classes.(i).Sigclass.card) 0 informative
+  in
+  let count = function
+    | None -> total
+    | Some st' ->
+      List.fold_left
+        (fun acc i ->
+          if State.classify st' classes.(i).Sigclass.sg <> State.Informative then
+            acc + classes.(i).Sigclass.card
+          else acc)
+        0 informative
+  in
+  (count st_pos, count st_neg)
+
+let argmax_by score ctx =
+  match ctx.informative with
+  | [] -> None
+  | first :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bi, bs) i ->
+          let s = score i in
+          if s > bs then (i, s) else (bi, bs))
+        (first, score first) rest
+    in
+    Some best
+
+let random =
+  {
+    name = "random";
+    descr = "uniformly random informative tuple (baseline)";
+    kind = `Random;
+    pick =
+      (fun ctx ->
+        match ctx.informative with
+        | [] -> None
+        | l -> Some (List.nth l (Random.State.int ctx.rng (List.length l))));
+  }
+
+let meet_rank ctx i =
+  Partition.rank (Partition.meet ctx.state.State.s ctx.classes.(i).Sigclass.sg)
+
+let local_specific =
+  {
+    name = "local-specific";
+    descr = "local: maximise the equalities shared with the candidate s";
+    kind = `Local;
+    pick = (fun ctx -> argmax_by (fun i -> float_of_int (meet_rank ctx i)) ctx);
+  }
+
+let local_general =
+  {
+    name = "local-general";
+    descr = "local: minimise the equalities shared with the candidate s";
+    kind = `Local;
+    pick = (fun ctx -> argmax_by (fun i -> -.float_of_int (meet_rank ctx i)) ctx);
+  }
+
+let local_lex =
+  {
+    name = "local-lex";
+    descr = "local: first informative signature in lexicographic order";
+    kind = `Local;
+    pick =
+      (fun ctx ->
+        match ctx.informative with
+        | [] -> None
+        | first :: rest ->
+          let best =
+            List.fold_left
+              (fun b i ->
+                if
+                  Partition.compare ctx.classes.(i).Sigclass.sg
+                    ctx.classes.(b).Sigclass.sg
+                  < 0
+                then i
+                else b)
+              first rest
+          in
+          Some best);
+  }
+
+let lookahead_maximin =
+  {
+    name = "lookahead-maximin";
+    descr = "lookahead: maximise the guaranteed number of decided classes";
+    kind = `Lookahead;
+    pick =
+      (fun ctx ->
+        argmax_by
+          (fun i ->
+            let p, n = decided_counts ctx.state ctx.classes ctx.informative i in
+            float_of_int (min p n))
+          ctx);
+  }
+
+let lookahead_expected =
+  {
+    name = "lookahead-expected";
+    descr = "lookahead: maximise the expected number of grayed-out tuples";
+    kind = `Lookahead;
+    pick =
+      (fun ctx ->
+        argmax_by
+          (fun i ->
+            let p, n = decided_cards ctx.state ctx.classes ctx.informative i in
+            float_of_int (p + n) /. 2.0)
+          ctx);
+  }
+
+let binary_entropy p =
+  if p <= 0.0 || p >= 1.0 then 0.0
+  else -.((p *. log p) +. ((1.0 -. p) *. log (1.0 -. p)))
+
+let lookahead_entropy =
+  {
+    name = "lookahead-entropy";
+    descr = "lookahead: maximise the entropy of the version-space split";
+    kind = `Lookahead;
+    pick =
+      (fun ctx ->
+        argmax_by
+          (fun i ->
+            let st_pos, st_neg =
+              hypothetical ctx.state ctx.classes.(i).Sigclass.sg
+            in
+            let vs = function
+              | None -> 0.0
+              | Some st' -> Version_space.count st'
+            in
+            let vp = vs st_pos and vn = vs st_neg in
+            let total = vp +. vn in
+            if total <= 0.0 then 0.0
+            else
+              (* Entropy first; pruning-count as an epsilon tie-break so
+                 equal splits prefer bigger immediate progress. *)
+              let p, n = decided_counts ctx.state ctx.classes ctx.informative i in
+              binary_entropy (vp /. total)
+              +. (1e-9 *. float_of_int (min p n)))
+          ctx);
+  }
+
+let all =
+  [
+    random;
+    local_lex;
+    local_specific;
+    local_general;
+    lookahead_maximin;
+    lookahead_expected;
+    lookahead_entropy;
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all

@@ -1,0 +1,72 @@
+(** Strategies Υ: given the current knowledge and the informative
+    signature classes, choose the next tuple (class) to show the user.
+
+    The catalogue follows the taxonomy of the paper: a [random] baseline,
+    simple [local] strategies driven by a fixed order on signatures, and
+    [lookahead] strategies that score each candidate by the quantity of
+    information its label would bring (pruning counts or the entropy of
+    the version-space split).  The exponential [optimal] yardstick lives
+    in {!Optimal}. *)
+
+type ctx = {
+  state : State.t;
+  classes : Sigclass.cls array;
+  informative : int list;  (** indices into [classes], first-occurrence order *)
+  rng : Random.State.t;    (** private to the strategy *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  kind : [ `Random | `Local | `Lookahead ];
+  pick : ctx -> int option;
+      (** [None] iff [informative] is empty.  Must return a member of
+          [informative]. *)
+}
+
+val random : t
+(** Uniformly random informative class. *)
+
+val local_specific : t
+(** Maximise [rank (s ∧ sig)]: ask about tuples sharing as many equalities
+    with the current candidate [s] as possible (top-down sweep of the
+    ideal). *)
+
+val local_general : t
+(** Minimise [rank (s ∧ sig)]: bottom-up sweep. *)
+
+val local_lex : t
+(** First informative class in a fixed lexicographic order on signatures —
+    the simplest "fixed order" local strategy. *)
+
+val lookahead_maximin : t
+(** Maximise [min(#classes decided if +, #classes decided if −)] (the
+    decided count includes the asked class). *)
+
+val lookahead_expected : t
+(** Maximise the mean of the two pruning counts, tuple-weighted: counts
+    sum class cardinalities, so big uninformative chunks are pruned
+    early. *)
+
+val lookahead_entropy : t
+(** Maximise the binary entropy of the version-space split
+    [(|VS if +|, |VS if −|)] — prefers questions whose answers are most
+    balanced, i.e. carry the most information about the goal. *)
+
+val all : t list
+(** The catalogue above, in presentation order. *)
+
+val find : string -> t option
+
+(** {1 Helpers shared with {!Optimal} and the interaction modes} *)
+
+val decided_counts : State.t -> Sigclass.cls array -> int list -> int -> int * int
+(** [decided_counts st classes informative c]: numbers of currently
+    informative classes (including [c]) that become certain if class [c]
+    is labelled [+] and [−] respectively.  A contradictory branch counts
+    every remaining class as decided (that answer would end the session
+    anyway — it cannot happen with a sound user). *)
+
+val hypothetical : State.t -> Jim_partition.Partition.t -> State.t option * State.t option
+(** States after labelling a tuple of the given signature [+] / [−];
+    [None] marks the contradictory branch. *)

@@ -1,0 +1,36 @@
+(** Teaching sets: how few labels would an {e omniscient} teacher need?
+
+    A teaching set for a goal predicate on an instance is a set of
+    (tuple, goal-label) pairs after which no informative tuple remains —
+    i.e. any consistent learner must output an instance-equivalent
+    predicate.  Its minimum size is a lower bound for non-adaptive
+    labelling and a natural yardstick for the interactive strategies
+    (which must discover the labels one question at a time). *)
+
+val is_teaching_set :
+  goal:Jim_partition.Partition.t ->
+  Sigclass.cls array ->
+  int list ->
+  bool
+(** [is_teaching_set ~goal classes chosen]: do the goal-labels of the
+    chosen classes decide every class of the instance?  Raises
+    [Invalid_argument] if the goal's labelling of [chosen] is itself
+    inconsistent (impossible for genuine goal labellings). *)
+
+val greedy :
+  goal:Jim_partition.Partition.t ->
+  Sigclass.cls array ->
+  (int * State.label) list
+(** Greedy omniscient teacher: repeatedly give the goal-label that
+    decides the most still-informative classes.  Returns the lesson in
+    teaching order; always a valid teaching set. *)
+
+val exact_minimum :
+  ?max_size:int ->
+  goal:Jim_partition.Partition.t ->
+  Sigclass.cls array ->
+  (int * State.label) list option
+(** Smallest teaching set, by exhaustive search over subsets of
+    increasing size (exponential; [None] if nothing up to [max_size],
+    default 6, works — the greedy answer bounds the true minimum from
+    above anyway). *)

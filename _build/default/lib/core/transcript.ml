@@ -1,0 +1,116 @@
+module Partition = Jim_partition.Partition
+
+type entry = { sg : Partition.t; label : State.label }
+
+type t = {
+  arity : int;
+  entries : entry list;
+  result : Partition.t option;
+}
+
+let label_char = function State.Pos -> "+" | State.Neg -> "-"
+
+let of_outcome ~n (o : Session.outcome) =
+  {
+    arity = n;
+    entries =
+      List.map
+        (fun (e : Session.event) ->
+          { sg = e.Session.sg; label = e.Session.label })
+        o.Session.events;
+    result = Some o.Session.query;
+  }
+
+let of_engine eng =
+  {
+    arity = Partition.size (Session.result eng);
+    entries =
+      List.map (fun (sg, label) -> { sg; label }) (Session.history eng);
+    result = (if Session.finished eng then Some (Session.result eng) else None);
+  }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "jim-transcript 1\n";
+  Buffer.add_string buf (Printf.sprintf "arity %d\n" t.arity);
+  List.iter
+    (fun { sg; label } ->
+      Buffer.add_string buf
+        (Printf.sprintf "label %s %s\n" (Partition.to_string sg)
+           (label_char label)))
+    t.entries;
+  (match t.result with
+  | Some r ->
+    Buffer.add_string buf (Printf.sprintf "result %s\n" (Partition.to_string r))
+  | None -> ());
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty transcript"
+  | header :: rest ->
+    let* () =
+      if String.equal header "jim-transcript 1" then Ok ()
+      else Error "unknown transcript header"
+    in
+    let* arity, rest =
+      match rest with
+      | first :: more -> (
+        match String.split_on_char ' ' first with
+        | [ "arity"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Ok (n, more)
+          | _ -> Error "bad arity")
+        | _ -> Error "expected an arity line")
+      | [] -> Error "missing arity line"
+    in
+    let parse_partition str =
+      let* p = Partition.of_string str in
+      if Partition.size p <> arity then Error "signature arity mismatch"
+      else Ok p
+    in
+    let* entries_rev, result =
+      List.fold_left
+        (fun acc line ->
+          let* entries, result = acc in
+          let* () =
+            if result <> None then Error "content after the result line"
+            else Ok ()
+          in
+          match String.split_on_char ' ' line with
+          | [ "label"; sg; lbl ] ->
+            let* sg = parse_partition sg in
+            let* label =
+              match lbl with
+              | "+" -> Ok State.Pos
+              | "-" -> Ok State.Neg
+              | _ -> Error ("bad label " ^ lbl)
+            in
+            Ok ({ sg; label } :: entries, None)
+          | [ "result"; r ] ->
+            let* r = parse_partition r in
+            Ok (entries, Some r)
+          | _ -> Error ("bad transcript line: " ^ line))
+        (Ok ([], None))
+        rest
+    in
+    Ok { arity; entries = List.rev entries_rev; result }
+
+let replay t eng =
+  if Partition.size (Session.result eng) <> t.arity then Error `Arity_mismatch
+  else
+    let rec go = function
+      | [] -> Ok ()
+      | { sg; label } :: rest -> (
+        match Session.absorb eng sg label with
+        | Ok () -> go rest
+        | Error `Contradiction -> Error `Contradiction)
+    in
+    go t.entries

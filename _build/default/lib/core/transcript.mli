@@ -1,0 +1,43 @@
+(** Session transcripts: a line-based, human-readable audit log of an
+    inference run, parseable back for replay.
+
+    Use cases: auditing what a crowd was asked (and billed for),
+    resuming an interrupted labelling session on the same instance, and
+    regression-testing interaction traces.
+
+    Format (one record per line, [#] starts a comment):
+    {v
+    jim-transcript 1
+    arity 5
+    label {0}{1,3}{2,4}{...} +        # signature, answer
+    label {0,1}{2}{3}{4} -
+    result {0}{1,3}{2,4}
+    v} *)
+
+type entry = { sg : Jim_partition.Partition.t; label : State.label }
+
+type t = {
+  arity : int;
+  entries : entry list;               (** chronological *)
+  result : Jim_partition.Partition.t option;
+}
+
+val of_outcome : n:int -> Session.outcome -> t
+
+val of_engine : Session.t -> t
+(** Not supported for engines driven through raw {!Session.answer} calls
+    interleaved with external state changes — records the questions the
+    engine absorbed, in order.  (The engine keeps enough history for
+    this.) *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; tolerant of comments and blank lines. *)
+
+val replay :
+  t -> Session.t -> (unit, [ `Contradiction | `Arity_mismatch ]) result
+(** Feed the transcript's labels into a fresh engine over the {e same}
+    instance (or any instance with the same attribute count).  Labels
+    whose class no longer exists on the instance are applied directly at
+    the state level via the signature, so replay works across instance
+    revisions that preserve arity. *)

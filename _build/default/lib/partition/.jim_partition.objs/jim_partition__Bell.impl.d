@@ -1,0 +1,1 @@
+lib/partition/bell.ml: Array Lazy List

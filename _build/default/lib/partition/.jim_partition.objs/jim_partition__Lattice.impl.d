@@ -1,0 +1,1 @@
+lib/partition/lattice.ml: Array Bell Float List Partition

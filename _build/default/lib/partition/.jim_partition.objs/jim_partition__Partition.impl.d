@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Buffer Dsu Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/partition/penum.ml: Array Bell Hashtbl List Partition

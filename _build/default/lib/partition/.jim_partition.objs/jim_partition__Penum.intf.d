@@ -1,0 +1,1 @@
+lib/partition/penum.mli: Partition Seq

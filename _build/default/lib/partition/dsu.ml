@@ -1,0 +1,53 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable classes : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Dsu.create: negative size";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let size d = Array.length d.parent
+
+let rec find d i =
+  let p = d.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find d p in
+    d.parent.(i) <- r;
+    r
+  end
+
+let union d i j =
+  let ri = find d i and rj = find d j in
+  if ri = rj then false
+  else begin
+    let ki = d.rank.(ri) and kj = d.rank.(rj) in
+    if ki < kj then d.parent.(ri) <- rj
+    else if kj < ki then d.parent.(rj) <- ri
+    else begin
+      d.parent.(rj) <- ri;
+      d.rank.(ri) <- ki + 1
+    end;
+    d.classes <- d.classes - 1;
+    true
+  end
+
+let same d i j = find d i = find d j
+
+let class_count d = d.classes
+
+let canonical d =
+  let n = size d in
+  (* The smallest member of each class is met first when scanning left to
+     right, so recording the first occurrence of each root yields the
+     minimum-element representative. *)
+  let first = Array.make n (-1) in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = find d i in
+    if first.(r) < 0 then first.(r) <- i;
+    out.(i) <- first.(r)
+  done;
+  out

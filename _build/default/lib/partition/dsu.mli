@@ -1,0 +1,29 @@
+(** Disjoint-set (union-find) structure with path compression and union by
+    rank.  Used to build canonical {!Partition.t} values from sets of
+    equality atoms, and to compute lattice joins. *)
+
+type t
+
+(** [create n] is a fresh structure over elements [0 .. n-1], each in its
+    own singleton class.  Raises [Invalid_argument] if [n < 0]. *)
+val create : int -> t
+
+(** Number of elements the structure was created with. *)
+val size : t -> int
+
+(** [find d i] is the current representative of [i]'s class. *)
+val find : t -> int -> int
+
+(** [union d i j] merges the classes of [i] and [j]; returns [true] iff the
+    classes were distinct (i.e. the structure changed). *)
+val union : t -> int -> int -> bool
+
+(** [same d i j] holds iff [i] and [j] are in the same class. *)
+val same : t -> int -> int -> bool
+
+(** Current number of classes. *)
+val class_count : t -> int
+
+(** [canonical d] maps every element to the {e smallest} element of its
+    class — the canonical representative array used by {!Partition}. *)
+val canonical : t -> int array

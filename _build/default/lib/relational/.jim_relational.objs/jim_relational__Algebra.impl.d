@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Expr List Option Printf Relation Result Schema Sql_ast Sql_parser String Value

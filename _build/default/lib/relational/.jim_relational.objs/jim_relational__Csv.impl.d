@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Filename Fun List Option Printf Relation Schema String Tuple0 Value

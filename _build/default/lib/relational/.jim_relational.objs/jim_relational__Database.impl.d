@@ -1,0 +1,1 @@
+lib/relational/database.ml: Algebra Format List Map Relation String

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Format Jim_partition List Option Printf Schema Stdlib Tuple0 Value

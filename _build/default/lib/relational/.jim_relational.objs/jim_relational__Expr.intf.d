@@ -1,0 +1,1 @@
+lib/relational/expr.mli: Format Jim_partition Schema Tuple0 Value

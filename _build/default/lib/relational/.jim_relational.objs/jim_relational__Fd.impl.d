@@ -1,0 +1,1 @@
+lib/relational/fd.ml: Array Float Hashtbl List Relation Schema Tuple0 Value

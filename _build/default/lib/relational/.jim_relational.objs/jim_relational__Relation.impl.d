@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Format Hashtbl Jim_partition List Printf Random Schema Stdlib Tuple0 Value

@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Format Jim_partition Schema Seq Tuple0 Value

@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Option Printf Sql_ast Sql_lexer

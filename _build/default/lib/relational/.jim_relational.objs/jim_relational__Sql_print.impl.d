@@ -1,0 +1,1 @@
+lib/relational/sql_print.ml: Buffer Format List Option Printf Sql_ast String

@@ -1,0 +1,1 @@
+lib/relational/tuple0.ml: Array Format Hashtbl Jim_partition List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/tuple0.mli: Format Jim_partition Value

@@ -1,0 +1,427 @@
+type plan =
+  | Scan of string
+  | Select of Expr.t * plan
+  | Project of (int * string) list * plan
+  | Product of plan * plan
+  | EquiJoin of (int * int) list * plan * plan
+  | GroupBy of int list * (string * Relation.aggregate) list * plan
+  | Distinct of plan
+  | Sort of (int * bool) list * plan
+  | Limit of int * plan
+
+type catalog = string -> Relation.t option
+
+let ( let* ) = Result.bind
+
+let rec output_schema cat = function
+  | Scan name -> (
+    match cat name with
+    | Some r -> Ok (Relation.schema r)
+    | None -> Error (Printf.sprintf "unknown relation %S" name))
+  | Select (_, p) | Distinct p | Sort (_, p) | Limit (_, p) ->
+    output_schema cat p
+  | Project (cols, p) ->
+    let* s = output_schema cat p in
+    let columns =
+      List.map
+        (fun (i, out_name) ->
+          { (Schema.column s i) with Schema.cname = out_name })
+        cols
+    in
+    (try Ok (Schema.make columns) with Invalid_argument m -> Error m)
+  | Product (a, b) | EquiJoin (_, a, b) ->
+    let* sa = output_schema cat a in
+    let* sb = output_schema cat b in
+    (try Ok (Schema.concat sa sb) with Invalid_argument m -> Error m)
+  | GroupBy (keys, aggs, p) ->
+    let* s = output_schema cat p in
+    let agg_ty = function
+      | Relation.Count -> Value.Tint
+      | Relation.Avg _ -> Value.Tfloat
+      | Relation.Sum c | Relation.Min c | Relation.Max c ->
+        (Schema.column s c).Schema.cty
+    in
+    (try
+       Ok
+         (Schema.make
+            (List.map (fun k -> Schema.column s k) keys
+            @ List.map
+                (fun (name, a) -> { Schema.cname = name; cty = agg_ty a })
+                aggs))
+     with Invalid_argument m -> Error m)
+
+let rec run cat = function
+  | Scan name -> (
+    match cat name with
+    | Some r -> Ok r
+    | None -> Error (Printf.sprintf "unknown relation %S" name))
+  | Select (e, p) ->
+    let* r = run cat p in
+    let* _ =
+      Result.map_error
+        (fun m -> "WHERE clause: " ^ m)
+        (Expr.typecheck (Relation.schema r) e)
+    in
+    Ok (Relation.select (Expr.eval_bool e) r)
+  | Project (cols, p) ->
+    let* r = run cat p in
+    let projected = Relation.project (List.map fst cols) r in
+    let* schema = output_schema cat (Project (cols, p)) in
+    Ok (Relation.make ~name:(Relation.name r) schema (Relation.tuples projected))
+  | Product (a, b) ->
+    (* Operands are renamed so self-joins do not clash; the plan's own
+       output schema (already disambiguated by compile) replaces the
+       product's synthetic one. *)
+    let* ra = run cat a in
+    let* rb = run cat b in
+    let prod = Relation.product (Relation.rename "l" ra) (Relation.rename "r" rb) in
+    let* schema = output_schema cat (Product (a, b)) in
+    Ok (Relation.make ~name:(Relation.name prod) schema (Relation.tuples prod))
+  | EquiJoin (on, a, b) ->
+    let* ra = run cat a in
+    let* rb = run cat b in
+    let joined =
+      Relation.equi_join ~on (Relation.rename "l" ra) (Relation.rename "r" rb)
+    in
+    let* schema = output_schema cat (EquiJoin (on, a, b)) in
+    Ok (Relation.make ~name:(Relation.name joined) schema (Relation.tuples joined))
+  | GroupBy (keys, aggs, p) ->
+    let* r = run cat p in
+    let* schema = output_schema cat (GroupBy (keys, aggs, p)) in
+    (match Relation.group_by keys aggs r with
+    | grouped ->
+      Ok (Relation.make ~name:(Relation.name r) schema (Relation.tuples grouped))
+    | exception Invalid_argument m -> Error m)
+  | Distinct p ->
+    let* r = run cat p in
+    Ok (Relation.distinct r)
+  | Sort (keys, p) ->
+    let* r = run cat p in
+    (* Apply keys right-to-left with a stable sort so the leftmost key is
+       the primary one, honouring per-key direction. *)
+    Ok
+      (List.fold_left
+         (fun acc (k, desc) -> Relation.sort_by ~desc [ k ] acc)
+         r (List.rev keys))
+  | Limit (k, p) ->
+    let* r = run cat p in
+    Ok (Relation.limit k r)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation from the SQL AST.                                       *)
+
+let rec conjuncts = function
+  | Sql_ast.Eand (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec resolve_expr schema (e : Sql_ast.expr) : (Expr.t, string) result =
+  let open Sql_ast in
+  let bin ctor a b =
+    let* a = resolve_expr schema a in
+    let* b = resolve_expr schema b in
+    Ok (ctor a b)
+  in
+  match e with
+  | Eint i -> Ok (Expr.Const (Value.Int i))
+  | Enum f -> Ok (Expr.Const (Value.Float f))
+  | Estr s -> Ok (Expr.Const (Value.Str s))
+  | Ebool b -> Ok (Expr.Const (Value.Bool b))
+  | Enull -> Ok (Expr.Const Value.Null)
+  | Ecol c -> (
+    match Schema.find schema c with
+    | Some i -> Ok (Expr.Col i)
+    | None -> Error (Printf.sprintf "unknown or ambiguous column %S" c))
+  | Ecmp (op, a, b) ->
+    let cmp =
+      match op with
+      | Ceq -> Expr.Eq
+      | Cneq -> Expr.Neq
+      | Clt -> Expr.Lt
+      | Cleq -> Expr.Leq
+      | Cgt -> Expr.Gt
+      | Cgeq -> Expr.Geq
+    in
+    bin (fun a b -> Expr.Cmp (cmp, a, b)) a b
+  | Eand (a, b) -> bin (fun a b -> Expr.And (a, b)) a b
+  | Eor (a, b) -> bin (fun a b -> Expr.Or (a, b)) a b
+  | Enot a ->
+    let* a = resolve_expr schema a in
+    Ok (Expr.Not a)
+  | Eadd (a, b) -> bin (fun a b -> Expr.Add (a, b)) a b
+  | Esub (a, b) -> bin (fun a b -> Expr.Sub (a, b)) a b
+  | Emul (a, b) -> bin (fun a b -> Expr.Mul (a, b)) a b
+  | Ediv (a, b) -> bin (fun a b -> Expr.Div (a, b)) a b
+  | Eisnull a ->
+    let* a = resolve_expr schema a in
+    Ok (Expr.IsNull a)
+
+(* Push equality atoms [Col i = Col j] that bridge a Product's two sides
+   into an EquiJoin; other conjuncts stay in the residual selection. *)
+let rec push_joins cat plan =
+  match plan with
+  | Select (e, inner) -> begin
+    let inner = push_joins cat inner in
+    match inner with
+    | Product (a, b) -> begin
+      match output_schema cat a with
+      | Error _ -> Select (e, inner)
+      | Ok sa ->
+        let la = Schema.arity sa in
+        let is_bridge = function
+          | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Col j) ->
+            (i < la && j >= la) || (j < la && i >= la)
+          | _ -> false
+        in
+        let atoms, residual = List.partition is_bridge (expr_conjuncts e) in
+        if atoms = [] then Select (e, inner)
+        else
+          let on =
+            List.map
+              (function
+                | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Col j) ->
+                  if i < la then (i, j - la) else (j, i - la)
+                | _ -> assert false)
+              atoms
+          in
+          let joined = EquiJoin (on, a, b) in
+          if residual = [] then joined else Select (Expr.conj residual, joined)
+    end
+    | _ -> Select (e, inner)
+  end
+  | Project (cols, p) -> Project (cols, push_joins cat p)
+  | Product (a, b) -> Product (push_joins cat a, push_joins cat b)
+  | EquiJoin (on, a, b) -> EquiJoin (on, push_joins cat a, push_joins cat b)
+  | GroupBy (keys, aggs, p) -> GroupBy (keys, aggs, push_joins cat p)
+  | Distinct p -> Distinct (push_joins cat p)
+  | Sort (k, p) -> Sort (k, push_joins cat p)
+  | Limit (k, p) -> Limit (k, push_joins cat p)
+  | Scan _ as p -> p
+
+and expr_conjuncts = function
+  | Expr.And (a, b) -> expr_conjuncts a @ expr_conjuncts b
+  | e -> [ e ]
+
+(* Aggregate SELECT lists: every plain item must be a GROUP BY key; the
+   GroupBy node computes keys-then-aggregates, and a final Project puts
+   the columns back in SELECT-list order. *)
+let compile_aggregation full_schema (q : Sql_ast.query) plan =
+  let open Sql_ast in
+  let resolve c =
+    match Schema.find full_schema c with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "unknown or ambiguous column %S" c)
+  in
+  let* keys =
+    List.fold_left
+      (fun acc c ->
+        let* acc = acc in
+        let* i = resolve c in
+        Ok (i :: acc))
+      (Ok []) q.group_by
+  in
+  let keys = List.rev keys in
+  let numeric i =
+    match (Schema.column full_schema i).Schema.cty with
+    | Value.Tint | Value.Tfloat -> true
+    | Value.Tstring | Value.Tbool | Value.Tdate -> false
+  in
+  let default_name fn arg =
+    let fn_name =
+      match fn with
+      | Fcount -> "count"
+      | Fsum -> "sum"
+      | Fmin -> "min"
+      | Fmax -> "max"
+      | Favg -> "avg"
+    in
+    match arg with None -> fn_name | Some c -> fn_name ^ "_" ^ c
+  in
+  (* Walk the SELECT list, building (output name, source) where source is
+     either a key column or an aggregate. *)
+  let* outputs =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Star -> Error "SELECT * cannot be combined with aggregation"
+        | Item (Ecol c, alias) ->
+          let* i = resolve c in
+          if not (List.mem i keys) then
+            Error
+              (Printf.sprintf "column %S must appear in the GROUP BY clause" c)
+          else Ok ((Option.value alias ~default:c, `Key i) :: acc)
+        | Item _ ->
+          Error "only column references are supported in SELECT lists"
+        | Agg (fn, arg, alias) ->
+          let* agg =
+            match (fn, arg) with
+            | Fcount, None -> Ok Relation.Count
+            | Fcount, Some c ->
+              (* COUNT over a column counts group members here, same as a
+                 bare COUNT - rows are never dropped per column. *)
+              let* _ = resolve c in
+              Ok Relation.Count
+            | (Fsum | Favg), Some c ->
+              let* i = resolve c in
+              if not (numeric i) then
+                Error (Printf.sprintf "aggregate on non-numeric column %S" c)
+              else Ok (if fn = Fsum then Relation.Sum i else Relation.Avg i)
+            | Fmin, Some c ->
+              let* i = resolve c in
+              Ok (Relation.Min i)
+            | Fmax, Some c ->
+              let* i = resolve c in
+              Ok (Relation.Max i)
+            | (Fsum | Fmin | Fmax | Favg), None ->
+              Error "this aggregate needs a column argument"
+          in
+          Ok ((Option.value alias ~default:(default_name fn arg), `Agg agg) :: acc))
+      (Ok []) q.select
+  in
+  let outputs = List.rev outputs in
+  let aggs =
+    List.filter_map
+      (function name, `Agg a -> Some (name, a) | _, `Key _ -> None)
+      outputs
+  in
+  (* GroupBy output layout: keys (in GROUP BY order) then aggs (in SELECT
+     order); project into SELECT order. *)
+  let key_position i =
+    let rec go pos = function
+      | [] -> assert false
+      | k :: _ when k = i -> pos
+      | _ :: rest -> go (pos + 1) rest
+    in
+    go 0 keys
+  in
+  let agg_position name =
+    let rec go pos = function
+      | [] -> assert false
+      | (n, _) :: _ when String.equal n name -> pos
+      | _ :: rest -> go (pos + 1) rest
+    in
+    List.length keys + go 0 aggs
+  in
+  let projection =
+    List.map
+      (fun (name, src) ->
+        match src with
+        | `Key i -> (key_position i, name)
+        | `Agg _ -> (agg_position name, name))
+      outputs
+  in
+  Ok (Project (projection, GroupBy (keys, aggs, plan)))
+
+let compile cat (q : Sql_ast.query) =
+  let open Sql_ast in
+  (* FROM: qualified product of the named relations. *)
+  let* parts =
+    List.fold_left
+      (fun acc { rel; alias } ->
+        let* acc = acc in
+        match cat rel with
+        | None -> Error (Printf.sprintf "unknown relation %S" rel)
+        | Some r ->
+          let label = Option.value alias ~default:rel in
+          Ok ((label, rel, Relation.schema r) :: acc))
+      (Ok []) q.from
+  in
+  let parts = List.rev parts in
+  let* () = if parts = [] then Error "empty FROM clause" else Ok () in
+  let* full_schema =
+    match Schema.concat_qualified (List.map (fun (l, _, s) -> (l, s)) parts) with
+    | s -> Ok s
+    | exception Invalid_argument _ ->
+      Error "duplicate relation in FROM clause: give each occurrence an alias"
+  in
+  (* Each Scan is wrapped in a Project that qualifies its column names so
+     the product schema has no duplicates. *)
+  let scan_plan (label, rel, s) =
+    let qualified = Schema.qualify label s in
+    Project
+      (List.mapi
+         (fun i c -> (i, c.Schema.cname))
+         (Schema.columns qualified),
+       Scan rel)
+  in
+  let from_plan =
+    match List.map scan_plan parts with
+    | [] -> assert false
+    | p :: rest -> List.fold_left (fun acc p' -> Product (acc, p')) p rest
+  in
+  (* WHERE *)
+  let* plan =
+    match q.where with
+    | None -> Ok from_plan
+    | Some e ->
+      let* conds =
+        List.fold_left
+          (fun acc c ->
+            let* acc = acc in
+            let* c = resolve_expr full_schema c in
+            Ok (c :: acc))
+          (Ok []) (conjuncts e)
+      in
+      Ok (Select (Expr.conj (List.rev conds), from_plan))
+  in
+  (* SELECT list: plain projection, or grouped aggregation when the list
+     mentions aggregates / a GROUP BY clause is present. *)
+  let has_aggregates =
+    q.group_by <> []
+    || List.exists (function Agg _ -> true | Star | Item _ -> false) q.select
+  in
+  let* plan =
+    if has_aggregates then compile_aggregation full_schema q plan
+    else
+      match q.select with
+      | [ Star ] -> Ok plan
+      | items ->
+        let* cols =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match item with
+              | Star ->
+                Ok
+                  (List.rev
+                     (List.mapi
+                        (fun i c -> (i, c.Schema.cname))
+                        (Schema.columns full_schema))
+                  @ acc)
+              | Item (Ecol c, alias) -> (
+                match Schema.find full_schema c with
+                | Some i -> Ok ((i, Option.value alias ~default:c) :: acc)
+                | None ->
+                  Error (Printf.sprintf "unknown or ambiguous column %S" c))
+              | Item _ ->
+                Error "only column references are supported in SELECT lists"
+              | Agg _ -> assert false (* routed to compile_aggregation *))
+            (Ok []) items
+        in
+        Ok (Project (List.rev cols, plan))
+  in
+  let plan = if q.distinct then Distinct plan else plan in
+  (* ORDER BY against the plan's own output schema. *)
+  let* out_schema = output_schema cat plan in
+  let* plan =
+    match q.order_by with
+    | [] -> Ok plan
+    | items ->
+      let* keys =
+        List.fold_left
+          (fun acc { key; desc } ->
+            let* acc = acc in
+            match Schema.find out_schema key with
+            | Some i -> Ok ((i, desc) :: acc)
+            | None -> Error (Printf.sprintf "unknown ORDER BY column %S" key))
+          (Ok []) items
+      in
+      Ok (Sort (List.rev keys, plan))
+  in
+  let plan = match q.limit with None -> plan | Some k -> Limit (k, plan) in
+  Ok (push_joins cat plan)
+
+let run_sql cat s =
+  let* q = Sql_parser.parse s in
+  let* plan = compile cat q in
+  run cat plan

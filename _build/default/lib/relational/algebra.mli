@@ -1,0 +1,34 @@
+(** Logical relational-algebra plans and their evaluator.
+
+    SQL queries compile to plans ({!compile}), plans evaluate against a
+    catalog of named relations ({!run}).  The evaluator is deliberately
+    straightforward — products materialise — because JIM instances are
+    small enough to label interactively by construction. *)
+
+type plan =
+  | Scan of string
+  | Select of Expr.t * plan
+  | Project of (int * string) list * plan    (** (source column, output name) *)
+  | Product of plan * plan
+  | EquiJoin of (int * int) list * plan * plan
+  | GroupBy of int list * (string * Relation.aggregate) list * plan
+      (** key columns, (output name, aggregate) list *)
+  | Distinct of plan
+  | Sort of (int * bool) list * plan         (** (column, descending) *)
+  | Limit of int * plan
+
+type catalog = string -> Relation.t option
+
+val output_schema : catalog -> plan -> (Schema.t, string) result
+
+val run : catalog -> plan -> (Relation.t, string) result
+
+val compile : catalog -> Sql_ast.query -> (plan, string) result
+(** Resolves names against the catalog, splits the WHERE clause into
+    equi-join atoms (pushed into [EquiJoin] when they bridge exactly the
+    two sides being combined... in this simple compiler, all atoms stay in
+    a [Select] above the [Product]s; correctness over performance) and
+    checks column references and types. *)
+
+val run_sql : catalog -> string -> (Relation.t, string) result
+(** Parse, compile, run. *)

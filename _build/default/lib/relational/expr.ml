@@ -1,0 +1,192 @@
+module Partition = Jim_partition.Partition
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type t =
+  | Const of Value.t
+  | Col of int
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | IsNull of t
+
+let col schema cname = Col (Schema.find_exn schema cname)
+
+let conj = function
+  | [] -> Const (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc e' -> And (acc, e')) e rest
+
+let of_partition p =
+  conj
+    (List.concat_map
+       (fun block ->
+         match block with
+         | [] | [ _ ] -> []
+         | r :: rest -> List.map (fun m -> Cmp (Eq, Col r, Col m)) rest)
+       (Partition.nontrivial_blocks p))
+
+let comparable a b =
+  match (a, b) with
+  | Value.Int _, Value.Int _
+  | Value.Float _, Value.Float _
+  | Value.Int _, Value.Float _
+  | Value.Float _, Value.Int _
+  | Value.Str _, Value.Str _
+  | Value.Bool _, Value.Bool _
+  | Value.Date _, Value.Date _ -> true
+  | _ -> false
+
+let numeric_compare a b =
+  match (a, b) with
+  | Value.Int x, Value.Float y -> Stdlib.compare (float_of_int x) y
+  | Value.Float x, Value.Int y -> Stdlib.compare x (float_of_int y)
+  | _ -> Value.compare a b
+
+let eval_cmp op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else if not (comparable a b) then
+    invalid_arg "Expr: comparison between incompatible types"
+  else
+    let c = numeric_compare a b in
+    Value.Bool
+      (match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Leq -> c <= 0
+      | Gt -> c > 0
+      | Geq -> c >= 0)
+
+let as_bool3 = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | _ -> invalid_arg "Expr: expected a boolean operand"
+
+let of_bool3 = function None -> Value.Null | Some b -> Value.Bool b
+
+let rec eval e t =
+  match e with
+  | Const v -> v
+  | Col i -> Tuple0.get t i
+  | Cmp (op, a, b) -> eval_cmp op (eval a t) (eval b t)
+  | And (a, b) -> begin
+    match as_bool3 (eval a t) with
+    | Some false -> Value.Bool false
+    | av -> (
+      match (av, as_bool3 (eval b t)) with
+      | _, Some false -> Value.Bool false
+      | Some true, bv -> of_bool3 bv
+      | None, _ -> Value.Null
+      | Some false, _ -> Value.Bool false)
+  end
+  | Or (a, b) -> begin
+    match as_bool3 (eval a t) with
+    | Some true -> Value.Bool true
+    | av -> (
+      match (av, as_bool3 (eval b t)) with
+      | _, Some true -> Value.Bool true
+      | Some false, bv -> of_bool3 bv
+      | None, _ -> Value.Null
+      | Some true, _ -> Value.Bool true)
+  end
+  | Not a -> of_bool3 (Option.map not (as_bool3 (eval a t)))
+  | Add (a, b) -> Value.add (eval a t) (eval b t)
+  | Sub (a, b) -> Value.sub (eval a t) (eval b t)
+  | Mul (a, b) -> Value.mul (eval a t) (eval b t)
+  | Div (a, b) -> Value.div (eval a t) (eval b t)
+  | IsNull a -> Value.Bool (Value.is_null (eval a t))
+
+let eval_bool e t =
+  match eval e t with Value.Bool true -> true | _ -> false
+
+let numeric = function
+  | Some Value.Tint | Some Value.Tfloat | None -> true
+  | _ -> false
+
+let unify_numeric a b =
+  match (a, b) with
+  | Some Value.Tfloat, _ | _, Some Value.Tfloat -> Some Value.Tfloat
+  | Some Value.Tint, _ | _, Some Value.Tint -> Some Value.Tint
+  | None, None -> None
+  | _ -> assert false
+
+let typecheck schema e =
+  let exception Err of string in
+  let rec ty = function
+    | Const v -> Value.type_of v
+    | Col i ->
+      if i < 0 || i >= Schema.arity schema then
+        raise (Err (Printf.sprintf "column index %d out of range" i));
+      Some (Schema.column schema i).Schema.cty
+    | Cmp (_, a, b) ->
+      let ta = ty a and tb = ty b in
+      let ok =
+        match (ta, tb) with
+        | None, _ | _, None -> true
+        | Some x, Some y ->
+          x = y
+          || (numeric (Some x) && numeric (Some y))
+      in
+      if not ok then
+        raise
+          (Err
+             (Printf.sprintf "cannot compare %s with %s"
+                (match ta with Some t' -> Value.ty_name t' | None -> "null")
+                (match tb with Some t' -> Value.ty_name t' | None -> "null")));
+      Some Value.Tbool
+    | And (a, b) | Or (a, b) ->
+      let check x =
+        match ty x with
+        | Some Value.Tbool | None -> ()
+        | Some t' ->
+          raise (Err ("boolean operator applied to " ^ Value.ty_name t'))
+      in
+      check a;
+      check b;
+      Some Value.Tbool
+    | Not a -> begin
+      match ty a with
+      | Some Value.Tbool | None -> Some Value.Tbool
+      | Some t' -> raise (Err ("NOT applied to " ^ Value.ty_name t'))
+    end
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      let ta = ty a and tb = ty b in
+      if not (numeric ta && numeric tb) then
+        raise (Err "arithmetic on non-numeric operand");
+      unify_numeric ta tb
+    | IsNull a ->
+      ignore (ty a);
+      Some Value.Tbool
+  in
+  match ty e with v -> Ok v | exception Err msg -> Error msg
+
+let cmp_sym = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+
+let rec to_string schema e =
+  let s = to_string schema in
+  match e with
+  | Const (Value.Str v) -> "'" ^ v ^ "'"
+  | Const v -> Value.to_string v
+  | Col i -> (Schema.column schema i).Schema.cname
+  | Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (s a) (cmp_sym op) (s b)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (s a) (s b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (s a) (s b)
+  | Not a -> Printf.sprintf "(NOT %s)" (s a)
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (s a) (s b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (s a) (s b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (s a) (s b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (s a) (s b)
+  | IsNull a -> Printf.sprintf "(%s IS NULL)" (s a)
+
+let pp schema fmt e = Format.pp_print_string fmt (to_string schema e)

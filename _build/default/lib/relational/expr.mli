@@ -1,0 +1,49 @@
+(** Scalar and Boolean expressions over a schema's columns: the predicate
+    language of the relational substrate (WHERE clauses, selections).
+
+    Equi-join predicates inferred by JIM compile into conjunctions of
+    [Cmp (Eq, Col i, Col j)] — see {!of_partition}. *)
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type t =
+  | Const of Value.t
+  | Col of int
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | IsNull of t
+
+val col : Schema.t -> string -> t
+(** Raises [Not_found] on an unknown column. *)
+
+val conj : t list -> t
+(** Conjunction of a list; empty list is [Const (Bool true)]. *)
+
+val of_partition : Jim_partition.Partition.t -> t
+(** The conjunction of equality atoms demanded by a partition, using one
+    atom per (representative, member) edge — a spanning set, not the full
+    transitive closure. *)
+
+val eval : t -> Tuple0.t -> Value.t
+(** Three-valued-ish evaluation: comparisons involving [Null] yield [Null];
+    [And]/[Or]/[Not] treat [Null] as unknown (Kleene logic).  Raises
+    [Invalid_argument] on type errors (comparing a bool to an int, adding
+    strings, ...). *)
+
+val eval_bool : t -> Tuple0.t -> bool
+(** [eval] then "is it definitely true": [Null] counts as false, matching
+    SQL WHERE semantics. *)
+
+val typecheck : Schema.t -> t -> (Value.ty option, string) result
+(** Static check: column indices in range, operand types compatible.
+    [Ok None] means the expression's type is statically unknown (it can
+    only be [Null]). *)
+
+val to_string : Schema.t -> t -> string
+val pp : Schema.t -> Format.formatter -> t -> unit

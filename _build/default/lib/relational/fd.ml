@@ -1,0 +1,101 @@
+let holds_fd r ~lhs ~rhs =
+  let tbl = Hashtbl.create (2 * Relation.cardinality r) in
+  let ok = ref true in
+  Relation.iteri
+    (fun _ t ->
+      if !ok then begin
+        let key = List.map (fun c -> Tuple0.get t c) lhs in
+        let v = Tuple0.get t rhs in
+        match Hashtbl.find_opt tbl key with
+        | None -> Hashtbl.add tbl key v
+        | Some v' -> if not (Value.identical v v') then ok := false
+      end)
+    r;
+  !ok
+
+let unary_fds r =
+  let n = Relation.arity r in
+  let out = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto 0 do
+      if a <> b && holds_fd r ~lhs:[ a ] ~rhs:b then out := (a, b) :: !out
+    done
+  done;
+  !out
+
+let is_key r cols =
+  let tbl = Hashtbl.create (2 * Relation.cardinality r) in
+  let ok = ref true in
+  Relation.iteri
+    (fun _ t ->
+      if !ok then begin
+        let key = List.map (fun c -> Tuple0.get t c) cols in
+        if Hashtbl.mem tbl key then ok := false else Hashtbl.add tbl key ()
+      end)
+    r;
+  !ok
+
+let minimal_keys ?(max_size = 3) r =
+  let n = Relation.arity r in
+  let found = ref [] in
+  let has_subset_key cols =
+    List.exists
+      (fun key -> List.for_all (fun c -> List.mem c cols) key)
+      !found
+  in
+  (* Levelwise: all column subsets of each size, skipping supersets of
+     known keys. *)
+  let rec subsets size from acc =
+    if size = 0 then begin
+      let cols = List.rev acc in
+      if (not (has_subset_key cols)) && is_key r cols then
+        found := cols :: !found
+    end
+    else
+      for c = from to n - size do
+        subsets (size - 1) (c + 1) (c :: acc)
+      done
+  in
+  for size = 1 to min max_size n do
+    subsets size 0 []
+  done;
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    !found
+
+let distinct_values r c =
+  let tbl = Hashtbl.create 64 in
+  Relation.iteri
+    (fun _ t ->
+      let v = Tuple0.get t c in
+      if not (Value.is_null v) then Hashtbl.replace tbl v ())
+    r;
+  tbl
+
+let inclusion r a s b =
+  let left = distinct_values r a in
+  if Hashtbl.length left = 0 then 1.0
+  else begin
+    let right = distinct_values s b in
+    let hits = ref 0 in
+    Hashtbl.iter (fun v () -> if Hashtbl.mem right v then incr hits) left;
+    float_of_int !hits /. float_of_int (Hashtbl.length left)
+  end
+
+let suggest_join_pairs ?(threshold = 0.8) r s =
+  let tr = Schema.types (Relation.schema r) in
+  let ts = Schema.types (Relation.schema s) in
+  let out = ref [] in
+  Array.iteri
+    (fun a ta ->
+      Array.iteri
+        (fun b tb ->
+          if ta = tb then begin
+            let score = Float.max (inclusion r a s b) (inclusion s b r a) in
+            if score >= threshold then out := (a, b, score) :: !out
+          end)
+        ts)
+    tr;
+  List.sort (fun (_, _, x) (_, _, y) -> compare y x) !out

@@ -1,0 +1,27 @@
+type t = { cols : int list; table : (Value.t list, int list) Hashtbl.t }
+
+let build r cols =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Relation.arity r then invalid_arg "Index.build")
+    cols;
+  let table = Hashtbl.create (2 * Relation.cardinality r) in
+  Relation.iteri
+    (fun i t ->
+      let key = List.map (fun c -> Tuple0.get t c) cols in
+      let cur = try Hashtbl.find table key with Not_found -> [] in
+      Hashtbl.replace table key (i :: cur))
+    r;
+  (* Store ascending row ids (collect first: mutating a table while
+     iterating it is unspecified). *)
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  List.iter (fun (k, v) -> Hashtbl.replace table k (List.rev v)) bindings;
+  { cols; table }
+
+let columns ix = ix.cols
+
+let lookup ix key = try Hashtbl.find ix.table key with Not_found -> []
+
+let lookup_tuple ix t = lookup ix (List.map (fun c -> Tuple0.get t c) ix.cols)
+
+let distinct_keys ix = Hashtbl.fold (fun k _ acc -> k :: acc) ix.table []

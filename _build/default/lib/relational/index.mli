@@ -1,0 +1,20 @@
+(** Hash indexes over a relation's columns: map a key (the values of the
+    indexed columns) to the row numbers holding it.  The engine indexes
+    signature classes with these; {!Relation.equi_join} builds one
+    internally. *)
+
+type t
+
+val build : Relation.t -> int list -> t
+(** Raises [Invalid_argument] on an out-of-range column. *)
+
+val columns : t -> int list
+
+val lookup : t -> Value.t list -> int list
+(** Row numbers (ascending) whose indexed columns equal the key under
+    {!Value.identical}. *)
+
+val lookup_tuple : t -> Tuple0.t -> int list
+(** Key extracted from a tuple of the indexed relation's arity. *)
+
+val distinct_keys : t -> Value.t list list

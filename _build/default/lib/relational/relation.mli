@@ -1,0 +1,87 @@
+(** In-memory relations: a schema plus an immutable array of tuples.
+
+    All operations are value-oriented and return fresh relations; tuple
+    order is deterministic (operations preserve or document their order) so
+    experiments are reproducible. *)
+
+type t
+
+val make : ?name:string -> Schema.t -> Tuple0.t list -> t
+(** Raises [Invalid_argument] if a tuple's arity differs from the schema's
+    or a non-null value's type differs from its column's type. *)
+
+val of_rows : ?name:string -> Schema.t -> Value.t list list -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+val arity : t -> int
+val cardinality : t -> int
+val tuple : t -> int -> Tuple0.t
+(** [tuple r i] is row [i] (0-based).  Raises [Invalid_argument] if out of
+    range. *)
+
+val tuples : t -> Tuple0.t list
+val to_seq : t -> Tuple0.t Seq.t
+val iteri : (int -> Tuple0.t -> unit) -> t -> unit
+val fold : ('a -> Tuple0.t -> 'a) -> 'a -> t -> 'a
+
+val rename : string -> t -> t
+
+(** {1 Unary operators} *)
+
+val select : (Tuple0.t -> bool) -> t -> t
+val project : int list -> t -> t
+val project_names : string list -> t -> t
+(** Raises [Not_found] on an unknown column. *)
+
+val distinct : t -> t
+(** Keeps the first occurrence of each tuple; preserves order. *)
+
+val sort_by : ?desc:bool -> int list -> t -> t
+(** Stable sort on the given key columns. *)
+
+val limit : int -> t -> t
+val sample : ?seed:int -> int -> t -> t
+(** [sample k r]: [k] rows drawn without replacement (all rows if
+    [k >= cardinality]), deterministic for a given seed, order preserved. *)
+
+(** {1 Binary operators} *)
+
+val product : t -> t -> t
+(** Cartesian product; schemas are concatenated after qualification with
+    the operand names.  Row order: left-major. *)
+
+val equi_join : on:(int * int) list -> t -> t -> t
+(** Hash join on the given (left column, right column) pairs, using
+    {!Value.equal} (hence [Null] never joins).  Result schema as for
+    {!product}. *)
+
+val union : t -> t -> t
+(** Set union (distinct).  Raises [Invalid_argument] on schema arity/type
+    mismatch. *)
+
+val diff : t -> t -> t
+val intersect : t -> t -> t
+
+(** {1 Aggregation} *)
+
+type aggregate = Count | Sum of int | Min of int | Max of int | Avg of int
+
+val group_by : int list -> (string * aggregate) list -> t -> t
+(** Result schema: the key columns followed by one column per aggregate
+    (ints for [Count], column type or float for the rest). *)
+
+(** {1 Join-inference views} *)
+
+val signatures : t -> Jim_partition.Partition.t array
+(** Signature of every row, in row order. *)
+
+val satisfying : Jim_partition.Partition.t -> t -> t
+(** Rows satisfying an equi-join predicate over this relation's attributes
+    (the "join result" the user is labelling towards). *)
+
+val equal_contents : t -> t -> bool
+(** Same schema and same multiset of tuples (order-insensitive). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact one-line summary; use {!Jim_tui.Render} for full tables. *)

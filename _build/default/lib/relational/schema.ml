@@ -1,0 +1,83 @@
+type column = { cname : string; cty : Value.ty }
+
+type t = { cols : column array }
+
+let check_duplicates cols =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem tbl c.cname then
+        invalid_arg ("Schema: duplicate column name " ^ c.cname);
+      Hashtbl.add tbl c.cname ())
+    cols
+
+let make cols =
+  let cols = Array.of_list cols in
+  check_duplicates cols;
+  { cols }
+
+let of_list l = make (List.map (fun (cname, cty) -> { cname; cty }) l)
+
+let columns s = Array.to_list s.cols
+let arity s = Array.length s.cols
+let column s i = s.cols.(i)
+let names s = Array.map (fun c -> c.cname) s.cols
+let types s = Array.map (fun c -> c.cty) s.cols
+
+let base_name name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let find s name =
+  let exact = ref None and bare = ref [] in
+  Array.iteri
+    (fun i c ->
+      if String.equal c.cname name then exact := Some i
+      else if String.equal (base_name c.cname) name then bare := i :: !bare)
+    s.cols;
+  match (!exact, !bare) with
+  | Some i, _ -> Some i
+  | None, [ i ] -> Some i
+  | None, _ -> None
+
+let find_exn s name =
+  match find s name with Some i -> i | None -> raise Not_found
+
+let mem s name = find s name <> None
+
+let qualify r s =
+  {
+    cols =
+      Array.map (fun c -> { c with cname = r ^ "." ^ base_name c.cname }) s.cols;
+  }
+
+let concat a b =
+  let cols = Array.append a.cols b.cols in
+  check_duplicates cols;
+  { cols }
+
+let concat_qualified parts =
+  match parts with
+  | [] -> { cols = [||] }
+  | (r0, s0) :: rest ->
+    List.fold_left
+      (fun acc (r, s) -> concat acc (qualify r s))
+      (qualify r0 s0) rest
+
+let project s idxs =
+  { cols = Array.of_list (List.map (fun i -> s.cols.(i)) idxs) }
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> String.equal x.cname y.cname && x.cty = y.cty)
+       a.cols b.cols
+
+let to_string s =
+  String.concat ", "
+    (List.map
+       (fun c -> Printf.sprintf "%s:%s" c.cname (Value.ty_name c.cty))
+       (columns s))
+
+let pp fmt s = Format.fprintf fmt "(%s)" (to_string s)

@@ -1,0 +1,46 @@
+(** Relation schemas: ordered lists of named, typed columns.
+
+    Column names may be qualified ([rel.attr]); {!concat} qualifies the
+    columns of each side with its relation name, which is how denormalised
+    product schemas are built for join inference. *)
+
+type column = { cname : string; cty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** Raises [Invalid_argument] on duplicate column names. *)
+
+val of_list : (string * Value.ty) list -> t
+
+val columns : t -> column list
+val arity : t -> int
+val column : t -> int -> column
+val names : t -> string array
+val types : t -> Value.ty array
+
+val find : t -> string -> int option
+(** Index of a column.  Accepts either the exact stored name or, when the
+    stored name is qualified [r.a] and [a] is unambiguous, the bare name. *)
+
+val find_exn : t -> string -> int
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+
+val qualify : string -> t -> t
+(** [qualify r s] renames every column [a] (or [x.a]) to [r.a]. *)
+
+val concat : t -> t -> t
+(** Raises [Invalid_argument] on duplicate names; qualify first if the two
+    sides share names. *)
+
+val concat_qualified : (string * t) list -> t
+(** [concat_qualified [(r1, s1); (r2, s2); ...]] qualifies each schema with
+    its relation name and concatenates. *)
+
+val project : t -> int list -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,65 @@
+(** Abstract syntax for the SQL subset understood by the substrate:
+
+    {v
+    SELECT [DISTINCT] * | item | COUNT(star) | SUM(col) | ... , ...
+    FROM rel [AS alias], ...
+    [WHERE condition]
+    [GROUP BY col, ...]
+    [ORDER BY col [DESC], ...]
+    [LIMIT n]
+    v}
+
+    Inferred join predicates are rendered into (and re-parsed from) this
+    fragment, which also suffices to state the predicates as GAV mappings. *)
+
+type cmp = Ceq | Cneq | Clt | Cleq | Cgt | Cgeq
+
+type expr =
+  | Enum of float              (** numeric literal (ints are exact) *)
+  | Eint of int
+  | Estr of string
+  | Ebool of bool
+  | Enull
+  | Ecol of string             (** possibly qualified column name *)
+  | Ecmp of cmp * expr * expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Enot of expr
+  | Eadd of expr * expr
+  | Esub of expr * expr
+  | Emul of expr * expr
+  | Ediv of expr * expr
+  | Eisnull of expr
+
+type agg_fn = Fcount | Fsum | Fmin | Fmax | Favg
+
+type select_item =
+  | Star
+  | Item of expr * string option
+  | Agg of agg_fn * string option * string option
+      (** function, argument column ([None] = bare COUNT), alias *)
+
+type from_item = { rel : string; alias : string option }
+
+type order_item = { key : string; desc : bool }
+
+type query = {
+  distinct : bool;
+  select : select_item list;
+  from : from_item list;
+  where : expr option;
+  group_by : string list;
+  order_by : order_item list;
+  limit : int option;
+}
+
+let simple_select ?(distinct = false) ?where from =
+  {
+    distinct;
+    select = [ Star ];
+    from = List.map (fun rel -> { rel; alias = None }) from;
+    where;
+    group_by = [];
+    order_by = [];
+    limit = None;
+  }

@@ -1,0 +1,143 @@
+type token =
+  | KW of string
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | COMMA
+  | STAR
+  | LPAREN
+  | RPAREN
+  | OP of string
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "AS";
+    "GROUP"; "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "IS"; "NULL";
+    "TRUE"; "FALSE"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let exception Err of string in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ',' ->
+        emit COMMA;
+        go (i + 1)
+      | '*' ->
+        emit STAR;
+        go (i + 1)
+      | '(' ->
+        emit LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit RPAREN;
+        go (i + 1)
+      | '=' ->
+        emit (OP "=");
+        go (i + 1)
+      | '<' ->
+        if i + 1 < n && s.[i + 1] = '>' then begin
+          emit (OP "<>");
+          go (i + 2)
+        end
+        else if i + 1 < n && s.[i + 1] = '=' then begin
+          emit (OP "<=");
+          go (i + 2)
+        end
+        else begin
+          emit (OP "<");
+          go (i + 1)
+        end
+      | '>' ->
+        if i + 1 < n && s.[i + 1] = '=' then begin
+          emit (OP ">=");
+          go (i + 2)
+        end
+        else begin
+          emit (OP ">");
+          go (i + 1)
+        end
+      | '!' when i + 1 < n && s.[i + 1] = '=' ->
+        emit (OP "<>");
+        go (i + 2)
+      | '+' ->
+        emit (OP "+");
+        go (i + 1)
+      | '-' ->
+        emit (OP "-");
+        go (i + 1)
+      | '/' ->
+        emit (OP "/");
+        go (i + 1)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Err (Printf.sprintf "unterminated string at %d" i))
+          else if s.[j] = '\'' then
+            if j + 1 < n && s.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf s.[j];
+            str (j + 1)
+          end
+        in
+        let next = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go next
+      | c when is_digit c ->
+        let j = ref i in
+        while !j < n && (is_digit s.[!j] || s.[!j] = '.') do
+          incr j
+        done;
+        let lit = String.sub s i (!j - i) in
+        (match int_of_string_opt lit with
+        | Some v -> emit (INT v)
+        | None -> (
+          match float_of_string_opt lit with
+          | Some v -> emit (FLOAT v)
+          | None -> raise (Err (Printf.sprintf "bad number %S at %d" lit i))));
+        go !j
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        let word = String.sub s i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (KW upper) else emit (IDENT word);
+        go !j
+      | c -> raise (Err (Printf.sprintf "unexpected character %C at %d" c i))
+  in
+  match go 0 with
+  | () ->
+    emit EOF;
+    Ok (List.rev !tokens)
+  | exception Err msg -> Error msg
+
+let token_to_string = function
+  | KW k -> k
+  | IDENT id -> id
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | COMMA -> ","
+  | STAR -> "*"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | OP o -> o
+  | EOF -> "<eof>"

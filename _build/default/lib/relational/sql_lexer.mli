@@ -1,0 +1,25 @@
+(** Tokeniser for the SQL subset.  Keywords are case-insensitive;
+    identifiers keep their case and may be dotted ([rel.attr]); string
+    literals use single quotes with [''] as the escape. *)
+
+type token =
+  | KW of string
+      (** uppercased keyword: SELECT, FROM, WHERE, GROUP, aggregate
+          function names, ... *)
+  | IDENT of string   (** possibly qualified identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | COMMA
+  | STAR
+  | LPAREN
+  | RPAREN
+  | OP of string      (** = <> < <= > >= + - / *)
+  | EOF
+
+val keywords : string list
+
+val tokenize : string -> (token list, string) result
+(** The token list always ends with [EOF].  Errors carry a position. *)
+
+val token_to_string : token -> string

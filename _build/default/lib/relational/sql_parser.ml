@@ -1,0 +1,294 @@
+open Sql_ast
+open Sql_lexer
+
+exception Err of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Err
+         (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+            (token_to_string (peek st))))
+
+let expect_ident st =
+  match peek st with
+  | IDENT id ->
+    advance st;
+    id
+  | t -> raise (Err ("expected identifier, found " ^ token_to_string t))
+
+(* Expression grammar, lowest to highest precedence:
+   or_expr  := and_expr { OR and_expr }
+   and_expr := not_expr { AND not_expr }
+   not_expr := NOT not_expr | cmp_expr
+   cmp_expr := add_expr [ cmpop add_expr | IS [NOT] NULL ]
+   add_expr := mul_expr { plus-or-minus mul_expr }
+   mul_expr := atom { times-or-divide atom }
+   atom     := literal | column | parenthesised or_expr *)
+
+let cmp_of_op = function
+  | "=" -> Ceq
+  | "<>" -> Cneq
+  | "<" -> Clt
+  | "<=" -> Cleq
+  | ">" -> Cgt
+  | ">=" -> Cgeq
+  | o -> raise (Err ("unknown comparison operator " ^ o))
+
+let rec or_expr st =
+  let left = and_expr st in
+  if peek st = KW "OR" then begin
+    advance st;
+    Eor (left, or_expr st)
+  end
+  else left
+
+and and_expr st =
+  let left = not_expr st in
+  if peek st = KW "AND" then begin
+    advance st;
+    Eand (left, and_expr st)
+  end
+  else left
+
+and not_expr st =
+  if peek st = KW "NOT" then begin
+    advance st;
+    Enot (not_expr st)
+  end
+  else cmp_expr st
+
+and cmp_expr st =
+  let left = add_expr st in
+  match peek st with
+  | OP (("=" | "<>" | "<" | "<=" | ">" | ">=") as o) ->
+    advance st;
+    Ecmp (cmp_of_op o, left, add_expr st)
+  | KW "IS" ->
+    advance st;
+    let negated =
+      if peek st = KW "NOT" then begin
+        advance st;
+        true
+      end
+      else false
+    in
+    expect st (KW "NULL");
+    if negated then Enot (Eisnull left) else Eisnull left
+  | _ -> left
+
+and add_expr st =
+  let rec loop left =
+    match peek st with
+    | OP "+" ->
+      advance st;
+      loop (Eadd (left, mul_expr st))
+    | OP "-" ->
+      advance st;
+      loop (Esub (left, mul_expr st))
+    | _ -> left
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop left =
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Emul (left, atom st))
+    | OP "/" ->
+      advance st;
+      loop (Ediv (left, atom st))
+    | _ -> left
+  in
+  loop (atom st)
+
+and atom st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Eint i
+  | FLOAT f ->
+    advance st;
+    Enum f
+  | STRING s ->
+    advance st;
+    Estr s
+  | KW "TRUE" ->
+    advance st;
+    Ebool true
+  | KW "FALSE" ->
+    advance st;
+    Ebool false
+  | KW "NULL" ->
+    advance st;
+    Enull
+  | OP "-" ->
+    advance st;
+    (* Unary minus on a numeric literal. *)
+    (match atom st with
+    | Eint i -> Eint (-i)
+    | Enum f -> Enum (-.f)
+    | e -> Esub (Eint 0, e))
+  | IDENT id ->
+    advance st;
+    Ecol id
+  | LPAREN ->
+    advance st;
+    let e = or_expr st in
+    expect st RPAREN;
+    e
+  | t -> raise (Err ("unexpected token in expression: " ^ token_to_string t))
+
+let parse_alias st =
+  if peek st = KW "AS" then begin
+    advance st;
+    Some (expect_ident st)
+  end
+  else None
+
+let agg_fn_of_kw = function
+  | "COUNT" -> Some Fcount
+  | "SUM" -> Some Fsum
+  | "MIN" -> Some Fmin
+  | "MAX" -> Some Fmax
+  | "AVG" -> Some Favg
+  | _ -> None
+
+let select_item st =
+  match peek st with
+  | STAR ->
+    advance st;
+    Star
+  | KW kw when agg_fn_of_kw kw <> None ->
+    advance st;
+    let fn = Option.get (agg_fn_of_kw kw) in
+    expect st LPAREN;
+    let arg =
+      match peek st with
+      | STAR when fn = Fcount ->
+        advance st;
+        None
+      | IDENT id ->
+        advance st;
+        Some id
+      | t ->
+        raise
+          (Err ("expected a column (or * for COUNT) in aggregate, found "
+               ^ token_to_string t))
+    in
+    expect st RPAREN;
+    Agg (fn, arg, parse_alias st)
+  | _ ->
+    let e = or_expr st in
+    Item (e, parse_alias st)
+
+let rec comma_list st item =
+  let first = item st in
+  if peek st = COMMA then begin
+    advance st;
+    first :: comma_list st item
+  end
+  else [ first ]
+
+let from_item st =
+  let rel = expect_ident st in
+  let alias =
+    match peek st with
+    | KW "AS" ->
+      advance st;
+      Some (expect_ident st)
+    | IDENT id ->
+      advance st;
+      Some id
+    | _ -> None
+  in
+  { rel; alias }
+
+let order_item st =
+  let key = expect_ident st in
+  let desc =
+    match peek st with
+    | KW "DESC" ->
+      advance st;
+      true
+    | KW "ASC" ->
+      advance st;
+      false
+    | _ -> false
+  in
+  { key; desc }
+
+let query st =
+  expect st (KW "SELECT");
+  let distinct =
+    if peek st = KW "DISTINCT" then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let select = comma_list st select_item in
+  expect st (KW "FROM");
+  let from = comma_list st from_item in
+  let where =
+    if peek st = KW "WHERE" then begin
+      advance st;
+      Some (or_expr st)
+    end
+    else None
+  in
+  let group_by =
+    if peek st = KW "GROUP" then begin
+      advance st;
+      expect st (KW "BY");
+      comma_list st expect_ident
+    end
+    else []
+  in
+  let order_by =
+    if peek st = KW "ORDER" then begin
+      advance st;
+      expect st (KW "BY");
+      comma_list st order_item
+    end
+    else []
+  in
+  let limit =
+    if peek st = KW "LIMIT" then begin
+      advance st;
+      match peek st with
+      | INT i ->
+        advance st;
+        Some i
+      | t -> raise (Err ("expected integer after LIMIT, found " ^ token_to_string t))
+    end
+    else None
+  in
+  expect st EOF;
+  { distinct; select; from; where; group_by; order_by; limit }
+
+let run_parser f s =
+  match tokenize s with
+  | Error e -> Error e
+  | Ok toks -> (
+    let st = { toks } in
+    match f st with v -> Ok v | exception Err msg -> Error msg)
+
+let parse s = run_parser query s
+
+let parse_expr s =
+  run_parser
+    (fun st ->
+      let e = or_expr st in
+      expect st EOF;
+      e)
+    s

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the SQL subset of {!Sql_ast}. *)
+
+val parse : string -> (Sql_ast.query, string) result
+
+val parse_expr : string -> (Sql_ast.expr, string) result
+(** Parse a bare condition (e.g. a WHERE clause on its own). *)

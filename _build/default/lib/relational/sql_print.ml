@@ -1,0 +1,88 @@
+open Sql_ast
+
+let cmp_sym = function
+  | Ceq -> "="
+  | Cneq -> "<>"
+  | Clt -> "<"
+  | Cleq -> "<="
+  | Cgt -> ">"
+  | Cgeq -> ">="
+
+let escape_str s =
+  String.concat "''" (String.split_on_char '\'' s)
+
+let rec expr_to_string = function
+  | Enum f -> Printf.sprintf "%g" f
+  | Eint i -> string_of_int i
+  | Estr s -> "'" ^ escape_str s ^ "'"
+  | Ebool b -> if b then "TRUE" else "FALSE"
+  | Enull -> "NULL"
+  | Ecol c -> c
+  | Ecmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (expr_to_string a) (cmp_sym op) (expr_to_string b)
+  | Eand (a, b) ->
+    Printf.sprintf "%s AND %s" (paren_or a) (paren_or b)
+  | Eor (a, b) ->
+    Printf.sprintf "(%s OR %s)" (expr_to_string a) (expr_to_string b)
+  | Enot a -> Printf.sprintf "NOT (%s)" (expr_to_string a)
+  | Eadd (a, b) -> Printf.sprintf "(%s + %s)" (expr_to_string a) (expr_to_string b)
+  | Esub (a, b) -> Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
+  | Emul (a, b) -> Printf.sprintf "(%s * %s)" (expr_to_string a) (expr_to_string b)
+  | Ediv (a, b) -> Printf.sprintf "(%s / %s)" (expr_to_string a) (expr_to_string b)
+  | Eisnull a -> Printf.sprintf "%s IS NULL" (expr_to_string a)
+
+and paren_or e =
+  match e with Eor _ -> "(" ^ expr_to_string e ^ ")" | _ -> expr_to_string e
+
+let agg_fn_name = function
+  | Fcount -> "COUNT"
+  | Fsum -> "SUM"
+  | Fmin -> "MIN"
+  | Fmax -> "MAX"
+  | Favg -> "AVG"
+
+let select_item_to_string = function
+  | Star -> "*"
+  | Item (e, None) -> expr_to_string e
+  | Item (e, Some a) -> expr_to_string e ^ " AS " ^ a
+  | Agg (fn, arg, alias) ->
+    agg_fn_name fn ^ "(" ^ Option.value arg ~default:"*" ^ ")"
+    ^ (match alias with None -> "" | Some a -> " AS " ^ a)
+
+let from_item_to_string { rel; alias } =
+  match alias with None -> rel | Some a -> rel ^ " AS " ^ a
+
+let query_to_string q =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if q.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map select_item_to_string q.select));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map from_item_to_string q.from));
+  (match q.where with
+  | None -> ()
+  | Some e ->
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (expr_to_string e));
+  (match q.group_by with
+  | [] -> ()
+  | cols ->
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf (String.concat ", " cols));
+  (match q.order_by with
+  | [] -> ()
+  | items ->
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun { key; desc } -> if desc then key ^ " DESC" else key)
+            items)));
+  (match q.limit with
+  | None -> ()
+  | Some k -> Buffer.add_string buf (" LIMIT " ^ string_of_int k));
+  Buffer.contents buf
+
+let pp_query fmt q = Format.pp_print_string fmt (query_to_string q)

@@ -1,0 +1,6 @@
+(** Pretty-printer for {!Sql_ast}; [parse (to_string q)] round-trips
+    modulo parenthesisation. *)
+
+val expr_to_string : Sql_ast.expr -> string
+val query_to_string : Sql_ast.query -> string
+val pp_query : Format.formatter -> Sql_ast.query -> unit

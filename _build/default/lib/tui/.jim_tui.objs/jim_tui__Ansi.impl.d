@@ -1,0 +1,1 @@
+lib/tui/ansi.ml: Buffer List Printf String Unix

@@ -1,0 +1,1 @@
+lib/tui/ansi.mli:

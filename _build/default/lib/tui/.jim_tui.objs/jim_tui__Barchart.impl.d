@@ -1,0 +1,1 @@
+lib/tui/barchart.ml: Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/tui/barchart.mli:

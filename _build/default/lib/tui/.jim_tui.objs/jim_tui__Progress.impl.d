@@ -1,0 +1,1 @@
+lib/tui/progress.ml: Ansi Jim_core Printf String

@@ -1,0 +1,1 @@
+lib/tui/progress.mli: Jim_core

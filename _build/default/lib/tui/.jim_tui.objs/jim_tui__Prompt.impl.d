@@ -1,0 +1,1 @@
+lib/tui/prompt.ml: Printf String

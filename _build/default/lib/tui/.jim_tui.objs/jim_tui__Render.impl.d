@@ -1,0 +1,1 @@
+lib/tui/render.ml: Ansi Array Buffer Jim_core Jim_partition Jim_relational List Printf String

@@ -1,0 +1,1 @@
+lib/tui/render.mli: Jim_core Jim_partition Jim_relational

@@ -1,0 +1,54 @@
+type style =
+  | Bold
+  | Dim
+  | Underline
+  | Reverse
+  | Fg_red
+  | Fg_green
+  | Fg_yellow
+  | Fg_blue
+  | Fg_magenta
+  | Fg_cyan
+  | Fg_gray
+
+let enabled = ref (Unix.isatty Unix.stdout)
+
+let code = function
+  | Bold -> "1"
+  | Dim -> "2"
+  | Underline -> "4"
+  | Reverse -> "7"
+  | Fg_red -> "31"
+  | Fg_green -> "32"
+  | Fg_yellow -> "33"
+  | Fg_blue -> "34"
+  | Fg_magenta -> "35"
+  | Fg_cyan -> "36"
+  | Fg_gray -> "90"
+
+let style styles text =
+  if (not !enabled) || styles = [] then text
+  else
+    Printf.sprintf "\027[%sm%s\027[0m"
+      (String.concat ";" (List.map code styles))
+      text
+
+let strip s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '\027' && i + 1 < n && s.[i + 1] = '[' then skip (i + 2)
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  and skip i =
+    if i >= n then ()
+    else if (s.[i] >= '0' && s.[i] <= '9') || s.[i] = ';' then skip (i + 1)
+    else go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let visible_length s = String.length (strip s)

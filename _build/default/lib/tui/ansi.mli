@@ -1,0 +1,29 @@
+(** ANSI terminal styling.  Styling is applied through {!style} so that a
+    single [enabled := false] (dumb terminals, test capture) turns the
+    whole UI into plain text without changing layout code. *)
+
+type style =
+  | Bold
+  | Dim        (** the "grayed out" rendering of uninformative tuples *)
+  | Underline
+  | Reverse
+  | Fg_red
+  | Fg_green
+  | Fg_yellow
+  | Fg_blue
+  | Fg_magenta
+  | Fg_cyan
+  | Fg_gray
+
+val enabled : bool ref
+(** Defaults to [true] iff stdout is a TTY. *)
+
+val style : style list -> string -> string
+(** Wrap text in escape codes (identity when disabled). *)
+
+val strip : string -> string
+(** Remove all ANSI escape sequences. *)
+
+val visible_length : string -> int
+(** Length in characters once escapes are stripped (ASCII-oriented;
+    multi-byte sequences count per byte). *)

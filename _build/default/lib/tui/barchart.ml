@@ -1,0 +1,52 @@
+type bar = { label : string; value : float; annotation : string }
+
+let render ?(width = 40) ?(unit_label = "") bars =
+  let maxv = List.fold_left (fun m b -> Float.max m b.value) 0.0 bars in
+  let label_w =
+    List.fold_left (fun m b -> max m (String.length b.label)) 0 bars
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun b ->
+      if b.value < 0.0 then invalid_arg "Barchart.render: negative value";
+      let len =
+        if maxv <= 0.0 then 0
+        else int_of_float (Float.round (b.value /. maxv *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s%s %s%s\n" label_w b.label
+           (String.make len '#')
+           (String.make (width - len) ' ')
+           b.annotation unit_label))
+    bars;
+  Buffer.contents buf
+
+let of_counts counts =
+  List.map
+    (fun (label, v) ->
+      { label; value = float_of_int v; annotation = string_of_int v })
+    counts
+
+let benefit ~baseline others =
+  let base_label, base_count = baseline in
+  let bars =
+    {
+      label = base_label;
+      value = float_of_int base_count;
+      annotation = Printf.sprintf "%d (baseline)" base_count;
+    }
+    :: List.map
+         (fun (label, v) ->
+           let saving =
+             if base_count = 0 then 0.0
+             else
+               100.0 *. float_of_int (base_count - v) /. float_of_int base_count
+           in
+           {
+             label;
+             value = float_of_int v;
+             annotation = Printf.sprintf "%d (-%.0f%%)" v saving;
+           })
+         others
+  in
+  render ~unit_label:" interactions" bars

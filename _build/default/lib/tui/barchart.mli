@@ -1,0 +1,18 @@
+(** Horizontal ASCII bar charts — the Fig. 4 "showing the benefit of using
+    a strategy" panel: one bar per interaction mode / strategy, scaled to
+    the widest value. *)
+
+type bar = { label : string; value : float; annotation : string }
+
+val render : ?width:int -> ?unit_label:string -> bar list -> string
+(** [width] is the maximum bar body width in characters (default 40).
+    Values must be non-negative; all-zero charts render empty bars. *)
+
+val of_counts : (string * int) list -> bar list
+(** Bars from (label, interaction count), annotated with the count. *)
+
+val benefit :
+  baseline:string * int -> (string * int) list -> string
+(** The Fig. 4 panel proper: the user's mode as baseline, then each
+    strategy with its count and the saving relative to the baseline
+    ("-73%"). *)

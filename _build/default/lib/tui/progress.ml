@@ -1,0 +1,25 @@
+module Stats = Jim_core.Stats
+
+let line (s : Stats.t) =
+  Printf.sprintf "labeled %d (%.0f%%) | auto %d (%.0f%%) | open %d | VS %.0f"
+    s.Stats.labeled s.Stats.labeled_pct s.Stats.auto_determined
+    s.Stats.auto_pct s.Stats.still_informative s.Stats.version_space
+
+let panel (s : Stats.t) =
+  let width = 40 in
+  let seg count =
+    if s.Stats.total = 0 then 0
+    else count * width / s.Stats.total
+  in
+  let labeled = seg s.Stats.labeled in
+  let auto = seg s.Stats.auto_determined in
+  let open_ = max 0 (width - labeled - auto) in
+  String.concat "\n"
+    [
+      Printf.sprintf "  progress [%s%s%s]"
+        (Ansi.style [ Ansi.Fg_green ] (String.make labeled '#'))
+        (Ansi.style [ Ansi.Dim ] (String.make auto '+'))
+        (String.make open_ '.');
+      "  " ^ line s;
+    ]
+  ^ "\n"

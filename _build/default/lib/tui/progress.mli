@@ -1,0 +1,8 @@
+(** The statistics panel the demo keeps on screen: labelled /
+    auto-determined percentages and the shrinking version space. *)
+
+val line : Jim_core.Stats.t -> string
+(** One-line summary for the status bar. *)
+
+val panel : Jim_core.Stats.t -> string
+(** Multi-line panel with a proportion bar. *)

@@ -1,0 +1,46 @@
+type source = { mutable next : unit -> string option }
+
+let stdin_source =
+  {
+    next =
+      (fun () ->
+        match input_line stdin with
+        | line -> Some line
+        | exception End_of_file -> None);
+  }
+
+let of_list answers =
+  let remaining = ref answers in
+  {
+    next =
+      (fun () ->
+        match !remaining with
+        | [] -> None
+        | a :: rest ->
+          remaining := rest;
+          Some a);
+  }
+
+let read_line src = src.next ()
+
+type answer = Yes | No | Quit | Help | Undo
+
+let ask_label ?(out = stdout) src question =
+  let rec go () =
+    Printf.fprintf out "%s [y/n/u/q] " question;
+    flush out;
+    match read_line src with
+    | None -> Quit
+    | Some line -> (
+      match String.lowercase_ascii (String.trim line) with
+      | "y" | "yes" | "+" -> Yes
+      | "n" | "no" | "-" -> No
+      | "q" | "quit" -> Quit
+      | "h" | "help" | "?" -> Help
+      | "u" | "undo" -> Undo
+      | _ ->
+        Printf.fprintf out
+          "please answer y (in the join), n (not), u (undo), or q.\n";
+        go ())
+  in
+  go ()

@@ -1,0 +1,102 @@
+module Relation = Jim_relational.Relation
+module Schema = Jim_relational.Schema
+module Value = Jim_relational.Value
+module Tuple0 = Jim_relational.Tuple0
+module Partition = Jim_partition.Partition
+
+type row_mark = Unlabeled | Labeled_pos | Labeled_neg | Grayed | Proposed
+
+let mark_cell = function
+  | Unlabeled -> " "
+  | Labeled_pos -> Ansi.style [ Ansi.Bold; Ansi.Fg_green ] "+"
+  | Labeled_neg -> Ansi.style [ Ansi.Bold; Ansi.Fg_red ] "-"
+  | Grayed -> Ansi.style [ Ansi.Dim ] "."
+  | Proposed -> Ansi.style [ Ansi.Bold; Ansi.Fg_yellow ] "?"
+
+let style_of_mark = function
+  | Grayed -> [ Ansi.Dim ]
+  | Proposed -> [ Ansi.Bold; Ansi.Fg_yellow ]
+  | Labeled_pos -> [ Ansi.Fg_green ]
+  | Labeled_neg -> [ Ansi.Fg_red ]
+  | Unlabeled -> []
+
+let pad width s =
+  let v = Ansi.visible_length s in
+  if v >= width then s else s ^ String.make (width - v) ' '
+
+let table ?marks ?(row_numbers = true) rel =
+  let schema = Relation.schema rel in
+  let ncols = Schema.arity schema in
+  let headers = Array.to_list (Schema.names schema) in
+  let body =
+    List.map
+      (fun t -> List.map Value.to_string (Array.to_list t))
+      (Relation.tuples rel)
+  in
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row c)))
+          (String.length h) body)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let sep =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ (if row_numbers then "+------+" else "+")
+  in
+  let add_line cells suffix styles =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        Buffer.add_string buf
+          (" " ^ Ansi.style styles (pad w cell) ^ " |"))
+      cells;
+    Buffer.add_string buf suffix;
+    Buffer.add_char buf '\n';
+    ignore ncols
+  in
+  Buffer.add_string buf (sep ^ "\n");
+  add_line headers (if row_numbers then "      |" else "") [ Ansi.Bold ];
+  Buffer.add_string buf (sep ^ "\n");
+  List.iteri
+    (fun i row ->
+      let mark =
+        match marks with
+        | Some m when i < Array.length m -> m.(i)
+        | _ -> Unlabeled
+      in
+      let suffix =
+        if row_numbers then
+          Printf.sprintf " %s (%2d)|" (mark_cell mark) (i + 1)
+        else ""
+      in
+      add_line row suffix (style_of_mark mark))
+    body;
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.contents buf
+
+let engine_view eng rel =
+  let marks =
+    Array.init (Relation.cardinality rel) (fun r ->
+        match Jim_core.Session.row_status eng r with
+        | Jim_core.State.Informative -> Unlabeled
+        | Jim_core.State.Certain_pos | Jim_core.State.Certain_neg -> Grayed)
+  in
+  table ~marks rel
+
+let partition_line schema p =
+  let names = Schema.names schema in
+  let atoms =
+    List.concat_map
+      (fun block ->
+        match block with
+        | [] | [ _ ] -> []
+        | r :: rest ->
+          List.map (fun m -> names.(r) ^ " = " ^ names.(m)) rest)
+      (Partition.nontrivial_blocks p)
+  in
+  match atoms with [] -> "TRUE" | _ -> String.concat " AND " atoms

@@ -1,0 +1,23 @@
+(** Table rendering for the interactive screens of Fig. 3: the instance
+    with a label column ([+]/[-]/blank), uninformative rows grayed out,
+    and the proposed tuple highlighted. *)
+
+type row_mark = Unlabeled | Labeled_pos | Labeled_neg | Grayed | Proposed
+
+val table :
+  ?marks:row_mark array ->
+  ?row_numbers:bool ->
+  Jim_relational.Relation.t ->
+  string
+(** Box-drawn table of the relation; [marks.(i)] styles row [i].
+    [row_numbers] (default true) adds the paper-style (1)-(n) column. *)
+
+val engine_view : Jim_core.Session.t -> Jim_relational.Relation.t -> string
+(** Render the instance according to the engine's current knowledge:
+    certain rows grayed (with their forced label shown), informative rows
+    plain. *)
+
+val partition_line :
+  Jim_relational.Schema.t -> Jim_partition.Partition.t -> string
+(** One-line rendering of a predicate over named attributes
+    ("To = City AND Airline = Discount"; "TRUE" when empty). *)

@@ -1,0 +1,1 @@
+lib/workloads/denorm.ml: Array Jim_core Jim_partition Jim_relational List Printf Result String

@@ -1,0 +1,1 @@
+lib/workloads/denorm.mli: Jim_core Jim_partition Jim_relational

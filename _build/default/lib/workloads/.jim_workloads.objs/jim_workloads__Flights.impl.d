@@ -1,0 +1,1 @@
+lib/workloads/flights.ml: Array Jim_partition Jim_relational List

@@ -1,0 +1,1 @@
+lib/workloads/flights.mli: Jim_partition Jim_relational

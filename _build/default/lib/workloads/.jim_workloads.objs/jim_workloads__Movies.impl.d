@@ -1,0 +1,1 @@
+lib/workloads/movies.ml: Jim_relational

@@ -1,0 +1,1 @@
+lib/workloads/movies.mli: Jim_relational

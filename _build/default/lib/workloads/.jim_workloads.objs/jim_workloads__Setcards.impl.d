@@ -1,0 +1,1 @@
+lib/workloads/setcards.ml: Array Jim_partition Jim_relational List Printf

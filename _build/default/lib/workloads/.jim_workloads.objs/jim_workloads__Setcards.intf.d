@@ -1,0 +1,1 @@
+lib/workloads/setcards.mli: Jim_partition Jim_relational

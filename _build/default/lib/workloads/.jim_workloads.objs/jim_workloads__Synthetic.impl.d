@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array Jim_partition Jim_relational List Printf Random

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.mli: Jim_partition Jim_relational Random

@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Array Jim_relational List Printf Random

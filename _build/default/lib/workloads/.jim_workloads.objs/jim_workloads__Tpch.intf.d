@@ -1,0 +1,1 @@
+lib/workloads/tpch.mli: Jim_relational

@@ -1,0 +1,51 @@
+module Partition = Jim_partition.Partition
+module Schema = Jim_relational.Schema
+module Relation = Jim_relational.Relation
+module Tuple0 = Jim_relational.Tuple0
+module Value = Jim_relational.Value
+
+let from_ = 0
+let to_ = 1
+let airline = 2
+let city = 3
+let discount = 4
+
+let attribute_names = [| "From"; "To"; "Airline"; "City"; "Discount" |]
+
+let schema =
+  Schema.of_list
+    (List.map
+       (fun n -> (n, Value.Tstring))
+       (Array.to_list attribute_names))
+
+(* Fig. 1, rows (1)-(12).  The Discount column holds the airline granting
+   a discount for the hotel, or "None". *)
+let raw_rows =
+  [
+    [ "Paris"; "Lille"; "AF"; "NYC"; "AA" ];
+    [ "Paris"; "Lille"; "AF"; "Paris"; "None" ];
+    [ "Paris"; "Lille"; "AF"; "Lille"; "AF" ];
+    [ "Lille"; "NYC"; "AA"; "NYC"; "AA" ];
+    [ "Lille"; "NYC"; "AA"; "Paris"; "None" ];
+    [ "Lille"; "NYC"; "AA"; "Lille"; "AF" ];
+    [ "NYC"; "Paris"; "AA"; "NYC"; "AA" ];
+    [ "NYC"; "Paris"; "AA"; "Paris"; "None" ];
+    [ "NYC"; "Paris"; "AA"; "Lille"; "AF" ];
+    [ "Paris"; "NYC"; "AF"; "NYC"; "AA" ];
+    [ "Paris"; "NYC"; "AF"; "Paris"; "None" ];
+    [ "Paris"; "NYC"; "AF"; "Lille"; "AF" ];
+  ]
+
+let instance =
+  Relation.of_rows ~name:"packages" schema
+    (List.map (List.map (fun s -> Value.Str s)) raw_rows)
+
+let q1 = Partition.of_pairs 5 [ (to_, city) ]
+let q2 = Partition.of_pairs 5 [ (to_, city); (airline, discount) ]
+
+let row k =
+  if k < 1 || k > 12 then invalid_arg "Flights.row: expected 1..12";
+  k - 1
+
+let tuple k = Relation.tuple instance (row k)
+let signature k = Tuple0.signature (tuple k)

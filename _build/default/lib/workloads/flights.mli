@@ -1,0 +1,36 @@
+(** The motivating example of the paper (Fig. 1): the travel agency's
+    denormalised flight & hotel table, twelve tuples over attributes
+    From, To, Airline, City, Discount, and the two goal queries
+
+    - [q1]: To = City (a flight and a stay in a hotel);
+    - [q2]: To = City ∧ Airline = Discount (additionally allowing a
+      discount).
+
+    Tuple numbering follows the paper: {!row} maps the paper's (1)–(12)
+    to 0-based row numbers. *)
+
+val schema : Jim_relational.Schema.t
+val instance : Jim_relational.Relation.t
+
+val q1 : Jim_partition.Partition.t
+val q2 : Jim_partition.Partition.t
+
+val row : int -> int
+(** [row k] = [k - 1]; raises [Invalid_argument] outside 1..12. *)
+
+val tuple : int -> Jim_relational.Tuple0.t
+(** Tuple by paper number (1..12). *)
+
+val signature : int -> Jim_partition.Partition.t
+(** Signature of the tuple by paper number. *)
+
+val attribute_names : string array
+(** [[|"From"; "To"; "Airline"; "City"; "Discount"|]]. *)
+
+(** Indices of the attributes. *)
+
+val from_ : int
+val to_ : int
+val airline : int
+val city : int
+val discount : int

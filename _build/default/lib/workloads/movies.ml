@@ -1,0 +1,60 @@
+module Schema = Jim_relational.Schema
+module Relation = Jim_relational.Relation
+module Database = Jim_relational.Database
+module Value = Jim_relational.Value
+
+let str s = Value.Str s
+let int i = Value.Int i
+
+(* Remakes share titles across years (Nosferatu, Solaris), which is what
+   makes the title-only join wrong for awards. *)
+let catalogue =
+  Relation.of_rows ~name:"catalogue"
+    (Schema.of_list
+       [
+         ("c1", Value.Tstring);
+         ("c2", Value.Tstring);
+         ("c3", Value.Tint);
+         ("c4", Value.Tstring);
+       ])
+    [
+      [ str "Nosferatu"; str "Murnau"; int 1922; str "DE" ];
+      [ str "Nosferatu"; str "Herzog"; int 1979; str "DE" ];
+      [ str "Solaris"; str "Tarkovsky"; int 1972; str "SU" ];
+      [ str "Solaris"; str "Soderbergh"; int 2002; str "US" ];
+      [ str "Playtime"; str "Tati"; int 1967; str "FR" ];
+      [ str "Ran"; str "Kurosawa"; int 1985; str "JP" ];
+      [ str "Brazil"; str "Gilliam"; int 1985; str "UK" ];
+    ]
+
+let ratings =
+  Relation.of_rows ~name:"ratings"
+    (Schema.of_list
+       [ ("r1", Value.Tstring); ("r2", Value.Tint); ("r3", Value.Tstring) ])
+    [
+      [ str "Nosferatu"; int 5; str "Cahiers" ];
+      [ str "Solaris"; int 4; str "Sight&Sound" ];
+      [ str "Playtime"; int 5; str "Cahiers" ];
+      [ str "Ran"; int 5; str "Sight&Sound" ];
+      [ str "Brazil"; int 4; str "Cahiers" ];
+    ]
+
+let awards =
+  Relation.of_rows ~name:"awards"
+    (Schema.of_list
+       [ ("a1", Value.Tstring); ("a2", Value.Tstring); ("a3", Value.Tint) ])
+    [
+      [ str "Cannes"; str "Solaris"; int 1972 ];
+      [ str "BAFTA"; str "Brazil"; int 1985 ];
+      [ str "Venice"; str "Ran"; int 1985 ];
+      [ str "Berlin"; str "Nosferatu"; int 1979 ];
+    ]
+
+let db = Database.of_relations [ catalogue; ratings; awards ]
+
+let catalogue_ratings =
+  ([ "catalogue"; "ratings" ], [ ("catalogue.c1", "ratings.r1") ])
+
+let catalogue_awards =
+  ( [ "catalogue"; "awards" ],
+    [ ("catalogue.c1", "awards.a2"); ("catalogue.c3", "awards.a3") ] )

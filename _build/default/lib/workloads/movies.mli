@@ -1,0 +1,23 @@
+(** A second realistic integration scenario: film catalogues from two
+    providers plus a ratings feed, with opaque column names and no
+    declared constraints — string-valued joins, unlike TPC-H's integer
+    keys.  Used by integration tests and the CLI tour. *)
+
+val catalogue : Jim_relational.Relation.t
+(** ["catalogue"]: [c1 .. c4] = title, director, year, country. *)
+
+val ratings : Jim_relational.Relation.t
+(** ["ratings"]: [r1 .. r3] = film title, stars, outlet. *)
+
+val awards : Jim_relational.Relation.t
+(** ["awards"]: [a1 .. a3] = festival, winning title, year. *)
+
+val db : Jim_relational.Database.t
+
+val catalogue_ratings : string list * (string * string) list
+(** Goal: catalogue title = ratings title. *)
+
+val catalogue_awards : string list * (string * string) list
+(** Goal: title and year both match (a 2-atom predicate, where matching
+    only on title would wrongly pair remakes with their originals'
+    awards). *)

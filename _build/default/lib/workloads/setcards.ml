@@ -1,0 +1,80 @@
+module Partition = Jim_partition.Partition
+module Schema = Jim_relational.Schema
+module Relation = Jim_relational.Relation
+module Tuple0 = Jim_relational.Tuple0
+module Value = Jim_relational.Value
+
+let numbers = [ "one"; "two"; "three" ]
+let symbols = [ "diamond"; "squiggle"; "oval" ]
+let shadings = [ "solid"; "striped"; "open" ]
+let colours = [ "red"; "green"; "purple" ]
+
+let features = [ "number"; "symbol"; "shading"; "colour" ]
+
+let card_schema =
+  Schema.of_list (List.map (fun f -> (f, Value.Tstring)) features)
+
+let deck =
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun sy ->
+            List.concat_map
+              (fun sh ->
+                List.map
+                  (fun c -> List.map (fun s -> Value.Str s) [ n; sy; sh; c ])
+                  colours)
+              shadings)
+          symbols)
+      numbers
+  in
+  Relation.of_rows ~name:"cards" card_schema rows
+
+let pair_schema =
+  Schema.concat_qualified [ ("left", card_schema); ("right", card_schema) ]
+
+let pair_instance ?sample ?seed () =
+  let rows =
+    List.concat_map
+      (fun l ->
+        List.map (fun r -> Tuple0.concat l r) (Relation.tuples deck))
+      (Relation.tuples deck)
+  in
+  let full = Relation.make ~name:"card_pairs" pair_schema rows in
+  match sample with None -> full | Some k -> Relation.sample ?seed k full
+
+let left_ f = Schema.find_exn pair_schema ("left." ^ f)
+let right_ f = Schema.find_exn pair_schema ("right." ^ f)
+
+let same fs =
+  Partition.of_pairs
+    (Schema.arity pair_schema)
+    (List.map (fun f -> (left_ f, right_ f)) fs)
+
+let glyph_of_symbol = function
+  | "diamond" -> "\xE2\x97\x86" (* ◆ *)
+  | "squiggle" -> "\xE2\x88\xBF" (* ∿ *)
+  | "oval" -> "\xE2\x97\x8F" (* ● *)
+  | other -> other
+
+let count_of_number = function
+  | "one" -> "1"
+  | "two" -> "2"
+  | "three" -> "3"
+  | other -> other
+
+let card_fields t =
+  match Array.to_list (Array.map Value.to_string t) with
+  | [ n; sy; sh; c ] -> (n, sy, sh, c)
+  | _ -> invalid_arg "Setcards: not a card tuple"
+
+let card_to_string t =
+  let n, sy, sh, c = card_fields t in
+  Printf.sprintf "%s\xC3\x97%s %s %s" (count_of_number n) (glyph_of_symbol sy)
+    sh c
+
+let pair_to_string t =
+  if Array.length t <> 8 then invalid_arg "Setcards: not a pair tuple";
+  let left = Array.sub t 0 4 and right = Array.sub t 4 4 in
+  Printf.sprintf "[%s] ~ [%s]" (card_to_string left) (card_to_string right)

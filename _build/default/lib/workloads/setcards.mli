@@ -1,0 +1,36 @@
+(** Joining sets of pictures (Fig. 5): the 81 cards of the game Set, each
+    varying in number (one/two/three), symbol (diamond/squiggle/oval),
+    shading (solid/striped/open) and colour (red/green/purple).
+
+    The instance the attendee labels is a set of {e pairs} of cards — the
+    product of two card decks — over the 8-attribute schema
+    [left.number, left.symbol, left.shading, left.colour,
+     right.number, right.symbol, right.shading, right.colour]; the goal
+    predicates equate features across the two sides ("the pairs of
+    pictures having the same color and the same shading"). *)
+
+val deck : Jim_relational.Relation.t
+(** All 81 cards, attributes [number, symbol, shading, colour] (strings). *)
+
+val pair_schema : Jim_relational.Schema.t
+
+val pair_instance : ?sample:int -> ?seed:int -> unit -> Jim_relational.Relation.t
+(** The 81×81 pair table, optionally down-sampled. *)
+
+(** Positions in the pair schema. *)
+
+val left_ : string -> int
+(** [left_ "colour"] = position of the left card's colour.  Raises
+    [Not_found] on an unknown feature. *)
+
+val right_ : string -> int
+
+val same : string list -> Jim_partition.Partition.t
+(** [same ["colour"; "shading"]] — the paper's example goal: pairs with
+    the same colour and the same shading. *)
+
+val card_to_string : Jim_relational.Tuple0.t -> string
+(** Unicode rendering of one card, e.g. ["2×▲ striped red"]. *)
+
+val pair_to_string : Jim_relational.Tuple0.t -> string
+(** Rendering of a pair row: ["[2×▲ striped red] ~ [1×● open green]"]. *)

@@ -1,0 +1,148 @@
+module Partition = Jim_partition.Partition
+module Dsu = Jim_partition.Dsu
+module Schema = Jim_relational.Schema
+module Relation = Jim_relational.Relation
+module Value = Jim_relational.Value
+
+type params = {
+  n_attrs : int;
+  n_tuples : int;
+  domain : int;
+  goal_rank : int;
+  seed : int;
+}
+
+let default = { n_attrs = 6; n_tuples = 60; domain = 8; goal_rank = 2; seed = 7 }
+
+type instance = {
+  params : params;
+  goal : Partition.t;
+  relation : Relation.t;
+  schema : Schema.t;
+}
+
+let random_goal ~rng ~n ~rank =
+  if rank < 0 || rank > n - 1 then invalid_arg "Synthetic.random_goal";
+  let d = Dsu.create n in
+  let merges = ref 0 in
+  while !merges < rank do
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    if Dsu.union d i j then incr merges
+  done;
+  Partition.of_dsu d
+
+(* A tuple realising signature [sg] exactly: each block gets a distinct
+   value, chosen by a random injection into the domain. *)
+let tuple_of_signature rng domain sg =
+  let n = Partition.size sg in
+  let nblocks = Partition.block_count sg in
+  if nblocks > domain then invalid_arg "Synthetic: domain smaller than blocks";
+  (* Random injection: partial Fisher-Yates of 0..domain-1. *)
+  let vals = Array.init domain (fun i -> i) in
+  for i = 0 to nblocks - 1 do
+    let j = i + Random.State.int rng (domain - i) in
+    let tmp = vals.(i) in
+    vals.(i) <- vals.(j);
+    vals.(j) <- tmp
+  done;
+  let block_index = Array.make n (-1) in
+  let next = ref 0 in
+  Array.init n (fun i ->
+      let r = Partition.rep sg i in
+      if block_index.(r) < 0 then begin
+        block_index.(r) <- !next;
+        incr next
+      end;
+      Value.Int vals.(block_index.(r)))
+
+(* All 2-part splits of one block of [goal], as full partitions (other
+   blocks unchanged); these are exactly the partitions covered by the
+   goal, i.e. its immediate generalisations.  Capped per block. *)
+let covered_partitions ?(cap_per_block = 8) goal =
+  let n = Partition.size goal in
+  let blocks = Partition.blocks goal in
+  let other_blocks b = List.filter (fun b' -> b' != b) blocks in
+  List.concat_map
+    (fun b ->
+      match b with
+      | [] | [ _ ] -> []
+      | first :: rest ->
+        (* Enumerate subsets of [rest]; the side containing [first] is one
+           part, the complement the other.  Skip the full set (no split). *)
+        let k = List.length rest in
+        let max_mask = (1 lsl k) - 1 in
+        let rec masks m acc count =
+          if m > max_mask || count >= cap_per_block then List.rev acc
+          else
+            let side_a, side_b =
+              List.fold_left
+                (fun (a, bs) (idx, e) ->
+                  if m land (1 lsl idx) <> 0 then (e :: a, bs) else (a, e :: bs))
+                ([ first ], [])
+                (List.mapi (fun i e -> (i, e)) rest)
+            in
+            if side_b = [] then masks (m + 1) acc count
+            else
+              let split =
+                Partition.of_blocks n (side_a :: side_b :: other_blocks b)
+              in
+              masks (m + 1) (split :: acc) (count + 1)
+        in
+        masks 0 [] 0)
+    blocks
+
+let generate params =
+  let { n_attrs = n; n_tuples; domain; goal_rank; seed } = params in
+  if n < 2 then invalid_arg "Synthetic.generate: need at least 2 attributes";
+  if domain < n then
+    invalid_arg "Synthetic.generate: domain must be >= n_attrs";
+  if goal_rank < 0 || goal_rank > n - 1 then
+    invalid_arg "Synthetic.generate: goal_rank out of range";
+  let rng = Random.State.make [| seed; n; n_tuples; domain; goal_rank |] in
+  let goal = random_goal ~rng ~n ~rank:goal_rank in
+  (* Planted witnesses: the goal itself (a certain positive for the goal
+     query) and every immediate generalisation (certain negatives that
+     make the goal exactly identifiable, not just up to equivalence). *)
+  let witnesses = goal :: covered_partitions goal in
+  if List.length witnesses > n_tuples then
+    invalid_arg "Synthetic.generate: n_tuples smaller than planted witnesses";
+  let planted = List.map (tuple_of_signature rng domain) witnesses in
+  let n_random = n_tuples - List.length planted in
+  let random_tuple () =
+    Array.init n (fun _ -> Value.Int (Random.State.int rng domain))
+  in
+  let randoms = List.init n_random (fun _ -> random_tuple ()) in
+  (* Shuffle so planted witnesses are not clustered at the front. *)
+  let all = Array.of_list (planted @ randoms) in
+  for i = Array.length all - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- tmp
+  done;
+  let schema =
+    Schema.of_list (List.init n (fun i -> (Printf.sprintf "a%d" i, Value.Tint)))
+  in
+  let relation =
+    Relation.make ~name:"synthetic" schema (Array.to_list all)
+  in
+  { params; goal; relation; schema }
+
+let complexity_sweep ?(seed = 11) ~n_attrs ~ranks ~tuples () =
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun rank ->
+          if rank > n - 1 then None
+          else
+            Some
+              (generate
+                 {
+                   n_attrs = n;
+                   n_tuples = tuples;
+                   domain = max n 8;
+                   goal_rank = rank;
+                   seed = seed + (100 * n) + rank;
+                 }))
+        ranks)
+    n_attrs

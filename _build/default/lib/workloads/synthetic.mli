@@ -1,0 +1,42 @@
+(** Synthetic join-inference instances in the style of the companion
+    paper's experiments: a planted goal predicate over [n] attributes and
+    an instance whose signature diversity controls how hard inference is.
+
+    The generator plants, for every sub-predicate the learner could
+    confuse with the goal, tuples that witness the difference, so the
+    goal is identifiable on the instance; the [distractors] knob then
+    adds random tuples that enlarge the instance without necessarily
+    adding information — exactly the situation where uninformative-tuple
+    pruning pays off. *)
+
+type params = {
+  n_attrs : int;       (** attributes of the denormalised instance *)
+  n_tuples : int;      (** instance cardinality (>= the planted witnesses) *)
+  domain : int;        (** distinct values per attribute *)
+  goal_rank : int;     (** equality atoms of the goal (0 .. n_attrs-1) *)
+  seed : int;
+}
+
+val default : params
+(** 6 attributes, 60 tuples, domain 8, goal rank 2, seed 7. *)
+
+type instance = {
+  params : params;
+  goal : Jim_partition.Partition.t;
+  relation : Jim_relational.Relation.t;
+  schema : Jim_relational.Schema.t;   (** attributes [a0 .. a{n-1}], ints *)
+}
+
+val generate : params -> instance
+(** Deterministic in [params.seed].  Raises [Invalid_argument] on
+    inconsistent parameters (rank out of range, fewer tuples than
+    witnesses, domain < 2). *)
+
+val random_goal : rng:Random.State.t -> n:int -> rank:int -> Jim_partition.Partition.t
+(** A uniform-ish random partition of [n] attributes with exactly [rank]
+    merges. *)
+
+val complexity_sweep :
+  ?seed:int -> n_attrs:int list -> ranks:int list -> tuples:int -> unit ->
+  instance list
+(** The grid of instances behind the strategy-comparison experiment. *)

@@ -1,0 +1,160 @@
+module Schema = Jim_relational.Schema
+module Relation = Jim_relational.Relation
+module Database = Jim_relational.Database
+module Value = Jim_relational.Value
+
+type scale = {
+  customers : int;
+  orders_per_customer : int;
+  parts : int;
+  suppliers : int;
+}
+
+let tiny = { customers = 8; orders_per_customer = 2; parts = 12; suppliers = 4 }
+let small = { customers = 50; orders_per_customer = 3; parts = 60; suppliers = 15 }
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+    "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+    "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+    "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+let syllables =
+  [| "azure"; "bisque"; "coral"; "dim"; "firebrick"; "gold"; "hot"; "ivory";
+     "khaki"; "lime"; "mint"; "navy"; "olive"; "plum"; "rose"; "sienna" |]
+
+let generate ?(seed = 1) scale =
+  let rng = Random.State.make [| seed |] in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let int i = Value.Int i and str s = Value.Str s in
+  let money () =
+    Value.Float (float_of_int (100 + Random.State.int rng 99900) /. 100.0)
+  in
+
+  let region =
+    Relation.of_rows ~name:"region"
+      (Schema.of_list [ ("r_regionkey", Value.Tint); ("r_name", Value.Tstring) ])
+      (List.init (Array.length region_names) (fun i ->
+           [ int i; str region_names.(i) ]))
+  in
+
+  let n_nations = Array.length nation_names in
+  let nation =
+    Relation.of_rows ~name:"nation"
+      (Schema.of_list
+         [
+           ("n_nationkey", Value.Tint);
+           ("n_name", Value.Tstring);
+           ("n_regionkey", Value.Tint);
+         ])
+      (List.init n_nations (fun i ->
+           [ int i; str nation_names.(i); int (i mod Array.length region_names) ]))
+  in
+
+  let supplier =
+    Relation.of_rows ~name:"supplier"
+      (Schema.of_list
+         [
+           ("s_suppkey", Value.Tint);
+           ("s_name", Value.Tstring);
+           ("s_nationkey", Value.Tint);
+         ])
+      (List.init scale.suppliers (fun i ->
+           [
+             int i;
+             str (Printf.sprintf "Supplier#%03d" i);
+             int (Random.State.int rng n_nations);
+           ]))
+  in
+
+  let customer =
+    Relation.of_rows ~name:"customer"
+      (Schema.of_list
+         [
+           ("c_custkey", Value.Tint);
+           ("c_name", Value.Tstring);
+           ("c_nationkey", Value.Tint);
+         ])
+      (List.init scale.customers (fun i ->
+           [
+             int i;
+             str (Printf.sprintf "Customer#%03d" i);
+             int (Random.State.int rng n_nations);
+           ]))
+  in
+
+  let n_orders = scale.customers * scale.orders_per_customer in
+  let orders =
+    Relation.of_rows ~name:"orders"
+      (Schema.of_list
+         [
+           ("o_orderkey", Value.Tint);
+           ("o_custkey", Value.Tint);
+           ("o_totalprice", Value.Tfloat);
+         ])
+      (List.init n_orders (fun i ->
+           [ int i; int (i mod scale.customers); money () ]))
+  in
+
+  let part =
+    Relation.of_rows ~name:"part"
+      (Schema.of_list
+         [
+           ("p_partkey", Value.Tint);
+           ("p_name", Value.Tstring);
+           ("p_retailprice", Value.Tfloat);
+         ])
+      (List.init scale.parts (fun i ->
+           [ int i; str (pick syllables ^ " " ^ pick syllables); money () ]))
+  in
+
+  let lineitem_rows =
+    List.concat
+      (List.init n_orders (fun o ->
+           let items = 1 + Random.State.int rng 3 in
+           List.init items (fun _ ->
+               [
+                 int o;
+                 int (Random.State.int rng scale.parts);
+                 int (Random.State.int rng scale.suppliers);
+                 int (1 + Random.State.int rng 20);
+               ])))
+  in
+  let lineitem =
+    Relation.of_rows ~name:"lineitem"
+      (Schema.of_list
+         [
+           ("l_orderkey", Value.Tint);
+           ("l_partkey", Value.Tint);
+           ("l_suppkey", Value.Tint);
+           ("l_quantity", Value.Tint);
+         ])
+      lineitem_rows
+  in
+
+  Database.of_relations
+    [ region; nation; supplier; customer; orders; part; lineitem ]
+
+let fk_customer_orders =
+  ([ "customer"; "orders" ], [ ("customer.c_custkey", "orders.o_custkey") ])
+
+let fk_orders_lineitem =
+  ([ "orders"; "lineitem" ], [ ("orders.o_orderkey", "lineitem.l_orderkey") ])
+
+let fk_customer_orders_lineitem =
+  ( [ "customer"; "orders"; "lineitem" ],
+    [
+      ("customer.c_custkey", "orders.o_custkey");
+      ("orders.o_orderkey", "lineitem.l_orderkey");
+    ] )
+
+let fk_nation_chain =
+  ( [ "region"; "nation"; "customer" ],
+    [
+      ("region.r_regionkey", "nation.n_regionkey");
+      ("nation.n_nationkey", "customer.c_nationkey");
+    ] )

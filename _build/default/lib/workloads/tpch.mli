@@ -1,0 +1,35 @@
+(** TPC-H-lite: a self-contained, seeded generator for a scaled-down
+    TPC-H-style database (region, nation, supplier, customer, orders,
+    lineitem, part).  The companion paper evaluates JIM on TPC-H; the
+    official dbgen binary cannot run in this sealed environment, so this
+    module regenerates the same {e shape} of data — foreign-key chains
+    with realistic fan-out — which is all join inference exercises
+    (values only matter through equality). *)
+
+type scale = { customers : int; orders_per_customer : int; parts : int; suppliers : int }
+
+val tiny : scale
+(** 8 customers / 2 orders each / 12 parts / 4 suppliers — unit tests. *)
+
+val small : scale
+(** 50 / 3 / 60 / 15 — benchmarks. *)
+
+val generate : ?seed:int -> scale -> Jim_relational.Database.t
+(** Relations: [region(r_regionkey, r_name)],
+    [nation(n_nationkey, n_name, n_regionkey)],
+    [supplier(s_suppkey, s_name, s_nationkey)],
+    [customer(c_custkey, c_name, c_nationkey)],
+    [orders(o_orderkey, o_custkey, o_totalprice)],
+    [lineitem(l_orderkey, l_partkey, l_suppkey, l_quantity)],
+    [part(p_partkey, p_name, p_retailprice)].
+    All keys are dense integers; foreign keys always resolve. *)
+
+(** Known goal joins over the generated schema, as (relations, goal atoms
+    by qualified attribute name).  Used to build inference tasks with
+    {!Denorm.task_of_names}. *)
+
+val fk_customer_orders : string list * (string * string) list
+val fk_orders_lineitem : string list * (string * string) list
+val fk_customer_orders_lineitem : string list * (string * string) list
+val fk_nation_chain : string list * (string * string) list
+(** region–nation–customer chain (3 relations, 2 atoms). *)

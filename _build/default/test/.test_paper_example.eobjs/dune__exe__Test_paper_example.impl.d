@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Jim_core Jim_partition Jim_relational Jim_workloads Jquery List Oracle Printf Session State Strategy Version_space

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Hashtbl Jim_partition List Printf QCheck QCheck_alcotest String

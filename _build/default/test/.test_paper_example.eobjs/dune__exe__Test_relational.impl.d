@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Filename Fun Jim_partition Jim_relational List QCheck QCheck_alcotest Result String Sys

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Jim_core Jim_partition Jim_relational Jim_workloads Jquery List Oracle Printf QCheck QCheck_alcotest Random Result Session Strategy String

@@ -1,0 +1,736 @@
+(* Tests for the inference core: signature classes, the knowledge state,
+   the version space (against brute-force oracles), informativeness,
+   strategies, the optimal policy, sessions, interaction modes, minimal
+   queries, statistics and query rendering.
+
+   The central correctness property — State.classify agrees with the
+   brute-force definition of informativeness over the whole lattice — is
+   checked both on hand-picked cases and with qcheck over random label
+   sequences. *)
+
+module P = Jim_partition.Partition
+module Penum = Jim_partition.Penum
+module V = Jim_relational.Value
+module T = Jim_relational.Tuple0
+module R = Jim_relational.Relation
+module Schema = Jim_relational.Schema
+module W = Jim_workloads
+open Jim_core
+
+let partition = Alcotest.testable P.pp P.equal
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* Random partitions of size n (as in test_partition). *)
+let gen_partition_sized n =
+  QCheck.Gen.(
+    let* rgs =
+      let rec build i maxv acc =
+        if i >= n then return (List.rev acc)
+        else
+          let* v = int_bound (min (maxv + 1) (n - 1)) in
+          build (i + 1) (max maxv v) (v :: acc)
+      in
+      build 0 (-1) []
+    in
+    return (P.of_rgs (Array.of_list rgs)))
+
+(* A random consistent labelling scenario over n attributes: a goal
+   partition plus a list of tuple signatures, labelled by the goal. *)
+let gen_scenario n =
+  QCheck.Gen.(
+    let* goal = gen_partition_sized n in
+    let* sigs = list_size (int_range 1 8) (gen_partition_sized n) in
+    return (goal, sigs))
+
+let arb_scenario n =
+  QCheck.make
+    ~print:(fun (g, sigs) ->
+      "goal " ^ P.to_string g ^ " sigs "
+      ^ String.concat " " (List.map P.to_string sigs))
+    (gen_scenario n)
+
+let state_of_scenario (goal, sigs) =
+  List.fold_left
+    (fun st sg ->
+      let lbl = if P.refines goal sg then State.Pos else State.Neg in
+      State.add_exn st lbl sg)
+    (State.create (P.size goal))
+    sigs
+
+(* Brute force: all consistent predicates by scanning the whole lattice. *)
+let brute_consistent n st =
+  let out = ref [] in
+  Penum.iter_all n (fun q -> if State.consistent st q then out := q :: !out);
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Sigclass                                                            *)
+
+let test_sigclass_grouping () =
+  let rel =
+    R.of_rows ~name:"r"
+      (Schema.of_list [ ("a", V.Tstring); ("b", V.Tstring) ])
+      V.[
+          [ Str "x"; Str "x" ];
+          [ Str "y"; Str "z" ];
+          [ Str "q"; Str "q" ];
+          [ Str "y"; Str "z" ];
+        ]
+  in
+  let classes = Sigclass.classes rel in
+  (* Rows 0 and 2 share signature {0,1}; rows 1 and 3 share bottom. *)
+  Alcotest.(check int) "two classes" 2 (Array.length classes);
+  Alcotest.(check (list int)) "class 0 rows" [ 0; 2 ] classes.(0).Sigclass.rows;
+  Alcotest.(check (list int)) "class 1 rows" [ 1; 3 ] classes.(1).Sigclass.rows;
+  Alcotest.(check int) "total rows" 4 (Sigclass.total_rows classes);
+  Alcotest.(check int) "representative" 0
+    (Sigclass.representative classes.(0));
+  Alcotest.(check (option int)) "find" (Some 1)
+    (Sigclass.find classes (P.bottom 2));
+  Alcotest.(check (option int)) "find missing" None
+    (Sigclass.find (Sigclass.of_signatures [ P.bottom 3 ]) (P.top 3))
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+let test_state_initial () =
+  let st = State.create 4 in
+  Alcotest.(check partition) "canonical is top" (P.top 4) (State.canonical st);
+  (* Everything is consistent initially. *)
+  Penum.iter_all 4 (fun q ->
+      Alcotest.(check bool) (P.to_string q) true (State.consistent st q))
+
+let test_state_positive_meets () =
+  let st = State.create 4 in
+  let s1 = P.of_blocks 4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let s2 = P.of_blocks 4 [ [ 0; 1; 2 ] ] in
+  let st = State.add_exn st State.Pos s1 in
+  let st = State.add_exn st State.Pos s2 in
+  Alcotest.(check partition) "meet of sigs"
+    (P.of_blocks 4 [ [ 0; 1 ] ])
+    (State.canonical st)
+
+let test_state_contradictions () =
+  let st = State.create 3 in
+  let sg = P.of_blocks 3 [ [ 0; 1 ] ] in
+  (* Negative then positive with the same signature: the positive makes
+     s = sg, which the stored negative swallows. *)
+  let st = State.add_exn st State.Neg sg in
+  (match State.add st State.Pos sg with
+  | Error `Contradiction -> ()
+  | Ok _ -> Alcotest.fail "expected contradiction");
+  (* Positive then negative with the same signature. *)
+  let st2 = State.add_exn (State.create 3) State.Pos sg in
+  (match State.add st2 State.Neg sg with
+  | Error `Contradiction -> ()
+  | Ok _ -> Alcotest.fail "expected contradiction");
+  (* A negative above the current s: s <= sig means contradiction. *)
+  let st3 = State.add_exn (State.create 3) State.Pos sg in
+  match State.add st3 State.Neg (P.top 3) with
+  | Error `Contradiction -> ()
+  | Ok _ -> Alcotest.fail "expected contradiction (negative above s)"
+
+let test_state_negative_redundancy () =
+  (* A negative dominated by an existing one must not grow the store. *)
+  let st = State.create 4 in
+  let big = P.of_blocks 4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let small = P.of_blocks 4 [ [ 0; 1 ] ] in
+  let st = State.add_exn st State.Neg big in
+  let st = State.add_exn st State.Neg small in
+  Alcotest.(check int) "one effective negative" 1
+    (List.length st.State.negatives);
+  Alcotest.(check partition) "the dominating one" big
+    (List.hd st.State.negatives)
+
+let test_state_arity_mismatch () =
+  let st = State.create 4 in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (State.add st State.Pos (P.top 3));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_state_consistency_brute =
+  (* The normal-form consistency test equals the defining one: q is
+     consistent iff q <= every positive signature and q is not <= any
+     negative signature. *)
+  qtest "State.consistent = definition" (arb_scenario 5)
+    (fun ((goal, sigs) as sc) ->
+      let st = state_of_scenario sc in
+      let pos, neg =
+        List.partition (fun sg -> P.refines goal sg) sigs
+      in
+      let ok = ref true in
+      Penum.iter_all 5 (fun q ->
+          let def =
+            List.for_all (fun sg -> P.refines q sg) pos
+            && not (List.exists (fun sg -> P.refines q sg) neg)
+          in
+          if State.consistent st q <> def then ok := false);
+      !ok)
+
+let prop_goal_always_consistent =
+  qtest "the goal survives its own labels" (arb_scenario 6)
+    (fun ((goal, _) as sc) ->
+      let st = state_of_scenario sc in
+      State.consistent st goal)
+
+let prop_classify_brute =
+  (* classify agrees with the brute-force three-way split of the lattice. *)
+  qtest "State.classify = brute force" (arb_scenario 5)
+    (fun ((_, _) as sc) ->
+      let st = state_of_scenario sc in
+      let consistent = brute_consistent 5 st in
+      QCheck.assume (consistent <> []);
+      let ok = ref true in
+      Penum.iter_all 5 (fun sg ->
+          let selects = List.filter (fun q -> P.refines q sg) consistent in
+          let expected =
+            if List.length selects = List.length consistent then
+              State.Certain_pos
+            else if selects = [] then State.Certain_neg
+            else State.Informative
+          in
+          if State.classify st sg <> expected then ok := false);
+      !ok)
+
+let prop_informative_label_shrinks_vs =
+  (* Labelling an informative signature strictly shrinks the version
+     space, whichever consistent answer is given. *)
+  qtest "informative labels strictly shrink the version space"
+    (arb_scenario 5) (fun sc ->
+      let st = state_of_scenario sc in
+      let before = List.length (brute_consistent 5 st) in
+      QCheck.assume (before > 0);
+      let ok = ref true in
+      Penum.iter_all 5 (fun sg ->
+          if State.classify st sg = State.Informative then
+            List.iter
+              (fun lbl ->
+                match State.add st lbl sg with
+                | Ok st' ->
+                  let after = List.length (brute_consistent 5 st') in
+                  if not (after < before && after >= 1) then ok := false
+                | Error `Contradiction ->
+                  (* An informative tuple admits both answers. *)
+                  ok := false)
+              [ State.Pos; State.Neg ]);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Version space                                                       *)
+
+let prop_vs_count_brute =
+  qtest "Version_space.count = brute force" (arb_scenario 5) (fun sc ->
+      let st = state_of_scenario sc in
+      Version_space.count st
+      = float_of_int (List.length (brute_consistent 5 st)))
+
+let prop_vs_enumerate_brute =
+  qtest ~count:100 "Version_space.enumerate = brute force" (arb_scenario 5)
+    (fun sc ->
+      let st = state_of_scenario sc in
+      let a = List.sort P.compare (Version_space.enumerate st) in
+      let b = List.sort P.compare (brute_consistent 5 st) in
+      List.length a = List.length b && List.for_all2 P.equal a b)
+
+let test_vs_singleton_on () =
+  let open W.Flights in
+  let st =
+    List.fold_left
+      (fun st (k, lbl) -> State.add_exn st lbl (signature k))
+      (State.create 5)
+      [ (3, State.Pos); (7, State.Neg); (8, State.Neg) ]
+  in
+  let classes = Sigclass.classes instance in
+  Alcotest.(check bool) "done" true (Version_space.is_singleton_on st classes);
+  let st_partial = State.add_exn (State.create 5) State.Pos (signature 3) in
+  Alcotest.(check bool) "not done" false
+    (Version_space.is_singleton_on st_partial classes)
+
+let test_vs_equivalence_classes () =
+  (* After (3)+ on the flights instance the four consistent predicates
+     fall into distinct instance-equivalence classes. *)
+  let open W.Flights in
+  let st = State.add_exn (State.create 5) State.Pos (signature 3) in
+  let classes = Sigclass.classes instance in
+  let eq = Version_space.equivalence_classes st classes in
+  Alcotest.(check int) "4 consistent predicates" 4
+    (List.fold_left (fun acc (_, qs) -> acc + List.length qs) 0 eq);
+  Alcotest.(check bool) "more than one equivalence class" true
+    (List.length eq > 1)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+
+let mk_ctx st classes rng_seed =
+  let informative = ref [] in
+  Array.iteri
+    (fun i (c : Sigclass.cls) ->
+      if State.classify st c.Sigclass.sg = State.Informative then
+        informative := i :: !informative)
+    classes;
+  {
+    Strategy.state = st;
+    classes;
+    informative = List.rev !informative;
+    rng = Random.State.make [| rng_seed |];
+  }
+
+let test_strategies_contract () =
+  (* Every strategy returns an informative class, or None iff none left. *)
+  let classes = Sigclass.classes W.Flights.instance in
+  let st0 = State.create 5 in
+  List.iter
+    (fun strat ->
+      let ctx = mk_ctx st0 classes 1 in
+      (match strat.Strategy.pick ctx with
+      | None -> Alcotest.fail (strat.Strategy.name ^ ": no pick on fresh state")
+      | Some c ->
+        Alcotest.(check bool)
+          (strat.Strategy.name ^ " picks informative")
+          true
+          (List.mem c ctx.Strategy.informative));
+      (* Finished state: inference over, nothing to pick. *)
+      let st_done =
+        List.fold_left
+          (fun st (k, l) -> State.add_exn st l (W.Flights.signature k))
+          st0
+          [ (3, State.Pos); (7, State.Neg); (8, State.Neg) ]
+      in
+      let ctx_done = mk_ctx st_done classes 1 in
+      Alcotest.(check bool)
+        (strat.Strategy.name ^ " returns None when done")
+        true
+        (strat.Strategy.pick ctx_done = None))
+    (Strategy.all @ [ Optimal.strategy () ])
+
+let test_strategy_find () =
+  Alcotest.(check bool) "find existing" true
+    (Strategy.find "lookahead-entropy" <> None);
+  Alcotest.(check bool) "find missing" true (Strategy.find "nope" = None)
+
+let test_decided_counts_bounds () =
+  let classes = Sigclass.classes W.Flights.instance in
+  let st = State.create 5 in
+  let ctx = mk_ctx st classes 1 in
+  List.iter
+    (fun c ->
+      let p, n =
+        Strategy.decided_counts st classes ctx.Strategy.informative c
+      in
+      let total = List.length ctx.Strategy.informative in
+      Alcotest.(check bool) "counts within bounds" true
+        (p >= 1 && p <= total && n >= 1 && n <= total))
+    ctx.Strategy.informative
+
+let test_hypothetical_branches () =
+  let st = State.create 5 in
+  let sg = W.Flights.signature 3 in
+  (match Strategy.hypothetical st sg with
+  | Some _, Some _ -> ()
+  | _ -> Alcotest.fail "fresh state: both branches live");
+  (* After (3)+ the class of (3) is certain positive: the negative branch
+     contradicts. *)
+  let st' = State.add_exn st State.Pos sg in
+  match Strategy.hypothetical st' sg with
+  | Some _, None -> ()
+  | _ -> Alcotest.fail "expected dead negative branch"
+
+(* ------------------------------------------------------------------ *)
+(* Optimal                                                             *)
+
+let test_optimal_flights () =
+  let classes = Sigclass.classes W.Flights.instance in
+  let d = Optimal.worst_case_depth (State.create 5) classes in
+  (* The paper's walkthrough uses 3 labels; the optimal policy cannot
+     need more than the number of classes and at least log2 of the
+     number of instance-equivalence outcomes. *)
+  Alcotest.(check bool) "depth sane" true (d >= 2 && d <= 6);
+  (* Every heuristic strategy, against every goal, needs at least ...
+     the optimal worst case is a lower bound on the worst-case of any
+     strategy. *)
+  List.iter
+    (fun strat ->
+      let worst = ref 0 in
+      Penum.iter_all 5 (fun goal ->
+          let o =
+            Session.run ~strategy:strat ~oracle:(Oracle.of_goal goal)
+              W.Flights.instance
+          in
+          worst := max !worst o.Session.interactions);
+      Alcotest.(check bool)
+        (strat.Strategy.name ^ " worst >= optimal")
+        true (!worst >= d))
+    Strategy.all
+
+let test_optimal_matches_its_own_bound () =
+  (* Driving sessions with the optimal strategy never exceeds the
+     announced worst-case depth. *)
+  let classes = Sigclass.classes W.Flights.instance in
+  let d = Optimal.worst_case_depth (State.create 5) classes in
+  let strat = Optimal.strategy () in
+  Penum.iter_all 5 (fun goal ->
+      let o =
+        Session.run ~strategy:strat ~oracle:(Oracle.of_goal goal)
+          W.Flights.instance
+      in
+      Alcotest.(check bool)
+        ("goal " ^ P.to_string goal)
+        true
+        (o.Session.interactions <= d))
+
+let test_optimal_too_large () =
+  let inst =
+    W.Synthetic.generate
+      { W.Synthetic.default with W.Synthetic.n_attrs = 8; n_tuples = 120; seed = 1 }
+  in
+  let classes = Sigclass.classes inst.W.Synthetic.relation in
+  Alcotest.(check bool) "raises Too_large" true
+    (try
+       ignore (Optimal.worst_case_depth ~max_states:50 (State.create 8) classes);
+       false
+     with Optimal.Too_large -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+
+let test_oracle_goal () =
+  let o = Oracle.of_goal W.Flights.q1 in
+  Alcotest.(check bool) "selects (3)" true
+    (Oracle.label_tuple o (W.Flights.tuple 3) = State.Pos);
+  Alcotest.(check bool) "rejects (1)" true
+    (Oracle.label_tuple o (W.Flights.tuple 1) = State.Neg);
+  Alcotest.(check bool) "goal recorded" true
+    (match Oracle.goal o with Some g -> P.equal g W.Flights.q1 | None -> false)
+
+let test_oracle_noisy_flips () =
+  let honest = Oracle.of_goal W.Flights.q1 in
+  let always_flip = Oracle.noisy ~seed:1 ~flip_probability:1.0 honest in
+  Alcotest.(check bool) "flipped" true
+    (Oracle.label always_flip (W.Flights.signature 3) = State.Neg);
+  let never_flip = Oracle.noisy ~seed:1 ~flip_probability:0.0 honest in
+  Alcotest.(check bool) "not flipped" true
+    (Oracle.label never_flip (W.Flights.signature 3) = State.Pos)
+
+(* ------------------------------------------------------------------ *)
+(* Session                                                             *)
+
+let prop_session_converges =
+  (* On random instances, every strategy terminates with a query
+     instance-equivalent to the goal, asking at most #classes
+     questions. *)
+  let arb =
+    QCheck.make
+      ~print:(fun (goal, sigs) ->
+        P.to_string goal ^ " / " ^ string_of_int (List.length sigs))
+      QCheck.Gen.(
+        let* goal = gen_partition_sized 5 in
+        let* sigs = list_size (int_range 1 15) (gen_partition_sized 5) in
+        return (goal, sigs))
+  in
+  qtest ~count:100 "sessions converge to instance-equivalence" arb
+    (fun (goal, sigs) ->
+      let classes = Sigclass.of_signatures sigs in
+      List.for_all
+        (fun strat ->
+          let o =
+            Session.run_classes ~strategy:strat ~oracle:(Oracle.of_goal goal)
+              ~n:5 classes
+          in
+          (not o.Session.contradiction)
+          && o.Session.interactions <= Array.length classes
+          && List.for_all
+               (fun sg -> P.refines o.Session.query sg = P.refines goal sg)
+               sigs)
+        Strategy.all)
+
+let test_session_engine_stepwise () =
+  let eng = Session.create W.Flights.instance in
+  Alcotest.(check bool) "not finished" false (Session.finished eng);
+  Alcotest.(check int) "nothing asked" 0 (Session.asked eng);
+  (* Drive manually with the entropy strategy against goal Q2. *)
+  let rng = Random.State.make [| 0 |] in
+  let oracle = Oracle.of_goal W.Flights.q2 in
+  let steps = ref 0 in
+  while not (Session.finished eng) do
+    incr steps;
+    if !steps > 12 then Alcotest.fail "engine failed to terminate";
+    match Session.question eng Strategy.lookahead_entropy rng with
+    | None -> Alcotest.fail "question on unfinished engine"
+    | Some ci ->
+      let sg = (Session.classes eng).(ci).Sigclass.sg in
+      (match Session.answer eng ci (Oracle.label oracle sg) with
+      | Ok () -> ()
+      | Error `Contradiction -> Alcotest.fail "sound oracle contradicted")
+  done;
+  Alcotest.(check int) "asked = steps" !steps (Session.asked eng);
+  Alcotest.(check partition) "result is Q2" W.Flights.q2 (Session.result eng)
+
+let test_closed_loop_never_contradicts () =
+  (* In the closed loop a contradiction is impossible by construction:
+     the engine only asks informative classes, and an informative class
+     admits both answers.  Even a label-flipping adversary cannot derail
+     a run - it can only steer it to a different (consistent) query. *)
+  let adversary =
+    Oracle.noisy ~seed:3 ~flip_probability:0.5 (Oracle.of_goal W.Flights.q2)
+  in
+  for seed = 1 to 10 do
+    let o =
+      Session.run ~seed ~strategy:Strategy.random ~oracle:adversary
+        W.Flights.instance
+    in
+    Alcotest.(check bool) "no contradiction possible" false
+      o.Session.contradiction
+  done
+
+let test_session_contradiction_detected () =
+  (* Mislabelling a tuple the state already forces IS detected: after
+     (12)+ the class of (3) is certainly positive; answering it with -
+     must be rejected and leave the engine untouched. *)
+  let eng = Session.create W.Flights.instance in
+  let class_of k =
+    Option.get (Sigclass.find (Session.classes eng) (W.Flights.signature k))
+  in
+  (match Session.answer eng (class_of 12) State.Pos with
+  | Ok () -> ()
+  | Error `Contradiction -> Alcotest.fail "consistent label rejected");
+  Alcotest.(check bool) "(3) is now certain positive" true
+    (Session.status eng (class_of 3) = State.Certain_pos);
+  (match Session.answer eng (class_of 3) State.Neg with
+  | Error `Contradiction -> ()
+  | Ok () -> Alcotest.fail "contradictory label accepted");
+  Alcotest.(check int) "engine unchanged" 1 (Session.asked eng)
+
+let test_session_top_questions () =
+  let eng = Session.create W.Flights.instance in
+  let rng = Random.State.make [| 0 |] in
+  let top = Session.top_questions eng Strategy.lookahead_entropy rng 3 in
+  Alcotest.(check int) "3 distinct proposals" 3
+    (List.length (List.sort_uniq compare top));
+  List.iter
+    (fun ci ->
+      Alcotest.(check bool) "proposal informative" true
+        (Session.status eng ci = State.Informative))
+    top
+
+(* ------------------------------------------------------------------ *)
+(* Interaction modes                                                   *)
+
+let test_modes_agreement () =
+  (* All four modes infer instance-equivalent queries. *)
+  let goal = W.Flights.q2 in
+  let oracle = Oracle.of_goal goal in
+  let inst = W.Flights.instance in
+  let order = List.init 12 (fun i -> i) in
+  let reports =
+    [
+      Interaction.mode1_label_all ~order ~oracle inst;
+      Interaction.mode2_gray_out ~order ~oracle inst;
+      Interaction.mode3_top_k ~k:2 ~strategy:Strategy.local_lex ~oracle inst;
+      Interaction.mode4_interactive ~strategy:Strategy.local_lex ~oracle inst;
+    ]
+  in
+  List.iter
+    (fun (r : Interaction.report) ->
+      Alcotest.(check bool)
+        (r.Interaction.mode ^ " equivalent")
+        true
+        (Jquery.equivalent_on
+           (Jquery.make W.Flights.schema r.Interaction.query)
+           (Jquery.make W.Flights.schema goal)
+           inst))
+    reports;
+  (* Mode 1 labels everything. *)
+  Alcotest.(check int) "mode1 labels all" 12
+    (List.nth reports 0).Interaction.labels_given
+
+let test_mode2_reversed_order () =
+  (* The user's order matters for mode 2 but the result does not. *)
+  let goal = W.Flights.q1 in
+  let oracle = Oracle.of_goal goal in
+  let inst = W.Flights.instance in
+  let fwd =
+    Interaction.mode2_gray_out ~order:(List.init 12 (fun i -> i)) ~oracle inst
+  in
+  let bwd =
+    Interaction.mode2_gray_out
+      ~order:(List.rev (List.init 12 (fun i -> i)))
+      ~oracle inst
+  in
+  Alcotest.(check bool) "both equivalent to goal" true
+    (Jquery.equivalent_on
+       (Jquery.make W.Flights.schema fwd.Interaction.query)
+       (Jquery.make W.Flights.schema bwd.Interaction.query)
+       inst)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal (most general) queries                                      *)
+
+let test_minimal_no_negatives () =
+  let st = State.add_exn (State.create 4) State.Pos (P.top 4) in
+  Alcotest.(check (list partition)) "bottom only" [ P.bottom 4 ]
+    (Minimal.most_general st)
+
+let prop_minimal_correct =
+  qtest ~count:150 "most_general = brute-force minimal consistent"
+    (arb_scenario 5) (fun sc ->
+      let st = state_of_scenario sc in
+      let consistent = brute_consistent 5 st in
+      let brute_minimal =
+        List.filter
+          (fun q ->
+            not
+              (List.exists
+                 (fun q' -> (not (P.equal q q')) && P.refines q' q)
+                 consistent))
+          consistent
+        |> List.sort P.compare
+      in
+      let computed = List.sort P.compare (Minimal.most_general st) in
+      List.length brute_minimal = List.length computed
+      && List.for_all2 P.equal brute_minimal computed)
+
+let test_minimal_flights () =
+  (* After (3)+ and (8)-, consistent = {(2,4)} and Q2; most general is
+     {(2,4)} alone (Airline = Discount). *)
+  let st =
+    List.fold_left
+      (fun st (k, l) -> State.add_exn st l (W.Flights.signature k))
+      (State.create 5)
+      [ (3, State.Pos); (8, State.Neg) ]
+  in
+  Alcotest.(check (list partition))
+    "most general"
+    [ P.of_pairs 5 [ (2, 4) ] ]
+    (Minimal.most_general st)
+
+(* ------------------------------------------------------------------ *)
+(* Stats and Jquery                                                    *)
+
+let test_stats_engine () =
+  let eng = Session.create W.Flights.instance in
+  let s0 = Stats.of_engine eng in
+  Alcotest.(check int) "nothing labeled" 0 s0.Stats.labeled;
+  Alcotest.(check int) "12 total" 12 s0.Stats.total;
+  (match
+     Session.answer eng
+       (Option.get (Sigclass.find (Session.classes eng) (W.Flights.signature 3)))
+       State.Pos
+   with
+  | Ok () -> ()
+  | Error `Contradiction -> Alcotest.fail "unexpected");
+  let s1 = Stats.of_engine eng in
+  Alcotest.(check int) "one labeled" 1 s1.Stats.labeled;
+  (* (4) went certain for free. *)
+  Alcotest.(check int) "one auto" 1 s1.Stats.auto_determined;
+  Alcotest.(check (float 0.001)) "vs = 4" 4.0 s1.Stats.version_space
+
+let test_jquery_rendering () =
+  let q = Jquery.make W.Flights.schema W.Flights.q2 in
+  Alcotest.(check string) "where" "To = City AND Airline = Discount"
+    (Jquery.to_where q);
+  Alcotest.(check string) "sql"
+    "SELECT * FROM packages WHERE To = City AND Airline = Discount"
+    (Jquery.to_sql ~from:[ "packages" ] q);
+  let empty = Jquery.make W.Flights.schema (P.bottom 5) in
+  Alcotest.(check string) "empty predicate" "TRUE" (Jquery.to_where empty);
+  Alcotest.(check int) "eval count" 2
+    (R.cardinality (Jquery.eval q W.Flights.instance))
+
+let test_jquery_sql_roundtrip () =
+  (* to_sql output parses back through the SQL front end. *)
+  let q = Jquery.make W.Flights.schema W.Flights.q2 in
+  let sql = Jquery.to_sql ~from:[ "packages" ] q in
+  Alcotest.(check bool) "parses" true
+    (Result.is_ok (Jim_relational.Sql_parser.parse sql))
+
+let test_jquery_arity_mismatch () =
+  Alcotest.(check bool) "make checks size" true
+    (try
+       ignore (Jquery.make W.Flights.schema (P.top 3));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "sigclass",
+        [ Alcotest.test_case "grouping" `Quick test_sigclass_grouping ] );
+      ( "state",
+        [
+          Alcotest.test_case "initial" `Quick test_state_initial;
+          Alcotest.test_case "positives meet" `Quick test_state_positive_meets;
+          Alcotest.test_case "contradictions" `Quick test_state_contradictions;
+          Alcotest.test_case "negative redundancy" `Quick
+            test_state_negative_redundancy;
+          Alcotest.test_case "arity mismatch" `Quick test_state_arity_mismatch;
+          prop_state_consistency_brute;
+          prop_goal_always_consistent;
+          prop_classify_brute;
+          prop_informative_label_shrinks_vs;
+        ] );
+      ( "version-space",
+        [
+          prop_vs_count_brute;
+          prop_vs_enumerate_brute;
+          Alcotest.test_case "singleton-on detection" `Quick
+            test_vs_singleton_on;
+          Alcotest.test_case "equivalence classes" `Quick
+            test_vs_equivalence_classes;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "contract" `Quick test_strategies_contract;
+          Alcotest.test_case "find" `Quick test_strategy_find;
+          Alcotest.test_case "decided counts bounds" `Quick
+            test_decided_counts_bounds;
+          Alcotest.test_case "hypothetical branches" `Quick
+            test_hypothetical_branches;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "flights depth + lower bound" `Slow
+            test_optimal_flights;
+          Alcotest.test_case "respects own bound" `Slow
+            test_optimal_matches_its_own_bound;
+          Alcotest.test_case "too large guard" `Quick test_optimal_too_large;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "goal labelling" `Quick test_oracle_goal;
+          Alcotest.test_case "noise injection" `Quick test_oracle_noisy_flips;
+        ] );
+      ( "session",
+        [
+          prop_session_converges;
+          Alcotest.test_case "stepwise engine" `Quick
+            test_session_engine_stepwise;
+          Alcotest.test_case "closed loop never contradicts" `Quick
+            test_closed_loop_never_contradicts;
+          Alcotest.test_case "contradiction detected" `Quick
+            test_session_contradiction_detected;
+          Alcotest.test_case "top questions" `Quick test_session_top_questions;
+        ] );
+      ( "interaction",
+        [
+          Alcotest.test_case "four modes agree" `Quick test_modes_agreement;
+          Alcotest.test_case "mode 2 order-insensitive result" `Quick
+            test_mode2_reversed_order;
+        ] );
+      ( "minimal",
+        [
+          Alcotest.test_case "no negatives" `Quick test_minimal_no_negatives;
+          prop_minimal_correct;
+          Alcotest.test_case "flights case" `Quick test_minimal_flights;
+        ] );
+      ( "stats+jquery",
+        [
+          Alcotest.test_case "engine stats" `Quick test_stats_engine;
+          Alcotest.test_case "rendering" `Quick test_jquery_rendering;
+          Alcotest.test_case "sql roundtrip" `Quick test_jquery_sql_roundtrip;
+          Alcotest.test_case "arity mismatch" `Quick test_jquery_arity_mismatch;
+        ] );
+    ]

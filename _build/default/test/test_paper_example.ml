@@ -1,0 +1,204 @@
+(* Every concrete claim made in Section 2 of the paper, checked verbatim
+   against the engine.  Tuple numbers (1)-(12) are the paper's. *)
+
+module Partition = Jim_partition.Partition
+module Tuple0 = Jim_relational.Tuple0
+module F = Jim_workloads.Flights
+open Jim_core
+
+let partition = Alcotest.testable Partition.pp Partition.equal
+
+let state_after labels =
+  List.fold_left
+    (fun st (k, lbl) -> State.add_exn st lbl (F.signature k))
+    (State.create 5) labels
+
+(* "both queries Q1 and Q2 are consistent with this labeling i.e., both
+   queries select the tuple (3)" *)
+let test_q1_q2_select_3 () =
+  Alcotest.(check bool) "Q1 selects (3)" true (Tuple0.satisfies F.q1 (F.tuple 3));
+  Alcotest.(check bool) "Q2 selects (3)" true (Tuple0.satisfies F.q2 (F.tuple 3));
+  let st = state_after [ (3, State.Pos) ] in
+  Alcotest.(check bool) "Q1 consistent" true (State.consistent st F.q1);
+  Alcotest.(check bool) "Q2 consistent" true (State.consistent st F.q2)
+
+(* "if the user labels next the tuple (4) with +, both queries remain
+   consistent ... the labeling of the tuple (4) does not contribute any
+   new information ... and is therefore uninformative" *)
+let test_4_uninformative_after_3 () =
+  let st = state_after [ (3, State.Pos) ] in
+  Alcotest.(check bool)
+    "(4) certain positive" true
+    (State.classify st (F.signature 4) = State.Certain_pos);
+  let st' = state_after [ (3, State.Pos); (4, State.Pos) ] in
+  Alcotest.(check partition) "state unchanged by (4)+"
+    (State.canonical st) (State.canonical st');
+  Alcotest.(check bool) "Q1 still consistent" true (State.consistent st' F.q1);
+  Alcotest.(check bool) "Q2 still consistent" true (State.consistent st' F.q2)
+
+(* "a tuple whose labeling can distinguish between Q1 and Q2 is, for
+   instance, the tuple (8) because Q1 selects it and Q2 does not" *)
+let test_8_distinguishes () =
+  Alcotest.(check bool) "Q1 selects (8)" true (Tuple0.satisfies F.q1 (F.tuple 8));
+  Alcotest.(check bool) "Q2 rejects (8)" false (Tuple0.satisfies F.q2 (F.tuple 8));
+  let st = state_after [ (3, State.Pos) ] in
+  Alcotest.(check bool)
+    "(8) informative after (3)+" true
+    (State.classify st (F.signature 8) = State.Informative)
+
+(* "If the user labels the tuple (8) with -, then the query Q2 is returned;
+   otherwise Q1 is returned" — with (8)-, Q1 is no longer consistent while
+   Q2 is; with (8)+, Q2 is out and Q1 in. *)
+let test_8_decides_between_q1_q2 () =
+  let st_neg = state_after [ (3, State.Pos); (8, State.Neg) ] in
+  Alcotest.(check bool) "Q1 out after (8)-" false (State.consistent st_neg F.q1);
+  Alcotest.(check bool) "Q2 in after (8)-" true (State.consistent st_neg F.q2);
+  let st_pos = state_after [ (3, State.Pos); (8, State.Pos) ] in
+  Alcotest.(check bool) "Q1 in after (8)+" true (State.consistent st_pos F.q1);
+  Alcotest.(check bool) "Q2 out after (8)+" false (State.consistent st_pos F.q2)
+
+(* "query Q2 is contained in Q1, and therefore, Q1 satisfies all positive
+   examples that Q2 does" — containment on this instance plus the lattice
+   fact Q1 ⊑ Q2. *)
+let test_q2_contained_in_q1 () =
+  Alcotest.(check bool) "Q1 refines Q2" true (Partition.refines F.q1 F.q2);
+  List.iter
+    (fun k ->
+      if Tuple0.satisfies F.q2 (F.tuple k) then
+        Alcotest.(check bool)
+          (Printf.sprintf "Q1 selects (%d) too" k)
+          true
+          (Tuple0.satisfies F.q1 (F.tuple k)))
+    (List.init 12 (fun i -> i + 1))
+
+(* "assuming that (3) is a positive example, and (7) and (8) are negative
+   examples, there is only one consistent join predicate (i.e., the above
+   Q2)" — uniqueness checked by brute force over the whole lattice of
+   partitions of 5 attributes. *)
+let test_unique_q2 () =
+  let st = state_after [ (3, State.Pos); (7, State.Neg); (8, State.Neg) ] in
+  let consistent = Version_space.enumerate st in
+  Alcotest.(check int) "exactly one consistent predicate" 1
+    (List.length consistent);
+  Alcotest.(check partition) "it is Q2" F.q2 (List.hd consistent)
+
+(* "assume that Jim asked the user to label the tuple (12).  If the user
+   labels it as a positive example, we are able to prune the tuples that
+   become uninformative: (3), (4), (7).  Conversely, if the user labels
+   tuple (12) as a negative example, we are able to prune the
+   uninformative tuples: (1), (5), (9)." — from the empty state. *)
+let test_12_pruning () =
+  let decided st k = State.classify st (F.signature k) <> State.Informative in
+  let st_pos = state_after [ (12, State.Pos) ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d) decided after (12)+" k)
+        true (decided st_pos k))
+    [ 3; 4; 7 ];
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d) still informative after (12)+" k)
+        false (decided st_pos k))
+    [ 1; 2; 5; 6; 8; 9; 10; 11 ];
+  let st_neg = state_after [ (12, State.Neg) ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d) decided after (12)-" k)
+        true (decided st_neg k))
+    [ 1; 5; 9 ];
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d) still informative after (12)-" k)
+        false (decided st_neg k))
+    [ 2; 3; 4; 6; 7; 8; 10; 11 ]
+
+(* "the use of only positive examples ... is not sufficient to identify
+   all possible queries": label every tuple Q2 selects positively — Q1
+   remains consistent, so negatives are necessary. *)
+let test_positives_insufficient () =
+  let st =
+    List.fold_left
+      (fun st k ->
+        if Tuple0.satisfies F.q2 (F.tuple k) then
+          State.add_exn st State.Pos (F.signature k)
+        else st)
+      (State.create 5)
+      (List.init 12 (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "Q1 consistent on Q2's positives" true
+    (State.consistent st F.q1);
+  Alcotest.(check bool) "Q2 consistent on Q2's positives" true
+    (State.consistent st F.q2)
+
+(* End-to-end: every strategy infers a predicate instance-equivalent to
+   the goal, for both Q1 and Q2, and the result of Fig. 2's loop on the
+   goal Q2 selects exactly Q2's tuples. *)
+let test_end_to_end_inference () =
+  List.iter
+    (fun goal ->
+      List.iter
+        (fun strat ->
+          let outcome =
+            Session.run ~strategy:strat ~oracle:(Oracle.of_goal goal)
+              F.instance
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: no contradiction" strat.Strategy.name)
+            false outcome.Session.contradiction;
+          let inferred = Jquery.make F.schema outcome.Session.query in
+          let wanted = Jquery.make F.schema goal in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: instance-equivalent to goal"
+               strat.Strategy.name)
+            true
+            (Jquery.equivalent_on inferred wanted F.instance))
+        Strategy.all)
+    [ F.q1; F.q2 ]
+
+(* The interactive loop needs strictly fewer labels than the instance has
+   tuples (the whole point of the demo). *)
+let test_fewer_interactions_than_tuples () =
+  List.iter
+    (fun strat ->
+      let outcome =
+        Session.run ~strategy:strat ~oracle:(Oracle.of_goal F.q2) F.instance
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s asked %d < 12" strat.Strategy.name
+           outcome.Session.interactions)
+        true
+        (outcome.Session.interactions < 12))
+    Strategy.all
+
+let () =
+  Alcotest.run "paper_example"
+    [
+      ( "section-2 claims",
+        [
+          Alcotest.test_case "Q1,Q2 select (3)" `Quick test_q1_q2_select_3;
+          Alcotest.test_case "(4) uninformative after (3)+" `Quick
+            test_4_uninformative_after_3;
+          Alcotest.test_case "(8) distinguishes Q1/Q2" `Quick
+            test_8_distinguishes;
+          Alcotest.test_case "(8) decides between Q1/Q2" `Quick
+            test_8_decides_between_q1_q2;
+          Alcotest.test_case "Q2 contained in Q1" `Quick
+            test_q2_contained_in_q1;
+          Alcotest.test_case "{(3)+,(7)-,(8)-} => unique Q2" `Quick
+            test_unique_q2;
+          Alcotest.test_case "(12) pruning sets" `Quick test_12_pruning;
+          Alcotest.test_case "positives alone insufficient" `Quick
+            test_positives_insufficient;
+        ] );
+      ( "figure-2 loop",
+        [
+          Alcotest.test_case "end-to-end inference, all strategies" `Quick
+            test_end_to_end_inference;
+          Alcotest.test_case "fewer interactions than tuples" `Quick
+            test_fewer_interactions_than_tuples;
+        ] );
+    ]

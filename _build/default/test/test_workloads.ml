@@ -1,0 +1,364 @@
+(* Tests for the workload generators: the flights instance, the synthetic
+   generator, TPC-H-lite, the denormaliser, and the Set-card deck. *)
+
+module P = Jim_partition.Partition
+module V = Jim_relational.Value
+module T = Jim_relational.Tuple0
+module R = Jim_relational.Relation
+module Schema = Jim_relational.Schema
+module Database = Jim_relational.Database
+module W = Jim_workloads
+open Jim_core
+
+let partition = Alcotest.testable P.pp P.equal
+
+let qtest ?(count = 60) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Flights                                                             *)
+
+let test_flights_shape () =
+  Alcotest.(check int) "12 tuples" 12 (R.cardinality W.Flights.instance);
+  Alcotest.(check int) "5 attributes" 5 (R.arity W.Flights.instance);
+  Alcotest.(check (array string))
+    "attribute names"
+    [| "From"; "To"; "Airline"; "City"; "Discount" |]
+    (Schema.names W.Flights.schema)
+
+let test_flights_row_mapping () =
+  Alcotest.(check int) "row 1 -> 0" 0 (W.Flights.row 1);
+  Alcotest.(check int) "row 12 -> 11" 11 (W.Flights.row 12);
+  Alcotest.(check bool) "row 0 invalid" true
+    (try
+       ignore (W.Flights.row 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_flights_queries_select () =
+  (* Q1 selects the 4 flight&hotel city matches; Q2 the 2 discounted
+     ones. *)
+  Alcotest.(check int) "Q1 result" 4
+    (R.cardinality (R.satisfying W.Flights.q1 W.Flights.instance));
+  Alcotest.(check int) "Q2 result" 2
+    (R.cardinality (R.satisfying W.Flights.q2 W.Flights.instance))
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic                                                           *)
+
+let test_synthetic_deterministic () =
+  let a = W.Synthetic.generate W.Synthetic.default in
+  let b = W.Synthetic.generate W.Synthetic.default in
+  Alcotest.(check partition) "same goal" a.W.Synthetic.goal b.W.Synthetic.goal;
+  Alcotest.(check bool) "same instance" true
+    (R.equal_contents a.W.Synthetic.relation b.W.Synthetic.relation)
+
+let test_synthetic_shape () =
+  let i = W.Synthetic.generate W.Synthetic.default in
+  Alcotest.(check int) "tuples" 60 (R.cardinality i.W.Synthetic.relation);
+  Alcotest.(check int) "attrs" 6 (R.arity i.W.Synthetic.relation);
+  Alcotest.(check int) "goal rank" 2 (P.rank i.W.Synthetic.goal)
+
+let test_synthetic_validation () =
+  let bad f =
+    try
+      ignore (W.Synthetic.generate f);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "domain < attrs" true
+    (bad { W.Synthetic.default with W.Synthetic.domain = 3 });
+  Alcotest.(check bool) "rank too big" true
+    (bad { W.Synthetic.default with W.Synthetic.goal_rank = 6 });
+  Alcotest.(check bool) "too few tuples" true
+    (bad { W.Synthetic.default with W.Synthetic.n_tuples = 1 })
+
+let test_synthetic_witnesses_planted () =
+  (* The goal signature itself must occur in the instance, so the goal
+     is exactly identifiable (not just up to equivalence). *)
+  let i = W.Synthetic.generate W.Synthetic.default in
+  let sigs = R.signatures i.W.Synthetic.relation in
+  Alcotest.(check bool) "goal signature present" true
+    (Array.exists (fun sg -> P.equal sg i.W.Synthetic.goal) sigs)
+
+let prop_synthetic_goal_recovered =
+  (* On planted instances, inference recovers the goal exactly (stronger
+     than instance-equivalence), for a deterministic strategy. *)
+  qtest ~count:25 "inference recovers the planted goal exactly"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1000))
+    (fun seed ->
+      let i =
+        W.Synthetic.generate { W.Synthetic.default with W.Synthetic.seed }
+      in
+      let o =
+        Session.run ~strategy:Strategy.lookahead_maximin
+          ~oracle:(Oracle.of_goal i.W.Synthetic.goal)
+          i.W.Synthetic.relation
+      in
+      P.equal o.Session.query i.W.Synthetic.goal)
+
+let test_random_goal_rank () =
+  let rng = Random.State.make [| 5 |] in
+  for rank = 0 to 5 do
+    let g = W.Synthetic.random_goal ~rng ~n:6 ~rank in
+    Alcotest.(check int) (Printf.sprintf "rank %d" rank) rank (P.rank g)
+  done
+
+let test_complexity_sweep_grid () =
+  let insts =
+    W.Synthetic.complexity_sweep ~n_attrs:[ 4; 5 ] ~ranks:[ 1; 2; 4 ] ~tuples:40
+      ()
+  in
+  (* rank 4 is skipped for 4 attrs (max 3) but kept for 5. *)
+  Alcotest.(check int) "grid size" 5 (List.length insts)
+
+(* ------------------------------------------------------------------ *)
+(* TPC-H-lite                                                          *)
+
+let test_tpch_shapes () =
+  let db = W.Tpch.generate ~seed:4 W.Tpch.tiny in
+  Alcotest.(check int) "7 relations" 7 (List.length (Database.names db));
+  let card name = R.cardinality (Database.find_exn db name) in
+  Alcotest.(check int) "customers" 8 (card "customer");
+  Alcotest.(check int) "orders" 16 (card "orders");
+  Alcotest.(check int) "regions" 5 (card "region");
+  Alcotest.(check bool) "lineitems >= orders" true
+    (card "lineitem" >= card "orders")
+
+let test_tpch_fk_integrity () =
+  let db = W.Tpch.generate ~seed:4 W.Tpch.small in
+  let check_fk child fk parent pk =
+    let c = Database.find_exn db child and p = Database.find_exn db parent in
+    let fki = Schema.find_exn (R.schema c) fk in
+    let pki = Schema.find_exn (R.schema p) pk in
+    let keys =
+      List.map (fun t -> T.get t pki) (R.tuples p)
+    in
+    List.iter
+      (fun t ->
+        let v = T.get t fki in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s.%s resolves in %s" child fk parent)
+          true
+          (List.exists (V.equal v) keys))
+      (R.tuples c)
+  in
+  check_fk "orders" "o_custkey" "customer" "c_custkey";
+  check_fk "lineitem" "l_orderkey" "orders" "o_orderkey";
+  check_fk "lineitem" "l_partkey" "part" "p_partkey";
+  check_fk "lineitem" "l_suppkey" "supplier" "s_suppkey";
+  check_fk "customer" "c_nationkey" "nation" "n_nationkey";
+  check_fk "supplier" "s_nationkey" "nation" "n_nationkey";
+  check_fk "nation" "n_regionkey" "region" "r_regionkey"
+
+let test_tpch_deterministic () =
+  let a = W.Tpch.generate ~seed:9 W.Tpch.tiny in
+  let b = W.Tpch.generate ~seed:9 W.Tpch.tiny in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " reproducible") true
+        (R.equal_contents (Database.find_exn a name) (Database.find_exn b name)))
+    (Database.names a)
+
+(* ------------------------------------------------------------------ *)
+(* Denorm                                                              *)
+
+let test_denorm_task () =
+  let db = W.Tpch.generate ~seed:2 W.Tpch.tiny in
+  match W.Denorm.task_of_names db W.Tpch.fk_customer_orders with
+  | Error e -> Alcotest.fail e
+  | Ok task ->
+    Alcotest.(check int) "product cardinality" (8 * 16)
+      (R.cardinality task.W.Denorm.instance);
+    Alcotest.(check int) "product arity" 6 (R.arity task.W.Denorm.instance);
+    (* The goal equates customer.c_custkey (0) and orders.o_custkey (4). *)
+    Alcotest.(check partition) "goal atoms"
+      (P.of_pairs 6 [ (0, 4) ])
+      task.W.Denorm.goal;
+    (* cross_only separates the two sources at position 3/4. *)
+    Alcotest.(check bool) "cross pair" true (task.W.Denorm.cross_only (0, 4));
+    Alcotest.(check bool) "intra pair" false (task.W.Denorm.cross_only (0, 2));
+    (* The goal join has one row per order. *)
+    Alcotest.(check int) "goal join result" 16
+      (R.cardinality (W.Denorm.goal_join_result task))
+
+let test_denorm_sampling () =
+  let db = W.Tpch.generate ~seed:2 W.Tpch.tiny in
+  match W.Denorm.task_of_names ~sample:50 ~seed:1 db W.Tpch.fk_customer_orders with
+  | Error e -> Alcotest.fail e
+  | Ok task ->
+    Alcotest.(check int) "sampled" 50 (R.cardinality task.W.Denorm.instance)
+
+let test_denorm_errors () =
+  let db = W.Tpch.generate ~seed:2 W.Tpch.tiny in
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (W.Denorm.task_of_names db ([ "nope" ], [])));
+  Alcotest.(check bool) "unknown attribute" true
+    (Result.is_error
+       (W.Denorm.task_of_names db
+          ([ "customer"; "orders" ], [ ("customer.nope", "orders.o_custkey") ])))
+
+let test_denorm_three_way () =
+  let db = W.Tpch.generate ~seed:2 W.Tpch.tiny in
+  match
+    W.Denorm.task_of_names ~sample:200 ~seed:4 db W.Tpch.fk_customer_orders_lineitem
+  with
+  | Error e -> Alcotest.fail e
+  | Ok task ->
+    Alcotest.(check int) "3 sources" 3 (List.length task.W.Denorm.sources);
+    Alcotest.(check int) "goal rank 2" 2 (P.rank task.W.Denorm.goal)
+
+(* ------------------------------------------------------------------ *)
+(* Set cards                                                           *)
+
+let test_deck () =
+  Alcotest.(check int) "81 cards" 81 (R.cardinality W.Setcards.deck);
+  Alcotest.(check int) "distinct cards" 81
+    (R.cardinality (R.distinct W.Setcards.deck))
+
+let test_pair_instance () =
+  let pairs = W.Setcards.pair_instance () in
+  Alcotest.(check int) "81*81 pairs" (81 * 81) (R.cardinality pairs);
+  Alcotest.(check int) "8 attributes" 8 (R.arity pairs);
+  let sampled = W.Setcards.pair_instance ~sample:100 ~seed:1 () in
+  Alcotest.(check int) "sampled" 100 (R.cardinality sampled)
+
+let test_same_predicate () =
+  let same_colour = W.Setcards.same [ "colour" ] in
+  (* Each card pairs with 27 same-colour cards (including itself): 81*27. *)
+  Alcotest.(check int) "same-colour pairs" (81 * 27)
+    (R.cardinality (R.satisfying same_colour (W.Setcards.pair_instance ())));
+  let identical =
+    W.Setcards.same [ "number"; "symbol"; "shading"; "colour" ]
+  in
+  Alcotest.(check int) "identical pairs" 81
+    (R.cardinality (R.satisfying identical (W.Setcards.pair_instance ())))
+
+let test_card_rendering () =
+  let card = R.tuple W.Setcards.deck 0 in
+  Alcotest.(check bool) "card renders" true
+    (String.length (W.Setcards.card_to_string card) > 0);
+  let pair = R.tuple (W.Setcards.pair_instance ~sample:5 ~seed:1 ()) 0 in
+  Alcotest.(check bool) "pair renders with separator" true
+    (String.length (W.Setcards.pair_to_string pair) > 3)
+
+let test_setcards_positions () =
+  Alcotest.(check int) "left colour" 3 (W.Setcards.left_ "colour");
+  Alcotest.(check int) "right colour" 7 (W.Setcards.right_ "colour");
+  Alcotest.(check bool) "unknown feature" true
+    (try
+       ignore (W.Setcards.left_ "nope");
+       false
+     with Not_found -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Movies                                                              *)
+
+let test_movies_shapes () =
+  Alcotest.(check int) "catalogue" 7 (R.cardinality W.Movies.catalogue);
+  Alcotest.(check int) "ratings" 5 (R.cardinality W.Movies.ratings);
+  Alcotest.(check int) "awards" 4 (R.cardinality W.Movies.awards)
+
+let test_movies_title_join_inferred () =
+  match W.Denorm.task_of_names W.Movies.db W.Movies.catalogue_ratings with
+  | Error e -> Alcotest.fail e
+  | Ok task ->
+    let o =
+      Session.run ~strategy:Strategy.lookahead_entropy
+        ~oracle:(W.Denorm.oracle task) task.W.Denorm.instance
+    in
+    Alcotest.(check bool) "few questions" true (o.Session.interactions <= 8);
+    Alcotest.(check bool) "equivalent to goal" true
+      (Jquery.equivalent_on
+         (Jquery.make task.W.Denorm.schema o.Session.query)
+         (Jquery.make task.W.Denorm.schema task.W.Denorm.goal)
+         task.W.Denorm.instance)
+
+let test_movies_remake_trap () =
+  (* Title-only joining pairs Herzog's 1979 award with Murnau's 1922
+     film; the two-atom goal (title AND year) excludes it.  The learner
+     must discover the year atom. *)
+  match W.Denorm.task_of_names W.Movies.db W.Movies.catalogue_awards with
+  | Error e -> Alcotest.fail e
+  | Ok task ->
+    let title_only =
+      P.of_pairs
+        (Jim_relational.Schema.arity task.W.Denorm.schema)
+        [
+          ( Jim_relational.Schema.find_exn task.W.Denorm.schema "catalogue.c1",
+            Jim_relational.Schema.find_exn task.W.Denorm.schema "awards.a2" );
+        ]
+    in
+    let goal_rows = R.cardinality (W.Denorm.goal_join_result task) in
+    let title_rows =
+      R.cardinality (R.satisfying title_only task.W.Denorm.instance)
+    in
+    Alcotest.(check bool) "title-only over-selects" true
+      (title_rows > goal_rows);
+    let o =
+      Session.run ~strategy:Strategy.lookahead_maximin
+        ~oracle:(W.Denorm.oracle task) task.W.Denorm.instance
+    in
+    Alcotest.(check bool) "learner finds the 2-atom goal" true
+      (Jquery.equivalent_on
+         (Jquery.make task.W.Denorm.schema o.Session.query)
+         (Jquery.make task.W.Denorm.schema task.W.Denorm.goal)
+         task.W.Denorm.instance);
+    Alcotest.(check bool) "and it is not the title-only join" false
+      (Jquery.equivalent_on
+         (Jquery.make task.W.Denorm.schema o.Session.query)
+         (Jquery.make task.W.Denorm.schema title_only)
+         task.W.Denorm.instance)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "flights",
+        [
+          Alcotest.test_case "shape" `Quick test_flights_shape;
+          Alcotest.test_case "row mapping" `Quick test_flights_row_mapping;
+          Alcotest.test_case "queries select" `Quick test_flights_queries_select;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "shape" `Quick test_synthetic_shape;
+          Alcotest.test_case "validation" `Quick test_synthetic_validation;
+          Alcotest.test_case "witnesses planted" `Quick
+            test_synthetic_witnesses_planted;
+          prop_synthetic_goal_recovered;
+          Alcotest.test_case "random goal rank" `Quick test_random_goal_rank;
+          Alcotest.test_case "complexity sweep grid" `Quick
+            test_complexity_sweep_grid;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "shapes" `Quick test_tpch_shapes;
+          Alcotest.test_case "foreign keys resolve" `Quick
+            test_tpch_fk_integrity;
+          Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+        ] );
+      ( "denorm",
+        [
+          Alcotest.test_case "task construction" `Quick test_denorm_task;
+          Alcotest.test_case "sampling" `Quick test_denorm_sampling;
+          Alcotest.test_case "errors" `Quick test_denorm_errors;
+          Alcotest.test_case "three-way" `Quick test_denorm_three_way;
+        ] );
+      ( "movies",
+        [
+          Alcotest.test_case "shapes" `Quick test_movies_shapes;
+          Alcotest.test_case "title join inferred" `Quick
+            test_movies_title_join_inferred;
+          Alcotest.test_case "remake trap needs the year atom" `Quick
+            test_movies_remake_trap;
+        ] );
+      ( "setcards",
+        [
+          Alcotest.test_case "deck" `Quick test_deck;
+          Alcotest.test_case "pair instance" `Quick test_pair_instance;
+          Alcotest.test_case "same predicates" `Quick test_same_predicate;
+          Alcotest.test_case "rendering" `Quick test_card_rendering;
+          Alcotest.test_case "positions" `Quick test_setcards_positions;
+        ] );
+    ]
