@@ -1,0 +1,117 @@
+(* The strategy-scorer comparison harness: one closed-loop run per
+   strategy on a fixed synthetic workload, with per-strategy perf
+   counters (Metrics) and wall time.  Prints a table and writes the
+   machine-readable BENCH_strategies.json (schema documented in the
+   README). *)
+
+module W = Jim_workloads
+open Jim_core
+
+type row = {
+  name : string;
+  kind : string;
+  interactions_avg : float;
+  questions : int;
+  wall_s : float;
+  snap : Metrics.snapshot;
+}
+
+let kind_string = function
+  | `Random -> "random"
+  | `Local -> "local"
+  | `Lookahead -> "lookahead"
+
+let default_workload =
+  (* n_attrs, n_tuples, goal_rank, seeds *)
+  (6, 200, 2, 3)
+
+let measure ~n_attrs ~n_tuples ~goal_rank ~seeds strat =
+  Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  let interactions = ref 0 and questions = ref 0 in
+  for seed = 1 to seeds do
+    let inst =
+      W.Synthetic.generate
+        {
+          W.Synthetic.n_attrs;
+          n_tuples;
+          domain = max n_attrs 8;
+          goal_rank;
+          seed;
+        }
+    in
+    let oracle = Oracle.of_goal inst.W.Synthetic.goal in
+    let o = Session.run ~seed ~strategy:strat ~oracle inst.W.Synthetic.relation in
+    assert (not o.Session.contradiction);
+    interactions := !interactions + o.Session.interactions;
+    questions := !questions + List.length o.Session.events
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    name = strat.Strategy.name;
+    kind = kind_string strat.Strategy.kind;
+    interactions_avg = float_of_int !interactions /. float_of_int seeds;
+    questions = !questions;
+    wall_s = wall;
+    snap = Metrics.snapshot ();
+  }
+
+let per_question_ms r =
+  if r.questions = 0 then 0.0 else r.wall_s *. 1e3 /. float_of_int r.questions
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"name\":%S,\"kind\":%S,\"interactions_avg\":%.3f,\
+     \"questions\":%d,\"wall_s\":%.6f,\"per_question_ms\":%.6f,\
+     \"metrics\":%s}"
+    r.name r.kind r.interactions_avg r.questions r.wall_s (per_question_ms r)
+    (Metrics.to_json r.snap)
+
+let write_json ~path ~workload rows =
+  let n_attrs, n_tuples, goal_rank, seeds = workload in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema_version\": 1,\n\
+        \  \"generated_by\": \"jim bench compare\",\n\
+        \  \"domains\": %d,\n\
+        \  \"workload\": {\"n_attrs\":%d,\"n_tuples\":%d,\"goal_rank\":%d,\
+         \"seeds\":%d},\n\
+        \  \"strategies\": [\n%s\n  ]\n}\n"
+        (Scorer.domains ()) n_attrs n_tuples goal_rank seeds
+        (String.concat ",\n" (List.map json_of_row rows)))
+
+let run ?(out = "BENCH_strategies.json") ?(workload = default_workload) () =
+  let n_attrs, n_tuples, goal_rank, seeds = workload in
+  Harness.section "COMPARE"
+    "strategy scorer: interactions, pick latency, cache counters";
+  Printf.printf
+    "  (synthetic workload: %d attrs, %d tuples, goal rank %d, %d seeds; \
+     %d scoring domain(s))\n\n"
+    n_attrs n_tuples goal_rank seeds (Scorer.domains ());
+  let strategies = Strategy.all @ [ Lookahead2.strategy () ] in
+  let rows =
+    List.map (measure ~n_attrs ~n_tuples ~goal_rank ~seeds) strategies
+  in
+  Harness.table
+    [
+      "strategy"; "interactions"; "ms/question"; "meets"; "classify";
+      "cache hit%";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Harness.fmt_f r.interactions_avg;
+           Printf.sprintf "%.3f" (per_question_ms r);
+           string_of_int r.snap.Metrics.meets;
+           string_of_int r.snap.Metrics.classify_calls;
+           Printf.sprintf "%.0f" (100.0 *. Metrics.hit_rate r.snap);
+         ])
+       rows);
+  write_json ~path:out ~workload rows;
+  Printf.printf "\n  wrote %s\n" out;
+  rows

@@ -3,7 +3,9 @@
    one Test.make per measured table).
 
    Run with: dune exec bench/main.exe
-   Pass --skip-latency to run only the interaction-count experiments. *)
+   Pass --skip-latency to run only the interaction-count experiments,
+   --quick for the CI smoke run (the strategy-scorer compare harness
+   only, which also writes BENCH_strategies.json). *)
 
 module W = Jim_workloads
 open Jim_core
@@ -134,7 +136,12 @@ let e6 () =
 
 let () =
   let skip_latency = Array.mem "--skip-latency" Sys.argv in
-  Experiments.run_all ();
-  if not skip_latency then e6 ();
+  let quick = Array.mem "--quick" Sys.argv in
+  if quick then ignore (Compare.run ~workload:(5, 80, 2, 2) ())
+  else begin
+    Experiments.run_all ();
+    ignore (Compare.run ());
+    if not skip_latency then e6 ()
+  end;
   Harness.section "DONE" "all experiments executed";
   print_newline ()

@@ -37,6 +37,23 @@ let strategy_arg =
     & opt string "lookahead-entropy"
     & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
 
+(* Candidate scoring fans out over this many domains (picks stay
+   deterministic).  The flag overrides the JIM_DOMAINS environment
+   variable; the default is sequential scoring. *)
+let domains_arg =
+  let open Cmdliner in
+  let doc =
+    "Score candidate tuples with $(docv) parallel domains (overrides \
+     $(b,JIM_DOMAINS); default 1).  Picks are identical to sequential \
+     scoring."
+  in
+  let set = function
+    | None -> ()
+    | Some d -> Scorer.set_domains d
+  in
+  Term.(
+    const set $ Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc))
+
 (* ------------------------------------------------------------------ *)
 (* Interactive loop shared by `infer`, `demo -i` and `setcards -i`.    *)
 
@@ -278,12 +295,16 @@ let run_compare n_attrs rank tuples seed =
   let counts =
     List.map
       (fun strat ->
+        Metrics.reset ();
         let o =
           Session.run ~strategy:strat ~oracle inst.W.Synthetic.relation
         in
+        Printf.printf "  %-20s %s\n" strat.Strategy.name
+          (Metrics.to_string (Metrics.snapshot ()));
         (strat.Strategy.name, o.Session.interactions))
       Strategy.all
   in
+  print_newline ();
   print_string (Jim_tui.Barchart.render (Jim_tui.Barchart.of_counts counts));
   0
 
@@ -380,7 +401,9 @@ let demo_cmd =
           ~doc:"Screen-by-screen replay of the paper's Section 2 narrative.")
   in
   let term =
-    Term.(const run_demo $ interactive_flag $ walkthrough $ strategy_arg)
+    Term.(
+      const (fun () i w s -> run_demo i w s)
+      $ domains_arg $ interactive_flag $ walkthrough $ strategy_arg)
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"The guided demonstration on the paper's instance.")
@@ -407,7 +430,11 @@ let infer_cmd =
       & info [ "resume" ] ~docv:"FILE"
           ~doc:"Replay a previous transcript before asking questions.")
   in
-  let term = Term.(const run_infer $ path $ strategy_arg $ transcript $ replay) in
+  let term =
+    Term.(
+      const (fun () p s t r -> run_infer p s t r)
+      $ domains_arg $ path $ strategy_arg $ transcript $ replay)
+  in
   Cmd.v
     (Cmd.info "infer" ~doc:"Interactive join inference over a CSV instance.")
     term
@@ -423,7 +450,11 @@ let compare_cmd =
     Arg.(value & opt int 80 & info [ "t"; "tuples" ] ~doc:"Instance size.")
   in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
-  let term = Term.(const run_compare $ n_attrs $ rank $ tuples $ seed) in
+  let term =
+    Term.(
+      const (fun () n r t s -> run_compare n r t s)
+      $ domains_arg $ n_attrs $ rank $ tuples $ seed)
+  in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all strategies on a synthetic instance.")
     term
@@ -433,14 +464,18 @@ let setcards_cmd =
     Arg.(value & opt int 400 & info [ "sample" ] ~doc:"Pairs on screen.")
   in
   let term =
-    Term.(const run_setcards $ interactive_flag $ strategy_arg $ sample)
+    Term.(
+      const (fun () i s n -> run_setcards i s n)
+      $ domains_arg $ interactive_flag $ strategy_arg $ sample)
   in
   Cmd.v
     (Cmd.info "setcards" ~doc:"Joining sets of pictures (Set cards, Fig. 5).")
     term
 
 let tpch_cmd =
-  let term = Term.(const run_tpch $ strategy_arg) in
+  let term =
+    Term.(const (fun () s -> run_tpch s) $ domains_arg $ strategy_arg)
+  in
   Cmd.v
     (Cmd.info "tpch" ~doc:"Foreign-key join tasks over TPC-H-lite.")
     term

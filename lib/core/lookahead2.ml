@@ -1,38 +1,31 @@
 (* Depth-2 maximin.  For candidate c:
      score2(c) = min over consistent answers a of
                    decided(c, a) + best one-step maximin in state(c, a)
-   The follow-up term is 0 when the answer already finishes the session. *)
+   The follow-up term is 0 when the answer already finishes the session.
 
-let informative_of st classes =
-  let out = ref [] in
-  Array.iteri
-    (fun i (c : Sigclass.cls) ->
-      if State.classify st c.Sigclass.sg = State.Informative then
-        out := i :: !out)
-    classes;
-  List.rev !out
+   All classification work runs through a round's Scorer, so the inner
+   one-step sweeps share the memoised hypothetical classifications. *)
 
-let one_step_maximin st classes informative c =
-  let p, n = Strategy.decided_counts st classes informative c in
+let one_step_maximin sc c =
+  let p, n = Scorer.decided_counts sc c in
   min p n
 
-let best_one_step st classes =
-  let informative = informative_of st classes in
-  List.fold_left
-    (fun acc c -> max acc (one_step_maximin st classes informative c))
-    0 informative
+let best_one_step cache st classes =
+  let sc = Scorer.of_state ~cache st classes in
+  Array.fold_left
+    (fun acc c -> max acc (one_step_maximin sc c))
+    0 (Scorer.informative sc)
 
 let strategy ?(beam = 8) () =
   let pick (ctx : Strategy.ctx) =
-    match ctx.Strategy.informative with
-    | [] -> None
-    | informative ->
+    if Array.length ctx.Strategy.informative = 0 then None
+    else begin
+      let sc = Strategy.scorer_of ctx in
       (* Beam: keep the candidates with the best one-step maximin. *)
       let scored =
         List.map
-          (fun c ->
-            (c, one_step_maximin ctx.Strategy.state ctx.Strategy.classes informative c))
-          informative
+          (fun c -> (c, one_step_maximin sc c))
+          (Array.to_list ctx.Strategy.informative)
       in
       let beam_set =
         List.sort (fun (_, a) (_, b) -> compare b a) scored
@@ -40,24 +33,13 @@ let strategy ?(beam = 8) () =
         |> List.map fst
       in
       let score2 c =
-        let sg = ctx.Strategy.classes.(c).Sigclass.sg in
-        let st_pos, st_neg = Strategy.hypothetical ctx.Strategy.state sg in
+        let st_pos, st_neg = Scorer.hypothetical sc c in
         let arm label_state =
           match label_state with
           | None -> max_int (* impossible answer does not constrain the min *)
           | Some st' ->
-            let decided =
-              List.fold_left
-                (fun acc i ->
-                  if
-                    State.classify st'
-                      ctx.Strategy.classes.(i).Sigclass.sg
-                    <> State.Informative
-                  then acc + 1
-                  else acc)
-                0 informative
-            in
-            decided + best_one_step st' ctx.Strategy.classes
+            Scorer.decided_under sc st'
+            + best_one_step ctx.Strategy.cache st' ctx.Strategy.classes
         in
         min (arm st_pos) (arm st_neg)
       in
@@ -70,6 +52,7 @@ let strategy ?(beam = 8) () =
           (List.tl beam_set)
       in
       Some (fst best)
+    end
   in
   {
     Strategy.name = "lookahead-2";

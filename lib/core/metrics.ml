@@ -1,0 +1,86 @@
+(* Process-wide perf counters for the scoring engine.  Atomic so parallel
+   scoring domains can bump them without synchronisation. *)
+
+type snapshot = {
+  meets : int;
+  classify_calls : int;
+  cache_hits : int;
+  cache_misses : int;
+  picks : int;
+  pick_time_ns : int;
+  last_pick_ns : int;
+}
+
+let meets = Atomic.make 0
+let classify_calls = Atomic.make 0
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+let picks = Atomic.make 0
+let pick_time_ns = Atomic.make 0
+let last_pick_ns = Atomic.make 0
+
+let reset () =
+  Atomic.set meets 0;
+  Atomic.set classify_calls 0;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0;
+  Atomic.set picks 0;
+  Atomic.set pick_time_ns 0;
+  Atomic.set last_pick_ns 0
+
+let record_meet () = Atomic.incr meets
+let record_classify () = Atomic.incr classify_calls
+let record_hit () = Atomic.incr cache_hits
+let record_miss () = Atomic.incr cache_misses
+
+let record_pick ~ns =
+  Atomic.incr picks;
+  ignore (Atomic.fetch_and_add pick_time_ns ns);
+  Atomic.set last_pick_ns ns
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let time_pick f =
+  let t0 = now_ns () in
+  let r = f () in
+  record_pick ~ns:(now_ns () - t0);
+  r
+
+let snapshot () =
+  {
+    meets = Atomic.get meets;
+    classify_calls = Atomic.get classify_calls;
+    cache_hits = Atomic.get cache_hits;
+    cache_misses = Atomic.get cache_misses;
+    picks = Atomic.get picks;
+    pick_time_ns = Atomic.get pick_time_ns;
+    last_pick_ns = Atomic.get last_pick_ns;
+  }
+
+let hit_rate s =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+let avg_pick_ns s =
+  if s.picks = 0 then 0.0
+  else float_of_int s.pick_time_ns /. float_of_int s.picks
+
+let to_string s =
+  Printf.sprintf
+    "picks %d (avg %.2f ms) | meets %d | classify %d | cache %d/%d (%.0f%% hit)"
+    s.picks
+    (avg_pick_ns s /. 1e6)
+    s.meets s.classify_calls s.cache_hits
+    (s.cache_hits + s.cache_misses)
+    (100.0 *. hit_rate s)
+
+let to_json s =
+  Printf.sprintf
+    "{\"picks\":%d,\"pick_time_ns\":%d,\"avg_pick_ms\":%.6f,\"meets\":%d,\
+     \"classify_calls\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"cache_hit_rate\":%.6f}"
+    s.picks s.pick_time_ns
+    (avg_pick_ns s /. 1e6)
+    s.meets s.classify_calls s.cache_hits s.cache_misses (hit_rate s)
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

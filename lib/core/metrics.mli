@@ -1,0 +1,48 @@
+(** Process-wide performance counters for the strategy scoring engine:
+    lattice meets computed, {!State.classify} evaluations, memo-cache
+    hits/misses and per-pick wall time.  Counters are atomic, so scoring
+    domains spawned by {!Scorer.best} update them safely; they are
+    surfaced through {!Stats}, the TUI progress panel and the bench
+    [compare] harness ([BENCH_strategies.json]). *)
+
+type snapshot = {
+  meets : int;          (** [Partition.meet]s computed by the scorer *)
+  classify_calls : int; (** classifications actually evaluated *)
+  cache_hits : int;     (** classifications answered from the memo *)
+  cache_misses : int;
+  picks : int;          (** questions selected *)
+  pick_time_ns : int;   (** total wall time spent selecting, ns *)
+  last_pick_ns : int;   (** wall time of the most recent pick, ns *)
+}
+
+val reset : unit -> unit
+(** Zero every counter (bench harnesses call this between strategies). *)
+
+val snapshot : unit -> snapshot
+
+(** {1 Recording (called by the scorer and the session engine)} *)
+
+val record_meet : unit -> unit
+val record_classify : unit -> unit
+val record_hit : unit -> unit
+val record_miss : unit -> unit
+val record_pick : ns:int -> unit
+
+val now_ns : unit -> int
+(** Wall clock in nanoseconds (microsecond resolution). *)
+
+val time_pick : (unit -> 'a) -> 'a
+(** Run a question selection, recording its wall time as one pick. *)
+
+(** {1 Derived figures} *)
+
+val hit_rate : snapshot -> float
+(** Hits / (hits + misses); 0 when the cache was never consulted. *)
+
+val avg_pick_ns : snapshot -> float
+
+val to_string : snapshot -> string
+val to_json : snapshot -> string
+(** One-line JSON object (the [BENCH_strategies.json] per-strategy shape). *)
+
+val pp : Format.formatter -> snapshot -> unit

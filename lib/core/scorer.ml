@@ -1,0 +1,282 @@
+module Partition = Jim_partition.Partition
+
+(* The round-scoped scoring engine every strategy routes through.
+
+   A lookahead strategy scores each informative class c by re-classifying
+   every informative class i under the two hypothetical states "c labelled
+   +" and "c labelled -" — O(k^2) classifications per question, each one a
+   lattice meet.  Three observations make this cheap:
+
+   - [meet s sig_i] only depends on the round's state, not on the
+     candidate: compute it once per round and share it across candidates
+     (every negative-branch classification, and the certain-negative test
+     of the positive branch of candidates whose meet leaves [s]
+     unchanged, reuses it);
+   - hypothetical states repeat — across candidates (distinct signatures
+     with equal clipped meets), across the two count/cardinality passes,
+     and across rounds (the answered branch becomes the next round's base
+     state) — so classifications are memoised in a [cache] keyed by
+     [State.key] x class index that outlives the round;
+   - candidate scoring is effect-free, so it can fan out across domains
+     ([JIM_DOMAINS] / [--domains]); the merge is a deterministic
+     lowest-index-wins argmax, making parallel and sequential picks
+     bit-identical. *)
+
+type cache = (string, State.status option array) Hashtbl.t
+
+let new_cache () : cache = Hashtbl.create 64
+
+type t = {
+  st : State.t;
+  classes : Sigclass.cls array;
+  informative : int array;
+  meets : Partition.t option array;  (** per class: [meet st.s sig_i] *)
+  hyps : (State.t option * State.t option) option array;
+      (** per candidate: the two hypothetical states *)
+  cache : cache;
+}
+
+let informative_gen classes status =
+  let k = Array.length classes in
+  let keep = Array.make k false in
+  let count = ref 0 in
+  for i = 0 to k - 1 do
+    if status i = State.Informative then begin
+      keep.(i) <- true;
+      incr count
+    end
+  done;
+  let out = Array.make !count 0 in
+  let j = ref 0 in
+  for i = 0 to k - 1 do
+    if keep.(i) then begin
+      out.(!j) <- i;
+      incr j
+    end
+  done;
+  out
+
+let informative_of st classes =
+  informative_gen classes (fun i ->
+      Metrics.record_classify ();
+      State.classify st classes.(i).Sigclass.sg)
+
+let create ?cache st classes informative =
+  let cache = match cache with Some c -> c | None -> new_cache () in
+  {
+    st;
+    classes;
+    informative;
+    meets = Array.make (Array.length classes) None;
+    hyps = Array.make (Array.length classes) None;
+    cache;
+  }
+
+let state sc = sc.st
+let informative sc = sc.informative
+
+let meet_s sc i =
+  match sc.meets.(i) with
+  | Some m -> m
+  | None ->
+    Metrics.record_meet ();
+    let m = Partition.meet sc.st.State.s sc.classes.(i).Sigclass.sg in
+    sc.meets.(i) <- Some m;
+    m
+
+let meet_rank sc i = Partition.rank (meet_s sc i)
+
+let hypothetical sc c =
+  match sc.hyps.(c) with
+  | Some h -> h
+  | None ->
+    let sg = sc.classes.(c).Sigclass.sg in
+    let branch label =
+      (* State.add computes one meet internally. *)
+      Metrics.record_meet ();
+      match State.add sc.st label sg with
+      | Ok st' -> Some st'
+      | Error `Contradiction -> None
+    in
+    let h = (branch State.Pos, branch State.Neg) in
+    sc.hyps.(c) <- Some h;
+    h
+
+(* The memo row of a (hypothetical) state: one status slot per class. *)
+let row_of cache classes st' =
+  let key = State.key st' in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r = Array.make (Array.length classes) None in
+    Hashtbl.add cache key r;
+    r
+
+(* [State.classify st' sig_i], but reusing the shared per-round meets when
+   [st'] kept the round's canonical predicate (every negative branch
+   does). *)
+let classify_uncached sc st' i =
+  Metrics.record_classify ();
+  let sg = sc.classes.(i).Sigclass.sg in
+  if Partition.refines st'.State.s sg then State.Certain_pos
+  else
+    let m =
+      if st'.State.s == sc.st.State.s then meet_s sc i
+      else begin
+        Metrics.record_meet ();
+        Partition.meet st'.State.s sg
+      end
+    in
+    if List.exists (fun u -> Partition.refines m u) st'.State.negatives then
+      State.Certain_neg
+    else State.Informative
+
+let classify_row sc st' (row : State.status option array) i =
+  match row.(i) with
+  | Some v ->
+    Metrics.record_hit ();
+    v
+  | None ->
+    Metrics.record_miss ();
+    let v = classify_uncached sc st' i in
+    row.(i) <- Some v;
+    v
+
+let class_status cache classes st i =
+  let row = row_of cache classes st in
+  match row.(i) with
+  | Some v ->
+    Metrics.record_hit ();
+    v
+  | None ->
+    Metrics.record_miss ();
+    Metrics.record_classify ();
+    let v = State.classify st classes.(i).Sigclass.sg in
+    row.(i) <- Some v;
+    v
+
+(* When a shared cache is supplied the informative set is computed
+   through it, so inner lookahead sweeps reuse the classifications the
+   outer round already paid for. *)
+let of_state ?cache st classes =
+  match cache with
+  | None -> create st classes (informative_of st classes)
+  | Some cache ->
+    create ~cache st classes
+      (informative_gen classes (fun i -> class_status cache classes st i))
+
+let decided_under sc st' =
+  let row = row_of sc.cache sc.classes st' in
+  Array.fold_left
+    (fun acc i ->
+      if classify_row sc st' row i <> State.Informative then acc + 1 else acc)
+    0 sc.informative
+
+let decided_counts sc c =
+  let st_pos, st_neg = hypothetical sc c in
+  let count = function
+    | None -> Array.length sc.informative
+    | Some st' -> decided_under sc st'
+  in
+  (count st_pos, count st_neg)
+
+let decided_cards sc c =
+  let st_pos, st_neg = hypothetical sc c in
+  let total =
+    Array.fold_left
+      (fun acc i -> acc + sc.classes.(i).Sigclass.card)
+      0 sc.informative
+  in
+  let count = function
+    | None -> total
+    | Some st' ->
+      let row = row_of sc.cache sc.classes st' in
+      Array.fold_left
+        (fun acc i ->
+          if classify_row sc st' row i <> State.Informative then
+            acc + sc.classes.(i).Sigclass.card
+          else acc)
+        0 sc.informative
+  in
+  (count st_pos, count st_neg)
+
+let vs_split sc c =
+  let st_pos, st_neg = hypothetical sc c in
+  let vs = function None -> 0.0 | Some st' -> Version_space.count st' in
+  (vs st_pos, vs st_neg)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel candidate scoring.                                         *)
+
+let domains_override = ref None
+
+let domains () =
+  match !domains_override with
+  | Some d -> d
+  | None ->
+    let d =
+      match Sys.getenv_opt "JIM_DOMAINS" with
+      | Some v -> ( match int_of_string_opt (String.trim v) with
+        | Some d when d >= 1 -> d
+        | _ -> 1)
+      | None -> 1
+    in
+    domains_override := Some d;
+    d
+
+let set_domains d = domains_override := Some (max 1 d)
+
+(* Strict-improvement fold over [inf.(lo..hi-1)]; scanning in increasing
+   index order makes ties resolve to the lowest index. *)
+let chunk_argmax sc score inf lo hi =
+  if hi <= lo then None
+  else begin
+    let bi = ref inf.(lo) and bs = ref (score sc inf.(lo)) in
+    for j = lo + 1 to hi - 1 do
+      let s = score sc inf.(j) in
+      if s > !bs then begin
+        bi := inf.(j);
+        bs := s
+      end
+    done;
+    Some (!bi, !bs)
+  end
+
+let best sc score =
+  let inf = sc.informative in
+  let k = Array.length inf in
+  if k = 0 then None
+  else begin
+    let nd = min (domains ()) k in
+    if nd <= 1 then Option.map fst (chunk_argmax sc score inf 0 k)
+    else begin
+      (* Each domain scores a contiguous chunk with a private clone
+         (fresh memo tables; the shared inputs are immutable), then the
+         chunk winners merge in chunk order with the same strict-> rule:
+         bit-identical to the sequential scan. *)
+      let clone () = create sc.st sc.classes sc.informative in
+      let bounds d = (d * k / nd, (d + 1) * k / nd) in
+      let spawned =
+        Array.init (nd - 1) (fun d ->
+            let lo, hi = bounds (d + 1) in
+            let sc' = clone () in
+            Domain.spawn (fun () -> chunk_argmax sc' score inf lo hi))
+      in
+      let first =
+        let lo, hi = bounds 0 in
+        chunk_argmax sc score inf lo hi
+      in
+      let winner =
+        Array.fold_left
+          (fun acc r ->
+            match (acc, r) with
+            | None, r -> r
+            | acc, None -> acc
+            | Some (_, bs), Some (j, s) when s > bs -> Some (j, s)
+            | acc, _ -> acc)
+          first
+          (Array.map Domain.join spawned)
+      in
+      Option.map fst winner
+    end
+  end

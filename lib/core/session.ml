@@ -4,6 +4,10 @@ type t = {
   n : int;
   classes : Sigclass.cls array;
   row_class : int array;  (** row number -> class index *)
+  cache : Scorer.cache;
+      (** classification memo shared by every scoring round of this
+          engine: the work done evaluating a candidate is reused when its
+          answer arrives *)
   mutable st : State.t;
   mutable statuses : State.status array;
   mutable asked : int;
@@ -27,7 +31,7 @@ let refresh_statuses_incremental eng =
   Array.iteri
     (fun i s ->
       if s = State.Informative then
-        eng.statuses.(i) <- State.classify eng.st eng.classes.(i).Sigclass.sg)
+        eng.statuses.(i) <- Scorer.class_status eng.cache eng.classes eng.st i)
     eng.statuses
 
 let of_classes ~n classes =
@@ -42,6 +46,7 @@ let of_classes ~n classes =
       n;
       classes;
       row_class;
+      cache = Scorer.new_cache ();
       st = State.create n;
       statuses = [||];
       asked = 0;
@@ -60,39 +65,63 @@ let classes eng = eng.classes
 let status eng i = eng.statuses.(i)
 let row_status eng r = eng.statuses.(eng.row_class.(r))
 
-let informative eng =
-  let out = ref [] in
-  Array.iteri
-    (fun i s -> if s = State.Informative then out := i :: !out)
+let informative_array eng =
+  let count = ref 0 in
+  Array.iter
+    (fun s -> if s = State.Informative then incr count)
     eng.statuses;
-  List.rev !out
+  let out = Array.make !count 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if s = State.Informative then begin
+        out.(!j) <- i;
+        incr j
+      end)
+    eng.statuses;
+  out
 
-let finished eng = informative eng = []
+let informative eng = Array.to_list (informative_array eng)
+
+let finished eng =
+  Array.for_all (fun s -> s <> State.Informative) eng.statuses
+
 let asked eng = eng.asked
 
 let ctx_of eng rng =
   {
     Strategy.state = eng.st;
     classes = eng.classes;
-    informative = informative eng;
+    informative = informative_array eng;
+    cache = eng.cache;
     rng;
   }
 
-let question eng strat rng = strat.Strategy.pick (ctx_of eng rng)
+let question eng strat rng =
+  Metrics.time_pick (fun () -> strat.Strategy.pick (ctx_of eng rng))
 
 let top_questions eng strat rng k =
-  let rec go masked acc k =
+  (* Mask already-proposed classes with a bool array over class indices
+     (the informative sets are rebuilt per pick, so an O(k) membership
+     scan per element would make this O(k^2)). *)
+  let masked = Array.make (Array.length eng.classes) false in
+  let base = informative_array eng in
+  let rec go acc k =
     if k = 0 then List.rev acc
     else
-      let ctx = ctx_of eng rng in
       let remaining =
-        List.filter (fun i -> not (List.mem i masked)) ctx.Strategy.informative
+        Array.of_seq
+          (Seq.filter (fun i -> not masked.(i)) (Array.to_seq base))
       in
-      match strat.Strategy.pick { ctx with Strategy.informative = remaining } with
+      let ctx = { (ctx_of eng rng) with Strategy.informative = remaining } in
+      let pick = Metrics.time_pick (fun () -> strat.Strategy.pick ctx) in
+      match pick with
       | None -> List.rev acc
-      | Some c -> go (c :: masked) (c :: acc) (k - 1)
+      | Some c ->
+        masked.(c) <- true;
+        go (c :: acc) (k - 1)
   in
-  go [] [] k
+  go [] k
 
 (* Absorb a labelled signature that need not correspond to a class of the
    instance (transcript replay across instance revisions). *)

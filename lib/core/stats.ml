@@ -6,6 +6,7 @@ type t = {
   labeled_pct : float;
   auto_pct : float;
   version_space : float;
+  scoring : Metrics.snapshot;
 }
 
 let pct part total =
@@ -21,6 +22,7 @@ let build ~labeled ~decided_tuples ~total ~version_space =
     labeled_pct = pct labeled total;
     auto_pct = pct auto_determined total;
     version_space;
+    scoring = Metrics.snapshot ();
   }
 
 let of_engine eng =
@@ -44,9 +46,13 @@ let of_outcome ~total (o : Session.outcome) =
   build ~labeled:o.Session.interactions ~decided_tuples ~total ~version_space:vs
 
 let to_string s =
-  Printf.sprintf
-    "labeled %d/%d (%.1f%%), auto-determined %d (%.1f%%), open %d, VS %.0f"
-    s.labeled s.total s.labeled_pct s.auto_determined s.auto_pct
-    s.still_informative s.version_space
+  let base =
+    Printf.sprintf
+      "labeled %d/%d (%.1f%%), auto-determined %d (%.1f%%), open %d, VS %.0f"
+      s.labeled s.total s.labeled_pct s.auto_determined s.auto_pct
+      s.still_informative s.version_space
+  in
+  if s.scoring.Metrics.picks = 0 then base
+  else base ^ "; scorer: " ^ Metrics.to_string s.scoring
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -10,6 +10,8 @@ type t = {
   labeled_pct : float;
   auto_pct : float;
   version_space : float;      (** consistent predicates remaining *)
+  scoring : Metrics.snapshot;
+      (** scorer perf counters at snapshot time (process-wide) *)
 }
 
 val of_engine : Session.t -> t

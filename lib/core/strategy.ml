@@ -3,7 +3,8 @@ module Partition = Jim_partition.Partition
 type ctx = {
   state : State.t;
   classes : Sigclass.cls array;
-  informative : int list;
+  informative : int array;
+  cache : Scorer.cache;
   rng : Random.State.t;
 }
 
@@ -14,12 +15,17 @@ type t = {
   pick : ctx -> int option;
 }
 
+let scorer_of ctx =
+  Scorer.create ~cache:ctx.cache ctx.state ctx.classes ctx.informative
+
 let hypothetical st sg =
   let branch label =
     match State.add st label sg with Ok st' -> Some st' | Error `Contradiction -> None
   in
   (branch State.Pos, branch State.Neg)
 
+(* Unmemoised reference implementation, kept as the specification the
+   scorer's memoised [decided_counts] is property-tested against. *)
 let decided_counts st classes informative c =
   let sg = classes.(c).Sigclass.sg in
   let st_pos, st_neg = hypothetical st sg in
@@ -55,18 +61,7 @@ let decided_cards st classes informative c =
   in
   (count st_pos, count st_neg)
 
-let argmax_by score ctx =
-  match ctx.informative with
-  | [] -> None
-  | first :: rest ->
-    let best, _ =
-      List.fold_left
-        (fun (bi, bs) i ->
-          let s = score i in
-          if s > bs then (i, s) else (bi, bs))
-        (first, score first) rest
-    in
-    Some best
+let argmax_by score ctx = Scorer.best (scorer_of ctx) score
 
 let random =
   {
@@ -75,20 +70,19 @@ let random =
     kind = `Random;
     pick =
       (fun ctx ->
-        match ctx.informative with
-        | [] -> None
-        | l -> Some (List.nth l (Random.State.int ctx.rng (List.length l))));
+        match Array.length ctx.informative with
+        | 0 -> None
+        | k -> Some ctx.informative.(Random.State.int ctx.rng k));
   }
-
-let meet_rank ctx i =
-  Partition.rank (Partition.meet ctx.state.State.s ctx.classes.(i).Sigclass.sg)
 
 let local_specific =
   {
     name = "local-specific";
     descr = "local: maximise the equalities shared with the candidate s";
     kind = `Local;
-    pick = (fun ctx -> argmax_by (fun i -> float_of_int (meet_rank ctx i)) ctx);
+    pick =
+      (fun ctx ->
+        argmax_by (fun sc i -> float_of_int (Scorer.meet_rank sc i)) ctx);
   }
 
 let local_general =
@@ -96,7 +90,9 @@ let local_general =
     name = "local-general";
     descr = "local: minimise the equalities shared with the candidate s";
     kind = `Local;
-    pick = (fun ctx -> argmax_by (fun i -> -.float_of_int (meet_rank ctx i)) ctx);
+    pick =
+      (fun ctx ->
+        argmax_by (fun sc i -> -.float_of_int (Scorer.meet_rank sc i)) ctx);
   }
 
 let local_lex =
@@ -106,21 +102,18 @@ let local_lex =
     kind = `Local;
     pick =
       (fun ctx ->
-        match ctx.informative with
-        | [] -> None
-        | first :: rest ->
-          let best =
-            List.fold_left
-              (fun b i ->
-                if
-                  Partition.compare ctx.classes.(i).Sigclass.sg
-                    ctx.classes.(b).Sigclass.sg
-                  < 0
-                then i
-                else b)
-              first rest
-          in
-          Some best);
+        if Array.length ctx.informative = 0 then None
+        else
+          Some
+            (Array.fold_left
+               (fun b i ->
+                 if
+                   Partition.compare ctx.classes.(i).Sigclass.sg
+                     ctx.classes.(b).Sigclass.sg
+                   < 0
+                 then i
+                 else b)
+               ctx.informative.(0) ctx.informative));
   }
 
 let lookahead_maximin =
@@ -131,8 +124,8 @@ let lookahead_maximin =
     pick =
       (fun ctx ->
         argmax_by
-          (fun i ->
-            let p, n = decided_counts ctx.state ctx.classes ctx.informative i in
+          (fun sc i ->
+            let p, n = Scorer.decided_counts sc i in
             float_of_int (min p n))
           ctx);
   }
@@ -145,8 +138,8 @@ let lookahead_expected =
     pick =
       (fun ctx ->
         argmax_by
-          (fun i ->
-            let p, n = decided_cards ctx.state ctx.classes ctx.informative i in
+          (fun sc i ->
+            let p, n = Scorer.decided_cards sc i in
             float_of_int (p + n) /. 2.0)
           ctx);
   }
@@ -155,32 +148,29 @@ let binary_entropy p =
   if p <= 0.0 || p >= 1.0 then 0.0
   else -.((p *. log p) +. ((1.0 -. p) *. log (1.0 -. p)))
 
+let entropy_score sc i =
+  let vp, vn = Scorer.vs_split sc i in
+  let p, n = Scorer.decided_counts sc i in
+  let maximin = float_of_int (min p n) in
+  let total = vp +. vn in
+  if not (Float.is_finite total) then
+    (* Version-space counts saturate to [infinity] on wide instances;
+       [vp /. total] would be NaN and poison the argmax (NaN beats
+       nothing, so the first candidate would always win).  Fall back to
+       the maximin pruning score. *)
+    maximin
+  else if total <= 0.0 then 0.0
+  else
+    (* Entropy first; pruning-count as an epsilon tie-break so
+       equal splits prefer bigger immediate progress. *)
+    binary_entropy (vp /. total) +. (1e-9 *. maximin)
+
 let lookahead_entropy =
   {
     name = "lookahead-entropy";
     descr = "lookahead: maximise the entropy of the version-space split";
     kind = `Lookahead;
-    pick =
-      (fun ctx ->
-        argmax_by
-          (fun i ->
-            let st_pos, st_neg =
-              hypothetical ctx.state ctx.classes.(i).Sigclass.sg
-            in
-            let vs = function
-              | None -> 0.0
-              | Some st' -> Version_space.count st'
-            in
-            let vp = vs st_pos and vn = vs st_neg in
-            let total = vp +. vn in
-            if total <= 0.0 then 0.0
-            else
-              (* Entropy first; pruning-count as an epsilon tie-break so
-                 equal splits prefer bigger immediate progress. *)
-              let p, n = decided_counts ctx.state ctx.classes ctx.informative i in
-              binary_entropy (vp /. total)
-              +. (1e-9 *. float_of_int (min p n)))
-          ctx);
+    pick = (fun ctx -> argmax_by entropy_score ctx);
   }
 
 let all =

@@ -6,13 +6,20 @@
     [lookahead] strategies that score each candidate by the quantity of
     information its label would bring (pruning counts or the entropy of
     the version-space split).  The exponential [optimal] yardstick lives
-    in {!Optimal}. *)
+    in {!Optimal}.
+
+    All scored strategies route through {!Scorer}, which memoises the
+    per-candidate work and (with {!Scorer.set_domains} / [JIM_DOMAINS])
+    scores candidates in parallel with deterministic picks. *)
 
 type ctx = {
   state : State.t;
   classes : Sigclass.cls array;
-  informative : int list;  (** indices into [classes], first-occurrence order *)
-  rng : Random.State.t;    (** private to the strategy *)
+  informative : int array;
+      (** indices into [classes], first-occurrence order *)
+  cache : Scorer.cache;
+      (** classification memo shared across the session's rounds *)
+  rng : Random.State.t;  (** private to the strategy *)
 }
 
 type t = {
@@ -51,7 +58,10 @@ val lookahead_expected : t
 val lookahead_entropy : t
 (** Maximise the binary entropy of the version-space split
     [(|VS if +|, |VS if −|)] — prefers questions whose answers are most
-    balanced, i.e. carry the most information about the goal. *)
+    balanced, i.e. carry the most information about the goal.  When the
+    counts saturate to [infinity] (wide instances) the entropy is
+    undefined; the score falls back to the maximin pruning count instead
+    of degenerating to the first informative class. *)
 
 val all : t list
 (** The catalogue above, in presentation order. *)
@@ -60,12 +70,23 @@ val find : string -> t option
 
 (** {1 Helpers shared with {!Optimal} and the interaction modes} *)
 
+val scorer_of : ctx -> Scorer.t
+(** The round's scoring engine (shares the context's cache). *)
+
 val decided_counts : State.t -> Sigclass.cls array -> int list -> int -> int * int
 (** [decided_counts st classes informative c]: numbers of currently
     informative classes (including [c]) that become certain if class [c]
     is labelled [+] and [−] respectively.  A contradictory branch counts
     every remaining class as decided (that answer would end the session
-    anyway — it cannot happen with a sound user). *)
+    anyway — it cannot happen with a sound user).
+
+    This is the {e unmemoised reference implementation}; strategies use
+    the equivalent {!Scorer.decided_counts} (the equivalence is pinned
+    by a property test). *)
+
+val decided_cards : State.t -> Sigclass.cls array -> int list -> int -> int * int
+(** Same, weighting each decided class by its tuple cardinality
+    (unmemoised reference for {!Scorer.decided_cards}). *)
 
 val hypothetical : State.t -> Jim_partition.Partition.t -> State.t option * State.t option
 (** States after labelling a tuple of the given signature [+] / [−];

@@ -113,6 +113,13 @@ let compare (p : t) (q : t) = Stdlib.compare p q
 
 let hash (p : t) = Hashtbl.hash p
 
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
 let check_sizes name p q =
   if size p <> size q then invalid_arg ("Partition." ^ name ^ ": size mismatch")
 

@@ -89,6 +89,9 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by partitions (memoisation of per-signature work). *)
+
 val refines : t -> t -> bool
 (** [refines p q] iff [p ⊑ q]: every equality demanded by [p] is demanded
     by [q].  Reflexive.  Raises [Invalid_argument] on size mismatch. *)

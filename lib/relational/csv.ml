@@ -2,9 +2,13 @@ let parse_string ?(sep = ',') s =
   let n = String.length s in
   let rows = ref [] and fields = ref [] in
   let buf = Buffer.create 32 in
+  (* A quoted empty field leaves the buffer empty, so the end-of-input
+     flush below cannot tell it from "no field at all" — this flag can. *)
+  let started = ref false in
   let flush_field () =
     fields := Buffer.contents buf :: !fields;
-    Buffer.clear buf
+    Buffer.clear buf;
+    started := false
   in
   let flush_row () =
     flush_field ();
@@ -27,6 +31,7 @@ let parse_string ?(sep = ',') s =
       | '"' when Buffer.length buf = 0 ->
         (* A quote at field start opens a quoted field; elsewhere it is a
            literal character. *)
+        started := true;
         quoted (i + 1)
       | c ->
         Buffer.add_char buf c;
@@ -46,7 +51,7 @@ let parse_string ?(sep = ',') s =
   plain 0;
   (* Emit the last row unless the input ended with a newline (or was
      empty). *)
-  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  if Buffer.length buf > 0 || !fields <> [] || !started then flush_row ();
   List.rev !rows
 
 let needs_quoting sep f =

@@ -1,9 +1,18 @@
 module Stats = Jim_core.Stats
+module Metrics = Jim_core.Metrics
 
 let line (s : Stats.t) =
   Printf.sprintf "labeled %d (%.0f%%) | auto %d (%.0f%%) | open %d | VS %.0f"
     s.Stats.labeled s.Stats.labeled_pct s.Stats.auto_determined
     s.Stats.auto_pct s.Stats.still_informative s.Stats.version_space
+
+let scorer_line (m : Metrics.snapshot) =
+  Printf.sprintf
+    "scorer  last pick %.2f ms | avg %.2f ms | cache hit %.0f%% | meets %d"
+    (float_of_int m.Metrics.last_pick_ns /. 1e6)
+    (Metrics.avg_pick_ns m /. 1e6)
+    (100.0 *. Metrics.hit_rate m)
+    m.Metrics.meets
 
 let panel (s : Stats.t) =
   let width = 40 in
@@ -15,11 +24,14 @@ let panel (s : Stats.t) =
   let auto = seg s.Stats.auto_determined in
   let open_ = max 0 (width - labeled - auto) in
   String.concat "\n"
-    [
-      Printf.sprintf "  progress [%s%s%s]"
-        (Ansi.style [ Ansi.Fg_green ] (String.make labeled '#'))
-        (Ansi.style [ Ansi.Dim ] (String.make auto '+'))
-        (String.make open_ '.');
-      "  " ^ line s;
-    ]
+    ([
+       Printf.sprintf "  progress [%s%s%s]"
+         (Ansi.style [ Ansi.Fg_green ] (String.make labeled '#'))
+         (Ansi.style [ Ansi.Dim ] (String.make auto '+'))
+         (String.make open_ '.');
+       "  " ^ line s;
+     ]
+    @
+    if s.Stats.scoring.Metrics.picks = 0 then []
+    else [ "  " ^ Ansi.style [ Ansi.Dim ] (scorer_line s.Stats.scoring) ])
   ^ "\n"

@@ -4,5 +4,9 @@
 val line : Jim_core.Stats.t -> string
 (** One-line summary for the status bar. *)
 
+val scorer_line : Jim_core.Metrics.snapshot -> string
+(** One-line scorer perf summary (pick latency, cache hit rate). *)
+
 val panel : Jim_core.Stats.t -> string
-(** Multi-line panel with a proportion bar. *)
+(** Multi-line panel with a proportion bar; includes the scorer line
+    once at least one question has been picked. *)

@@ -275,7 +275,8 @@ let mk_ctx st classes rng_seed =
   {
     Strategy.state = st;
     classes;
-    informative = List.rev !informative;
+    informative = Array.of_list (List.rev !informative);
+    cache = Scorer.new_cache ();
     rng = Random.State.make [| rng_seed |];
   }
 
@@ -292,7 +293,7 @@ let test_strategies_contract () =
         Alcotest.(check bool)
           (strat.Strategy.name ^ " picks informative")
           true
-          (List.mem c ctx.Strategy.informative));
+          (Array.mem c ctx.Strategy.informative));
       (* Finished state: inference over, nothing to pick. *)
       let st_done =
         List.fold_left
@@ -316,15 +317,14 @@ let test_decided_counts_bounds () =
   let classes = Sigclass.classes W.Flights.instance in
   let st = State.create 5 in
   let ctx = mk_ctx st classes 1 in
+  let inf_list = Array.to_list ctx.Strategy.informative in
   List.iter
     (fun c ->
-      let p, n =
-        Strategy.decided_counts st classes ctx.Strategy.informative c
-      in
-      let total = List.length ctx.Strategy.informative in
+      let p, n = Strategy.decided_counts st classes inf_list c in
+      let total = List.length inf_list in
       Alcotest.(check bool) "counts within bounds" true
         (p >= 1 && p <= total && n >= 1 && n <= total))
-    ctx.Strategy.informative
+    inf_list
 
 let test_hypothetical_branches () =
   let st = State.create 5 in
@@ -338,6 +338,77 @@ let test_hypothetical_branches () =
   match Strategy.hypothetical st' sg with
   | Some _, None -> ()
   | _ -> Alcotest.fail "expected dead negative branch"
+
+let prop_scorer_matches_reference =
+  (* The memoised scorer agrees with the unmemoised list-based reference
+     implementations kept in Strategy. *)
+  qtest ~count:120 "scorer counts = unmemoised reference" (arb_scenario 5)
+    (fun (goal, sigs) ->
+      let k = List.length sigs / 2 in
+      let labelled = List.filteri (fun i _ -> i < k) sigs in
+      let st = state_of_scenario (goal, labelled) in
+      let classes = Sigclass.of_signatures sigs in
+      let sc = Scorer.of_state st classes in
+      let inf = Array.to_list (Scorer.informative sc) in
+      List.for_all
+        (fun c ->
+          Scorer.decided_counts sc c = Strategy.decided_counts st classes inf c
+          && Scorer.decided_cards sc c
+             = Strategy.decided_cards st classes inf c)
+        inf)
+
+let prop_parallel_pick_equivalence =
+  (* Scoring candidates across 4 domains picks the exact question
+     sequence of the sequential scan, for every strategy. *)
+  qtest ~count:25 "parallel scorer = sequential picks" (arb_scenario 5)
+    (fun (goal, sigs) ->
+      let classes = Sigclass.of_signatures sigs in
+      let oracle = Oracle.of_goal goal in
+      let strategies = Strategy.all @ [ Lookahead2.strategy () ] in
+      let run () =
+        List.map
+          (fun strat ->
+            Session.run_classes ~seed:7 ~strategy:strat ~oracle ~n:5 classes)
+          strategies
+      in
+      Scorer.set_domains 1;
+      let seq = run () in
+      Scorer.set_domains 4;
+      let par = run () in
+      Scorer.set_domains 1;
+      List.for_all2
+        (fun (a : Session.outcome) (b : Session.outcome) ->
+          compare a.Session.events b.Session.events = 0
+          && P.equal a.Session.query b.Session.query)
+        seq par)
+
+let test_entropy_wide_instance () =
+  (* Regression: on instances wide enough that Version_space.count
+     saturates to infinity, the entropy score used to degenerate
+     (inf /. inf = NaN) and the argmax silently returned the first
+     informative class.  Build a 250-attribute chain a ⊏ b ⊏ c whose
+     branch version spaces all overflow; the maximin fallback must pick
+     the middle class (index 2), not the first. *)
+  let n = 250 in
+  let block len = P.of_pairs n (List.init (len - 1) (fun i -> (i, i + 1))) in
+  let a = block 220 and b = block 221 and c = block 222 in
+  let classes = Sigclass.of_signatures [ a; c; b ] in
+  let st = State.create n in
+  let ctx = mk_ctx st classes 1 in
+  (* All branch version spaces are non-finite, so the entropy itself is
+     unusable on every candidate... *)
+  let sc = Strategy.scorer_of ctx in
+  Array.iter
+    (fun i ->
+      let vp, vn = Scorer.vs_split sc i in
+      Alcotest.(check bool) "branch VS overflows" false
+        (Float.is_finite (vp +. vn)))
+    ctx.Strategy.informative;
+  (* ...and the maximin fallback separates the candidates:
+     min(p,n) = 1, 1, 2 for classes 0 (= a), 1 (= c), 2 (= b). *)
+  Alcotest.(check (option int)) "entropy picks the middle of the chain"
+    (Some 2)
+    (Strategy.lookahead_entropy.Strategy.pick ctx)
 
 (* ------------------------------------------------------------------ *)
 (* Optimal                                                             *)
@@ -516,6 +587,52 @@ let test_session_top_questions () =
         (Session.status eng ci = State.Informative))
     top
 
+let test_top_questions_preference_order () =
+  (* top_questions returns k distinct classes in strategy-preference
+     order: the sequence produced by repeatedly picking from the
+     informative set with the already-proposed classes masked out. *)
+  let classes = Sigclass.classes W.Flights.instance in
+  let st = State.create 5 in
+  let strat = Strategy.lookahead_maximin in
+  let k = 3 in
+  let expected =
+    let masked = Array.make (Array.length classes) false in
+    let rec go acc j =
+      if j = k then List.rev acc
+      else begin
+        let informative = ref [] in
+        Array.iteri
+          (fun i (c : Sigclass.cls) ->
+            if
+              (not masked.(i))
+              && State.classify st c.Sigclass.sg = State.Informative
+            then informative := i :: !informative)
+          classes;
+        let ctx =
+          {
+            Strategy.state = st;
+            classes;
+            informative = Array.of_list (List.rev !informative);
+            cache = Scorer.new_cache ();
+            rng = Random.State.make [| 0 |];
+          }
+        in
+        match strat.Strategy.pick ctx with
+        | None -> List.rev acc
+        | Some c ->
+          masked.(c) <- true;
+          go (c :: acc) (j + 1)
+      end
+    in
+    go [] 0
+  in
+  let eng = Session.create W.Flights.instance in
+  let rng = Random.State.make [| 0 |] in
+  let got = Session.top_questions eng strat rng k in
+  Alcotest.(check (list int)) "preference order" expected got;
+  Alcotest.(check int) "k distinct classes" k
+    (List.length (List.sort_uniq compare got))
+
 (* ------------------------------------------------------------------ *)
 (* Interaction modes                                                   *)
 
@@ -689,7 +806,11 @@ let () =
             test_decided_counts_bounds;
           Alcotest.test_case "hypothetical branches" `Quick
             test_hypothetical_branches;
+          Alcotest.test_case "entropy fallback on wide instance" `Quick
+            test_entropy_wide_instance;
         ] );
+      ( "scorer",
+        [ prop_scorer_matches_reference; prop_parallel_pick_equivalence ] );
       ( "optimal",
         [
           Alcotest.test_case "flights depth + lower bound" `Slow
@@ -713,6 +834,8 @@ let () =
           Alcotest.test_case "contradiction detected" `Quick
             test_session_contradiction_detected;
           Alcotest.test_case "top questions" `Quick test_session_top_questions;
+          Alcotest.test_case "top questions preference order" `Quick
+            test_top_questions_preference_order;
         ] );
       ( "interaction",
         [

@@ -297,6 +297,23 @@ let test_csv_crlf_and_last_line () =
     [ [ "a"; "b" ]; [ "c"; "d" ] ]
     (Csv.parse_string "a,b\r\nc,d")
 
+let test_csv_final_empty_quoted_field () =
+  (* Regression: a final row consisting solely of an empty quoted field
+     used to be dropped (the buffer was empty and no field had been
+     flushed, so the trailing flush never fired). *)
+  Alcotest.(check (list (list string)))
+    "lone empty quoted field"
+    [ [ "" ] ]
+    (Csv.parse_string "\"\"");
+  Alcotest.(check (list (list string)))
+    "final row is an empty quoted field"
+    [ [ "a"; "b" ]; [ "" ] ]
+    (Csv.parse_string "a,b\n\"\"");
+  Alcotest.(check (list (list string)))
+    "empty quoted field after comma"
+    [ [ "a"; "" ] ]
+    (Csv.parse_string "a,\"\"")
+
 let test_csv_load_save () =
   let path = Filename.temp_file "jimtest" ".csv" in
   Fun.protect
@@ -801,6 +818,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "crlf / last line" `Quick
             test_csv_crlf_and_last_line;
+          Alcotest.test_case "final empty quoted field" `Quick
+            test_csv_final_empty_quoted_field;
           Alcotest.test_case "load/save file" `Quick test_csv_load_save;
           Alcotest.test_case "load_auto infers types" `Quick
             test_csv_load_auto_types;
