@@ -92,7 +92,7 @@ let run ?(out = "BENCH_strategies.json") ?(workload = default_workload) () =
     "  (synthetic workload: %d attrs, %d tuples, goal rank %d, %d seeds; \
      %d scoring domain(s))\n\n"
     n_attrs n_tuples goal_rank seeds (Scorer.domains ());
-  let strategies = Strategy.all @ [ Lookahead2.strategy () ] in
+  let strategies = Strategy.all @ [ Strategy.lookahead2 () ] in
   let rows =
     List.map (measure ~n_attrs ~n_tuples ~goal_rank ~seeds) strategies
   in

@@ -136,7 +136,7 @@ let e4 ?(seeds = 8) () =
       Strategy.local_specific;
       Strategy.lookahead_maximin;
       Strategy.lookahead_entropy;
-      Lookahead2.strategy ();
+      Strategy.lookahead2 ();
     ]
   in
   let results =

@@ -56,7 +56,7 @@ let strategies_with_optimal_for instance =
   (* The optimal yardstick only joins when the instance is tiny. *)
   let base = Strategy.all in
   if Relation.cardinality instance <= 16 then
-    base @ [ Optimal.strategy ~max_states:500_000 () ]
+    base @ [ Strategy.optimal ~max_states:500_000 () ]
   else base
 
 let fmt_f f = Printf.sprintf "%.1f" f

@@ -83,7 +83,7 @@ let question_test strategy =
           let sg = (Session.classes eng).(ci).Sigclass.sg in
           (match Session.answer eng ci (Oracle.label oracle sg) with
           | Ok () -> ()
-          | Error `Contradiction -> assert false)
+          | Error _ -> assert false)
         | None -> ()
       done;
       Staged.stage (fun () -> ignore (Session.question eng strategy rng)))

@@ -5,7 +5,9 @@
      infer     interactive inference on a CSV file (a human labels tuples)
      compare   strategy comparison on a synthetic or built-in instance
      setcards  the joining-sets-of-pictures scenario (Fig. 5)
-     tpch      crowd-style join tasks over the TPC-H-lite database *)
+     tpch      crowd-style join tasks over the TPC-H-lite database
+     serve     the session server (line-delimited JSON over a socket)
+     client    talk to a running server (batch / smoke / busy-check) *)
 
 module Partition = Jim_partition.Partition
 module Relation = Jim_relational.Relation
@@ -14,23 +16,10 @@ module Csv = Jim_relational.Csv
 module W = Jim_workloads
 open Jim_core
 
-let strategy_of_name name =
-  match Strategy.find name with
-  | Some s -> Ok s
-  | None ->
-    if name = "optimal" then Ok (Optimal.strategy ())
-    else
-      Error
-        (Printf.sprintf "unknown strategy %S (try: %s, optimal)" name
-           (String.concat ", "
-              (List.map (fun s -> s.Strategy.name) Strategy.all)))
-
 let strategy_arg =
   let open Cmdliner in
   let doc =
-    "Strategy for proposing tuples: "
-    ^ String.concat ", " (List.map (fun s -> s.Strategy.name) Strategy.all)
-    ^ ", or optimal."
+    "Strategy for proposing tuples: " ^ String.concat ", " Strategy.names ^ "."
   in
   Arg.(
     value
@@ -117,7 +106,7 @@ let interactive_loop ?(describe_row = fun rel r ->
       | Jim_tui.Prompt.Undo ->
         (match Session.undo eng with
         | Ok () -> print_endline "Last answer retracted."
-        | Error `Nothing_to_undo -> print_endline "Nothing to undo.");
+        | Error _ -> print_endline "Nothing to undo.");
         loop ()
       | Jim_tui.Prompt.Yes | Jim_tui.Prompt.No as a ->
         let label =
@@ -125,10 +114,9 @@ let interactive_loop ?(describe_row = fun rel r ->
         in
         (match Session.answer eng ci label with
         | Ok () -> loop ()
-        | Error `Contradiction ->
-          print_endline
-            "That answer contradicts your earlier labels: no join predicate \
-             is consistent with all of them.  (Last answer discarded.)";
+        | Error e ->
+          Printf.printf "%s  (Last answer discarded.)\n"
+            (String.capitalize_ascii (Session.error_to_string e));
           loop ()))
   in
   loop ()
@@ -167,7 +155,7 @@ let run_walkthrough strategy =
         (match label with State.Pos -> "yes (+)" | State.Neg -> "no (-)");
       (match Session.answer eng ci label with
       | Ok () -> ()
-      | Error `Contradiction -> assert false);
+      | Error _ -> assert false);
       print_string (Jim_tui.Render.engine_view eng instance);
       print_string (Jim_tui.Progress.panel (Stats.of_engine eng));
       (* Certificates for what just got grayed out. *)
@@ -182,7 +170,7 @@ let run_walkthrough strategy =
   go ()
 
 let run_demo interactive walkthrough strategy_name =
-  match strategy_of_name strategy_name with
+  match Strategy.of_string strategy_name with
   | Error e ->
     prerr_endline e;
     1
@@ -227,7 +215,7 @@ let run_demo interactive walkthrough strategy_name =
 (* infer                                                               *)
 
 let run_infer path strategy_name transcript replay_path =
-  match strategy_of_name strategy_name with
+  match Strategy.of_string strategy_name with
   | Error e ->
     prerr_endline e;
     1
@@ -312,7 +300,7 @@ let run_compare n_attrs rank tuples seed =
 (* setcards                                                            *)
 
 let run_setcards interactive strategy_name sample =
-  match strategy_of_name strategy_name with
+  match Strategy.of_string strategy_name with
   | Error e ->
     prerr_endline e;
     1
@@ -350,7 +338,7 @@ let run_setcards interactive strategy_name sample =
 (* tpch                                                                *)
 
 let run_tpch strategy_name =
-  match strategy_of_name strategy_name with
+  match Strategy.of_string strategy_name with
   | Error e ->
     prerr_endline e;
     1
@@ -382,6 +370,98 @@ let run_tpch strategy_name =
                (Jquery.make task.W.Denorm.schema cross)))
       tasks;
     0
+
+(* ------------------------------------------------------------------ *)
+(* serve / client: the wire protocol                                   *)
+
+let resolve_address socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | Some path, None -> Ok (Jim_server.Wire.Unix_path path)
+  | None, Some spec -> (
+    match Jim_server.Wire.address_of_string spec with
+    | Ok (Jim_server.Wire.Tcp _ as a) -> Ok a
+    | Ok (Jim_server.Wire.Unix_path _) -> Error "--tcp wants HOST:PORT"
+    | Error e -> Error e)
+  | None, None -> Ok (Jim_server.Wire.Unix_path "/tmp/jim.sock")
+
+let run_serve socket tcp max_sessions idle_ttl threads =
+  match resolve_address socket tcp with
+  | Error e ->
+    Printf.eprintf "jim serve: %s\n" e;
+    2
+  | Ok addr ->
+    let service = Jim_server.Service.create ~max_sessions ~idle_ttl () in
+    let server = Jim_server.Wire.serve ~threads service addr in
+    Printf.printf "jim serve: listening on %s (max %d sessions, %d threads)\n%!"
+      (Jim_server.Wire.address_to_string (Jim_server.Wire.bound_address server))
+      max_sessions threads;
+    Jim_server.Wire.wait server;
+    0
+
+let run_client socket tcp batch smoke busy =
+  match resolve_address socket tcp with
+  | Error e ->
+    Printf.eprintf "jim client: %s\n" e;
+    2
+  | Ok address -> (
+    match (smoke, busy) with
+    | Some clients, _ ->
+      let reports = Jim_server.Smoke.run ~clients ~address () in
+      let failed =
+        List.filter (fun r -> not r.Jim_server.Smoke.ok) reports
+      in
+      List.iter
+        (fun r ->
+          let open Jim_server.Smoke in
+          if r.ok then
+            Printf.printf "seed %d %-18s ok (%d questions)\n" r.seed r.strategy
+              r.questions
+          else
+            Printf.printf "seed %d %-18s FAILED: %s\n" r.seed r.strategy
+              r.detail)
+        reports;
+      Printf.printf "%d/%d sessions bit-identical to the local run\n"
+        (List.length reports - List.length failed)
+        (List.length reports);
+      if failed = [] then 0 else 1
+    | None, Some fill -> (
+      match Jim_server.Smoke.busy_check ~address ~fill with
+      | Ok () ->
+        Printf.printf
+          "busy-check ok: session %d refused with Server_busy\n" (fill + 1);
+        0
+      | Error e ->
+        Printf.eprintf "busy-check FAILED: %s\n" e;
+        1)
+    | None, None -> (
+      (* batch mode: raw request lines in, raw response lines out *)
+      let ic =
+        match batch with
+        | None | Some "-" -> stdin
+        | Some path -> open_in path
+      in
+      match Jim_server.Wire.connect ~retries:50 address with
+      | Error e ->
+        Printf.eprintf "jim client: connect: %s\n" e;
+        1
+      | Ok conn ->
+        let rc = ref 0 in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" then
+               match Jim_server.Wire.call_line conn line with
+               | Ok reply -> print_endline reply
+               | Error e ->
+                 Printf.eprintf "jim client: %s\n" e;
+                 rc := 1;
+                 raise Exit
+           done
+         with End_of_file | Exit -> ());
+        Jim_server.Wire.close conn;
+        if ic != stdin then close_in ic;
+        !rc))
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -480,9 +560,99 @@ let tpch_cmd =
     (Cmd.info "tpch" ~doc:"Foreign-key join tasks over TPC-H-lite.")
     term
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default /tmp/jim.sock).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on / connect to TCP instead of a Unix socket.")
+
+let serve_cmd =
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ]
+          ~doc:"Concurrent session cap; beyond it Start_session gets a \
+                typed Server_busy reply.")
+  in
+  let idle_ttl =
+    Arg.(
+      value & opt float 600.
+      & info [ "idle-ttl" ] ~docv:"SECONDS"
+          ~doc:"Evict sessions idle longer than this.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 16
+      & info [ "threads" ]
+          ~doc:"Connection worker pool size (a worker owns a connection \
+                until the peer closes).")
+  in
+  let term =
+    Term.(
+      const (fun () s t m i th -> run_serve s t m i th)
+      $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve inference sessions: one JSON request per line, one JSON \
+             response per line.")
+    term
+
+let client_cmd =
+  let batch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:"Send raw request lines from $(docv) (\"-\" = stdin, the \
+                default) and print the response lines.")
+  in
+  let smoke =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "smoke" ] ~docv:"N"
+          ~doc:"Run $(docv) concurrent oracle-driven sessions and check \
+                each outcome bit-identical to the in-process engine.")
+  in
+  let busy =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "busy-check" ] ~docv:"N"
+          ~doc:"Fill the server with $(docv) sessions and check the next \
+                one is refused with Server_busy.")
+  in
+  let term =
+    Term.(
+      const (fun s t b sm bu -> run_client s t b sm bu)
+      $ socket_arg $ tcp_arg $ batch $ smoke $ busy)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running jim server: batch, smoke or busy-check mode.")
+    term
+
 let () =
   let doc = "JIM: interactive join query inference (VLDB 2014)" in
   let info = Cmd.info "jim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ demo_cmd; infer_cmd; compare_cmd; setcards_cmd; tpch_cmd ]))
+       (Cmd.group info
+          [
+            demo_cmd;
+            infer_cmd;
+            compare_cmd;
+            setcards_cmd;
+            tpch_cmd;
+            serve_cmd;
+            client_cmd;
+          ]))

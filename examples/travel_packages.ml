@@ -68,7 +68,7 @@ let () =
        State.Pos
    with
   | Ok () -> ()
-  | Error `Contradiction -> assert false);
+  | Error _ -> assert false);
   print_string (Jim_tui.Render.engine_view eng instance);
   print_string (Jim_tui.Progress.panel (Stats.of_engine eng));
 

@@ -1,0 +1,308 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  (* %.17g round-trips every finite double; force a fraction so the
+     parser reads the literal back as a float, not an int. *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_nan f then Buffer.add_string buf "\"NaN\""
+    else if f = Float.infinity then Buffer.add_string buf "\"Infinity\""
+    else if f = Float.neg_infinity then Buffer.add_string buf "\"-Infinity\""
+    else Buffer.add_string buf (float_repr f)
+  | String s -> add_escaped buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        add buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Bad of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  (* \uXXXX escapes: decode to UTF-8, pairing surrogates when both halves
+     are present. *)
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some c -> c
+    | None -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "unterminated escape"
+         else
+           match s.[!pos] with
+           | '"' -> advance (); Buffer.add_char buf '"'
+           | '\\' -> advance (); Buffer.add_char buf '\\'
+           | '/' -> advance (); Buffer.add_char buf '/'
+           | 'n' -> advance (); Buffer.add_char buf '\n'
+           | 't' -> advance (); Buffer.add_char buf '\t'
+           | 'r' -> advance (); Buffer.add_char buf '\r'
+           | 'b' -> advance (); Buffer.add_char buf '\b'
+           | 'f' -> advance (); Buffer.add_char buf '\012'
+           | 'u' ->
+             advance ();
+             let c = hex4 () in
+             if c >= 0xD800 && c <= 0xDBFF
+                && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo >= 0xDC00 && lo <= 0xDFFF then
+                 add_utf8 buf
+                   (0x10000 + ((c - 0xD800) lsl 10) + (lo - 0xDC00))
+               else begin
+                 add_utf8 buf c;
+                 add_utf8 buf lo
+               end
+             end
+             else add_utf8 buf c
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        go ()
+      | c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit
+    in
+    if is_float then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ lit)
+    else (
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f (* integer literal overflowing int *)
+        | None -> fail ("bad number " ^ lit)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let pair () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = pair () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev (kv :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+    | Some c when c = '-' || ('0' <= c && c <= '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after the value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+    Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let field k v =
+  match member k v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let as_int = function
+  | Int i -> Ok i
+  | v -> Error ("expected an integer, got " ^ to_string v)
+
+let as_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | String "NaN" -> Ok Float.nan
+  | String "Infinity" -> Ok Float.infinity
+  | String "-Infinity" -> Ok Float.neg_infinity
+  | v -> Error ("expected a number, got " ^ to_string v)
+
+let as_bool = function
+  | Bool b -> Ok b
+  | v -> Error ("expected a boolean, got " ^ to_string v)
+
+let as_string = function
+  | String s -> Ok s
+  | v -> Error ("expected a string, got " ^ to_string v)
+
+let as_list = function
+  | List xs -> Ok xs
+  | v -> Error ("expected an array, got " ^ to_string v)

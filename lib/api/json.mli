@@ -1,0 +1,46 @@
+(** The wire protocol's JSON: a minimal, dependency-free value type with
+    a printer and a recursive-descent parser.  Hand-rolled on purpose —
+    the container ships no JSON library and the protocol needs only this
+    much.
+
+    Numbers: the parser produces {!Int} when the literal has no fraction
+    or exponent (falling back to {!Float} on overflow), {!Float}
+    otherwise.  The printer renders non-finite floats as the strings
+    ["NaN"], ["Infinity"], ["-Infinity"] (JSON has no literal for them);
+    {!as_float} accepts those strings back, so float round-trips hold for
+    every value the engine produces (version-space counts saturate to
+    [infinity] on wide instances). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines — safe for the
+    line-delimited wire). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; the error names the offending byte offset.
+    Trailing garbage after the value is an error. *)
+
+(** {1 Accessors} — shape checks used by the protocol codec; every error
+    is a human-readable "expected X" message. *)
+
+val member : string -> t -> t option
+(** Field lookup in an {!Obj}; [None] for missing fields or non-objects. *)
+
+val field : string -> t -> (t, string) result
+(** Like {!member} but missing fields are an [Error]. *)
+
+val as_int : t -> (int, string) result
+val as_float : t -> (float, string) result
+(** Accepts {!Float}, {!Int}, and the non-finite strings of the printer. *)
+
+val as_bool : t -> (bool, string) result
+val as_string : t -> (string, string) result
+val as_list : t -> (t list, string) result

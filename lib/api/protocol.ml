@@ -1,0 +1,556 @@
+module Partition = Jim_partition.Partition
+open Jim_core
+
+let version = 1
+
+type instance_source =
+  | Builtin of string
+  | Synthetic of {
+      n_attrs : int;
+      n_tuples : int;
+      domain : int;
+      goal_rank : int;
+      seed : int;
+    }
+  | Csv_inline of string
+
+type question = { cls : int; row : int; sg : Partition.t }
+
+type request =
+  | Start_session of { source : instance_source; strategy : string; seed : int }
+  | Get_question of { session : int }
+  | Top_questions of { session : int; k : int }
+  | Answer of { session : int; cls : int; label : State.label }
+  | Undo of { session : int }
+  | Explain of { session : int; cls : int }
+  | Result of { session : int }
+  | Stats of { session : int }
+  | End_session of { session : int }
+
+type error =
+  | Bad_request of string
+  | Unknown_session of int
+  | Unknown_strategy of string
+  | Bad_source of string
+  | Engine of Session.error
+  | Server_busy of { active : int; max : int }
+  | Unsupported_version of int
+
+type session_stats = {
+  labeled : int;
+  auto_determined : int;
+  still_informative : int;
+  total : int;
+  version_space : float;
+  scoring : Metrics.snapshot;
+}
+
+type response =
+  | Started of {
+      session : int;
+      arity : int;
+      classes : int;
+      tuples : int;
+      strategy : string;
+    }
+  | Question of question option
+  | Questions of question list
+  | Answered of {
+      finished : bool;
+      asked : int;
+      decided_classes : int;
+      decided_tuples : int;
+    }
+  | Undone of { asked : int }
+  | Explanation of { cls : int; status : State.status; text : string }
+  | Outcome of Session.outcome
+  | Session_stats of session_stats
+  | Ended
+  | Failed of error
+
+let error_to_string = function
+  | Bad_request m -> "bad request: " ^ m
+  | Unknown_session id -> Printf.sprintf "unknown session %d" id
+  | Unknown_strategy m -> m
+  | Bad_source m -> "bad instance source: " ^ m
+  | Engine e -> Session.error_to_string e
+  | Server_busy { active; max } ->
+    Printf.sprintf "server busy: %d/%d sessions active" active max
+  | Unsupported_version v ->
+    Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v
+      version
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Stable sub-encodings                                                *)
+
+let label_to_json = function
+  | State.Pos -> Json.String "+"
+  | State.Neg -> Json.String "-"
+
+let label_of_json = function
+  | Json.String "+" -> Ok State.Pos
+  | Json.String "-" -> Ok State.Neg
+  | v -> Error ("expected a label \"+\" or \"-\", got " ^ Json.to_string v)
+
+let status_to_json = function
+  | State.Certain_pos -> Json.String "+"
+  | State.Certain_neg -> Json.String "-"
+  | State.Informative -> Json.String "?"
+
+let status_of_json = function
+  | Json.String "+" -> Ok State.Certain_pos
+  | Json.String "-" -> Ok State.Certain_neg
+  | Json.String "?" -> Ok State.Informative
+  | v -> Error ("expected a status \"+\", \"-\" or \"?\", got " ^ Json.to_string v)
+
+let partition_to_json p = Json.String (Partition.to_string p)
+
+let partition_of_json v =
+  let* s = Json.as_string v in
+  Partition.of_string s
+
+let int_field k v =
+  let* f = Json.field k v in
+  Json.as_int f
+
+let string_field k v =
+  let* f = Json.field k v in
+  Json.as_string f
+
+let metrics_to_json (m : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("meets", Json.Int m.meets);
+      ("classify_calls", Json.Int m.classify_calls);
+      ("cache_hits", Json.Int m.cache_hits);
+      ("cache_misses", Json.Int m.cache_misses);
+      ("picks", Json.Int m.picks);
+      ("pick_time_ns", Json.Int m.pick_time_ns);
+      ("last_pick_ns", Json.Int m.last_pick_ns);
+    ]
+
+let metrics_of_json v =
+  let* meets = int_field "meets" v in
+  let* classify_calls = int_field "classify_calls" v in
+  let* cache_hits = int_field "cache_hits" v in
+  let* cache_misses = int_field "cache_misses" v in
+  let* picks = int_field "picks" v in
+  let* pick_time_ns = int_field "pick_time_ns" v in
+  let* last_pick_ns = int_field "last_pick_ns" v in
+  Ok
+    {
+      Metrics.meets;
+      classify_calls;
+      cache_hits;
+      cache_misses;
+      picks;
+      pick_time_ns;
+      last_pick_ns;
+    }
+
+let event_to_json (e : Session.event) =
+  Json.Obj
+    [
+      ("step", Json.Int e.step);
+      ("cls", Json.Int e.cls);
+      ("row", Json.Int e.row);
+      ("sg", partition_to_json e.sg);
+      ("label", label_to_json e.label);
+      ("decided_after", Json.Int e.decided_after);
+      ("tuples_decided_after", Json.Int e.tuples_decided_after);
+      ("vs_after", Json.Float e.vs_after);
+    ]
+
+let event_of_json v =
+  let* step = int_field "step" v in
+  let* cls = int_field "cls" v in
+  let* row = int_field "row" v in
+  let* sg = Result.bind (Json.field "sg" v) partition_of_json in
+  let* label = Result.bind (Json.field "label" v) label_of_json in
+  let* decided_after = int_field "decided_after" v in
+  let* tuples_decided_after = int_field "tuples_decided_after" v in
+  let* vs_after = Result.bind (Json.field "vs_after" v) Json.as_float in
+  Ok
+    {
+      Session.step;
+      cls;
+      row;
+      sg;
+      label;
+      decided_after;
+      tuples_decided_after;
+      vs_after;
+    }
+
+let outcome_to_json (o : Session.outcome) =
+  Json.Obj
+    [
+      ("query", partition_to_json o.query);
+      ("interactions", Json.Int o.interactions);
+      ("contradiction", Json.Bool o.contradiction);
+      ("events", Json.List (List.map event_to_json o.events));
+    ]
+
+let outcome_of_json v =
+  let* query = Result.bind (Json.field "query" v) partition_of_json in
+  let* interactions = int_field "interactions" v in
+  let* contradiction = Result.bind (Json.field "contradiction" v) Json.as_bool in
+  let* events = Result.bind (Json.field "events" v) Json.as_list in
+  let* events =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e = event_of_json e in
+        Ok (e :: acc))
+      (Ok []) events
+  in
+  Ok { Session.query; interactions; contradiction; events = List.rev events }
+
+let source_to_json = function
+  | Builtin name ->
+    Json.Obj [ ("kind", Json.String "builtin"); ("name", Json.String name) ]
+  | Synthetic { n_attrs; n_tuples; domain; goal_rank; seed } ->
+    Json.Obj
+      [
+        ("kind", Json.String "synthetic");
+        ("n_attrs", Json.Int n_attrs);
+        ("n_tuples", Json.Int n_tuples);
+        ("domain", Json.Int domain);
+        ("goal_rank", Json.Int goal_rank);
+        ("seed", Json.Int seed);
+      ]
+  | Csv_inline text ->
+    Json.Obj [ ("kind", Json.String "csv"); ("text", Json.String text) ]
+
+let source_of_json v =
+  let* kind = string_field "kind" v in
+  match kind with
+  | "builtin" ->
+    let* name = string_field "name" v in
+    Ok (Builtin name)
+  | "synthetic" ->
+    let* n_attrs = int_field "n_attrs" v in
+    let* n_tuples = int_field "n_tuples" v in
+    let* domain = int_field "domain" v in
+    let* goal_rank = int_field "goal_rank" v in
+    let* seed = int_field "seed" v in
+    Ok (Synthetic { n_attrs; n_tuples; domain; goal_rank; seed })
+  | "csv" ->
+    let* text = string_field "text" v in
+    Ok (Csv_inline text)
+  | k -> Error (Printf.sprintf "unknown instance source kind %S" k)
+
+let question_to_json q =
+  Json.Obj
+    [
+      ("cls", Json.Int q.cls);
+      ("row", Json.Int q.row);
+      ("sg", partition_to_json q.sg);
+    ]
+
+let question_of_json v =
+  let* cls = int_field "cls" v in
+  let* row = int_field "row" v in
+  let* sg = Result.bind (Json.field "sg" v) partition_of_json in
+  Ok { cls; row; sg }
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let envelope tag_key tag fields =
+  Json.Obj ((("jim", Json.Int version) :: (tag_key, Json.String tag) :: fields))
+
+let request_to_json = function
+  | Start_session { source; strategy; seed } ->
+    envelope "req" "start_session"
+      [
+        ("source", source_to_json source);
+        ("strategy", Json.String strategy);
+        ("seed", Json.Int seed);
+      ]
+  | Get_question { session } ->
+    envelope "req" "get_question" [ ("session", Json.Int session) ]
+  | Top_questions { session; k } ->
+    envelope "req" "top_questions"
+      [ ("session", Json.Int session); ("k", Json.Int k) ]
+  | Answer { session; cls; label } ->
+    envelope "req" "answer"
+      [
+        ("session", Json.Int session);
+        ("cls", Json.Int cls);
+        ("label", label_to_json label);
+      ]
+  | Undo { session } -> envelope "req" "undo" [ ("session", Json.Int session) ]
+  | Explain { session; cls } ->
+    envelope "req" "explain"
+      [ ("session", Json.Int session); ("cls", Json.Int cls) ]
+  | Result { session } ->
+    envelope "req" "result" [ ("session", Json.Int session) ]
+  | Stats { session } ->
+    envelope "req" "stats" [ ("session", Json.Int session) ]
+  | End_session { session } ->
+    envelope "req" "end_session" [ ("session", Json.Int session) ]
+
+let check_version v k =
+  match int_field "jim" v with
+  | Error e -> Error (Bad_request e)
+  | Ok ver when ver <> version -> Error (Unsupported_version ver)
+  | Ok _ -> k ()
+
+let bad = function Ok x -> Ok x | Error m -> Error (Bad_request m)
+
+let request_of_json v =
+  check_version v @@ fun () ->
+  let* tag = bad (string_field "req" v) in
+  let session () = bad (int_field "session" v) in
+  match tag with
+  | "start_session" ->
+    bad
+      (let* source = Result.bind (Json.field "source" v) source_of_json in
+       let* strategy = string_field "strategy" v in
+       let* seed = int_field "seed" v in
+       Ok (Start_session { source; strategy; seed }))
+  | "get_question" ->
+    let* session = session () in
+    Ok (Get_question { session })
+  | "top_questions" ->
+    let* session = session () in
+    let* k = bad (int_field "k" v) in
+    Ok (Top_questions { session; k })
+  | "answer" ->
+    let* session = session () in
+    bad
+      (let* cls = int_field "cls" v in
+       let* label = Result.bind (Json.field "label" v) label_of_json in
+       Ok (Answer { session; cls; label }))
+  | "undo" ->
+    let* session = session () in
+    Ok (Undo { session })
+  | "explain" ->
+    let* session = session () in
+    let* cls = bad (int_field "cls" v) in
+    Ok (Explain { session; cls })
+  | "result" ->
+    let* session = session () in
+    Ok (Result { session })
+  | "stats" ->
+    let* session = session () in
+    Ok (Stats { session })
+  | "end_session" ->
+    let* session = session () in
+    Ok (End_session { session })
+  | tag -> Error (Bad_request (Printf.sprintf "unknown request %S" tag))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let session_error_to_json = function
+  | Session.Contradiction -> Json.String "contradiction"
+  | Session.Nothing_to_undo -> Json.String "nothing_to_undo"
+
+let session_error_of_json = function
+  | Json.String "contradiction" -> Ok Session.Contradiction
+  | Json.String "nothing_to_undo" -> Ok Session.Nothing_to_undo
+  | v -> Error ("unknown engine error " ^ Json.to_string v)
+
+let error_to_json e =
+  let fields =
+    match e with
+    | Bad_request m -> [ ("kind", Json.String "bad_request"); ("message", Json.String m) ]
+    | Unknown_session id ->
+      [ ("kind", Json.String "unknown_session"); ("session", Json.Int id) ]
+    | Unknown_strategy m ->
+      [ ("kind", Json.String "unknown_strategy"); ("message", Json.String m) ]
+    | Bad_source m ->
+      [ ("kind", Json.String "bad_source"); ("message", Json.String m) ]
+    | Engine err ->
+      [
+        ("kind", Json.String "engine");
+        ("error", session_error_to_json err);
+        ("message", Json.String (Session.error_to_string err));
+      ]
+    | Server_busy { active; max } ->
+      [
+        ("kind", Json.String "server_busy");
+        ("active", Json.Int active);
+        ("max", Json.Int max);
+      ]
+    | Unsupported_version v ->
+      [ ("kind", Json.String "unsupported_version"); ("version", Json.Int v) ]
+  in
+  Json.Obj fields
+
+let error_of_json v =
+  let* kind = string_field "kind" v in
+  match kind with
+  | "bad_request" ->
+    let* m = string_field "message" v in
+    Ok (Bad_request m)
+  | "unknown_session" ->
+    let* id = int_field "session" v in
+    Ok (Unknown_session id)
+  | "unknown_strategy" ->
+    let* m = string_field "message" v in
+    Ok (Unknown_strategy m)
+  | "bad_source" ->
+    let* m = string_field "message" v in
+    Ok (Bad_source m)
+  | "engine" ->
+    let* err = Result.bind (Json.field "error" v) session_error_of_json in
+    Ok (Engine err)
+  | "server_busy" ->
+    let* active = int_field "active" v in
+    let* max = int_field "max" v in
+    Ok (Server_busy { active; max })
+  | "unsupported_version" ->
+    let* ver = int_field "version" v in
+    Ok (Unsupported_version ver)
+  | k -> Error (Printf.sprintf "unknown error kind %S" k)
+
+let response_to_json = function
+  | Started { session; arity; classes; tuples; strategy } ->
+    envelope "resp" "started"
+      [
+        ("session", Json.Int session);
+        ("arity", Json.Int arity);
+        ("classes", Json.Int classes);
+        ("tuples", Json.Int tuples);
+        ("strategy", Json.String strategy);
+      ]
+  | Question q ->
+    envelope "resp" "question"
+      [
+        ( "question",
+          match q with None -> Json.Null | Some q -> question_to_json q );
+      ]
+  | Questions qs ->
+    envelope "resp" "questions"
+      [ ("questions", Json.List (List.map question_to_json qs)) ]
+  | Answered { finished; asked; decided_classes; decided_tuples } ->
+    envelope "resp" "answered"
+      [
+        ("finished", Json.Bool finished);
+        ("asked", Json.Int asked);
+        ("decided_classes", Json.Int decided_classes);
+        ("decided_tuples", Json.Int decided_tuples);
+      ]
+  | Undone { asked } -> envelope "resp" "undone" [ ("asked", Json.Int asked) ]
+  | Explanation { cls; status; text } ->
+    envelope "resp" "explanation"
+      [
+        ("cls", Json.Int cls);
+        ("status", status_to_json status);
+        ("text", Json.String text);
+      ]
+  | Outcome o -> envelope "resp" "outcome" [ ("outcome", outcome_to_json o) ]
+  | Session_stats s ->
+    envelope "resp" "stats"
+      [
+        ("labeled", Json.Int s.labeled);
+        ("auto_determined", Json.Int s.auto_determined);
+        ("still_informative", Json.Int s.still_informative);
+        ("total", Json.Int s.total);
+        ("version_space", Json.Float s.version_space);
+        ("scoring", metrics_to_json s.scoring);
+      ]
+  | Ended -> envelope "resp" "ended" []
+  | Failed e -> envelope "resp" "error" [ ("error", error_to_json e) ]
+
+let response_of_json v =
+  check_version v @@ fun () ->
+  let* tag = bad (string_field "resp" v) in
+  match tag with
+  | "started" ->
+    bad
+      (let* session = int_field "session" v in
+       let* arity = int_field "arity" v in
+       let* classes = int_field "classes" v in
+       let* tuples = int_field "tuples" v in
+       let* strategy = string_field "strategy" v in
+       Ok (Started { session; arity; classes; tuples; strategy }))
+  | "question" ->
+    bad
+      (let* q = Json.field "question" v in
+       match q with
+       | Json.Null -> Ok (Question None)
+       | q ->
+         let* q = question_of_json q in
+         Ok (Question (Some q)))
+  | "questions" ->
+    bad
+      (let* qs = Result.bind (Json.field "questions" v) Json.as_list in
+       let* qs =
+         List.fold_left
+           (fun acc q ->
+             let* acc = acc in
+             let* q = question_of_json q in
+             Ok (q :: acc))
+           (Ok []) qs
+       in
+       Ok (Questions (List.rev qs)))
+  | "answered" ->
+    bad
+      (let* finished = Result.bind (Json.field "finished" v) Json.as_bool in
+       let* asked = int_field "asked" v in
+       let* decided_classes = int_field "decided_classes" v in
+       let* decided_tuples = int_field "decided_tuples" v in
+       Ok (Answered { finished; asked; decided_classes; decided_tuples }))
+  | "undone" ->
+    bad
+      (let* asked = int_field "asked" v in
+       Ok (Undone { asked }))
+  | "explanation" ->
+    bad
+      (let* cls = int_field "cls" v in
+       let* status = Result.bind (Json.field "status" v) status_of_json in
+       let* text = string_field "text" v in
+       Ok (Explanation { cls; status; text }))
+  | "outcome" ->
+    bad
+      (let* o = Result.bind (Json.field "outcome" v) outcome_of_json in
+       Ok (Outcome o))
+  | "stats" ->
+    bad
+      (let* labeled = int_field "labeled" v in
+       let* auto_determined = int_field "auto_determined" v in
+       let* still_informative = int_field "still_informative" v in
+       let* total = int_field "total" v in
+       let* version_space =
+         Result.bind (Json.field "version_space" v) Json.as_float
+       in
+       let* scoring = Result.bind (Json.field "scoring" v) metrics_of_json in
+       Ok
+         (Session_stats
+            {
+              labeled;
+              auto_determined;
+              still_informative;
+              total;
+              version_space;
+              scoring;
+            }))
+  | "ended" -> Ok Ended
+  | "error" ->
+    bad
+      (let* e = Result.bind (Json.field "error" v) error_of_json in
+       Ok (Failed e))
+  | tag -> Error (Bad_request (Printf.sprintf "unknown response %S" tag))
+
+(* ------------------------------------------------------------------ *)
+(* String wrappers                                                     *)
+
+let request_to_string r = Json.to_string (request_to_json r)
+
+let request_of_string s =
+  match Json.of_string s with
+  | Error m -> Error (Bad_request m)
+  | Ok v -> request_of_json v
+
+let response_to_string r = Json.to_string (response_to_json r)
+
+let response_of_string s =
+  match Json.of_string s with
+  | Error m -> Error (Bad_request m)
+  | Ok v -> response_of_json v

@@ -1,0 +1,133 @@
+(** The versioned, serialisable facade over the inference engine: every
+    way a client can drive a session, and every reply the service can
+    give, as plain OCaml data with a stable JSON encoding.
+
+    This is the boundary the demo paper's interactive front-end (Fig. 2–3)
+    talks across, made explicit so sessions can live behind a socket:
+    remote front-ends, crowd workers and load generators all speak these
+    messages.  The codec is total in both directions — qcheck pins
+    [decode ∘ encode = id] for every constructor — and errors are typed
+    (a saturated server answers {!Server_busy}, never hangs or drops the
+    line).
+
+    Wire shape: one JSON object per line.  Requests carry
+    [{"jim": version, "req": "<tag>", ...}], responses
+    [{"jim": version, "resp": "<tag>", ...}].  Partitions travel in their
+    canonical [Partition.to_string] block syntax (e.g. ["{0,2}{1}"]),
+    labels as ["+"] / ["-"]. *)
+
+type instance_source =
+  | Builtin of string
+      (** A named built-in instance: ["flights"] (the paper's Fig. 1
+          travel-agency table) or ["setcards"] (the Fig. 5 pairing
+          scenario). *)
+  | Synthetic of {
+      n_attrs : int;
+      n_tuples : int;
+      domain : int;
+      goal_rank : int;
+      seed : int;
+    }
+      (** Server-side {!Jim_workloads.Synthetic.generate} with these
+          parameters (deterministic in [seed], so a client can regenerate
+          the instance — and its planted goal — locally). *)
+  | Csv_inline of string
+      (** CSV text shipped in the request (header row, types inferred). *)
+
+type question = {
+  cls : int;  (** class index — what {!Answer} echoes back *)
+  row : int;  (** representative row to show the user *)
+  sg : Jim_partition.Partition.t;
+}
+
+type request =
+  | Start_session of { source : instance_source; strategy : string; seed : int }
+  | Get_question of { session : int }
+      (** Idempotent: the pending question is computed once and repeated
+          until an answer or undo invalidates it (so re-asking does not
+          advance the strategy's RNG). *)
+  | Top_questions of { session : int; k : int }
+      (** Greedy top-[k] ranking (mode 3 of Fig. 3).  Not idempotent:
+          each call re-runs the strategy with masking. *)
+  | Answer of { session : int; cls : int; label : Jim_core.State.label }
+  | Undo of { session : int }
+  | Explain of { session : int; cls : int }
+  | Result of { session : int }
+  | Stats of { session : int }
+  | End_session of { session : int }
+
+type error =
+  | Bad_request of string  (** malformed JSON, bad shape, bad arguments *)
+  | Unknown_session of int  (** never existed, ended, or evicted by TTL *)
+  | Unknown_strategy of string
+  | Bad_source of string  (** unknown builtin / CSV that fails to parse *)
+  | Engine of Jim_core.Session.error
+  | Server_busy of { active : int; max : int }
+      (** the max-sessions backpressure reply *)
+  | Unsupported_version of int
+
+type session_stats = {
+  labeled : int;
+  auto_determined : int;
+  still_informative : int;
+  total : int;
+  version_space : float;
+  scoring : Jim_core.Metrics.snapshot;
+      (** this session's own scorer counters (per-request
+          {!Jim_core.Metrics.diff}s, not the process-wide totals) *)
+}
+
+type response =
+  | Started of {
+      session : int;
+      arity : int;
+      classes : int;
+      tuples : int;
+      strategy : string;  (** canonical name, echoed back *)
+    }
+  | Question of question option  (** [None] iff the session is finished *)
+  | Questions of question list
+  | Answered of {
+      finished : bool;
+      asked : int;
+      decided_classes : int;
+      decided_tuples : int;
+    }
+  | Undone of { asked : int }
+  | Explanation of { cls : int; status : Jim_core.State.status; text : string }
+  | Outcome of Jim_core.Session.outcome  (** reply to {!Result} *)
+  | Session_stats of session_stats  (** reply to {!Stats} *)
+  | Ended
+  | Failed of error
+
+val version : int
+(** Protocol version, [1].  Carried as the ["jim"] field of every
+    message; a mismatch decodes to {!Unsupported_version}. *)
+
+val error_to_string : error -> string
+
+(** {1 Codec}
+
+    [*_of_string] parses, checks the version and decodes; every failure
+    is a typed {!error} so servers can serialise it straight back. *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, error) result
+val request_to_string : request -> string
+val request_of_string : string -> (request, error) result
+
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, error) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, error) result
+
+(** {1 Stable sub-encodings} (exposed for tests and other tooling) *)
+
+val label_to_json : Jim_core.State.label -> Json.t
+val label_of_json : Json.t -> (Jim_core.State.label, string) result
+val partition_to_json : Jim_partition.Partition.t -> Json.t
+val partition_of_json : Json.t -> (Jim_partition.Partition.t, string) result
+val outcome_to_json : Jim_core.Session.outcome -> Json.t
+val outcome_of_json : Json.t -> (Jim_core.Session.outcome, string) result
+val metrics_to_json : Jim_core.Metrics.snapshot -> Json.t
+val metrics_of_json : Json.t -> (Jim_core.Metrics.snapshot, string) result

@@ -37,8 +37,7 @@ let label_row eng oracle row =
   let label = Oracle.label oracle sg in
   match Session.answer eng ci label with
   | Ok () -> ()
-  | Error `Contradiction ->
-    invalid_arg "Interaction: oracle contradicted itself"
+  | Error _ -> invalid_arg "Interaction: oracle contradicted itself"
 
 let mode1_label_all ~order ~oracle rel =
   let eng = Session.create rel in
@@ -86,8 +85,7 @@ let mode3_top_k ~k ?(seed = 0) ~strategy ~oracle rel =
           let sg = (Session.classes eng).(ci).Sigclass.sg in
           match Session.answer eng ci (Oracle.label oracle sg) with
           | Ok () -> ()
-          | Error `Contradiction ->
-            invalid_arg "Interaction: oracle contradicted itself")
+          | Error _ -> invalid_arg "Interaction: oracle contradicted itself")
         proposals;
       rounds ()
     end

@@ -7,5 +7,10 @@
     minimax is cubic in the number of informative classes, so candidates
     are pre-filtered to the [beam] best one-step scores. *)
 
-val strategy : ?beam:int -> unit -> Strategy.t
-(** Default beam 8.  Named ["lookahead-2"]. *)
+val pick :
+  ?beam:int ->
+  cache:Scorer.cache ->
+  State.t -> Sigclass.cls array -> int array -> int option
+(** [pick ~cache st classes informative] — the raw selection function
+    (default beam 8).  The {!Strategy.t} wrapper, named ["lookahead-2"],
+    is {!Strategy.lookahead2}. *)

@@ -57,6 +57,39 @@ let snapshot () =
     last_pick_ns = Atomic.get last_pick_ns;
   }
 
+let zero =
+  {
+    meets = 0;
+    classify_calls = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    picks = 0;
+    pick_time_ns = 0;
+    last_pick_ns = 0;
+  }
+
+let diff later earlier =
+  {
+    meets = later.meets - earlier.meets;
+    classify_calls = later.classify_calls - earlier.classify_calls;
+    cache_hits = later.cache_hits - earlier.cache_hits;
+    cache_misses = later.cache_misses - earlier.cache_misses;
+    picks = later.picks - earlier.picks;
+    pick_time_ns = later.pick_time_ns - earlier.pick_time_ns;
+    last_pick_ns = later.last_pick_ns;
+  }
+
+let add a b =
+  {
+    meets = a.meets + b.meets;
+    classify_calls = a.classify_calls + b.classify_calls;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    picks = a.picks + b.picks;
+    pick_time_ns = a.pick_time_ns + b.pick_time_ns;
+    last_pick_ns = b.last_pick_ns;
+  }
+
 let hit_rate s =
   let total = s.cache_hits + s.cache_misses in
   if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total

@@ -20,6 +20,25 @@ val reset : unit -> unit
 
 val snapshot : unit -> snapshot
 
+(** {1 Snapshot arithmetic}
+
+    The counters are process-global, so a server hosting many concurrent
+    sessions cannot report {!snapshot} per session — it would mix every
+    session's work.  Instead each request takes a snapshot before and
+    after its engine work and accumulates the {!diff}; the sum is that
+    session's own counters (up to work racing in from requests of other
+    sessions that overlap the same window). *)
+
+val zero : snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier]: field-wise difference — the work recorded
+    between the two snapshots.  [last_pick_ns] is taken from [later]. *)
+
+val add : snapshot -> snapshot -> snapshot
+(** Field-wise sum ([last_pick_ns] is taken from the second argument, the
+    more recent increment). *)
+
 (** {1 Recording (called by the scorer and the session engine)} *)
 
 val record_meet : unit -> unit

@@ -36,7 +36,7 @@ let search ?(max_states = 200_000) st classes =
       d
   and branch_worst st c =
     let sg = classes.(c).Sigclass.sg in
-    let st_pos, st_neg = Strategy.hypothetical st sg in
+    let st_pos, st_neg = State.hypothetical st sg in
     let arm = function None -> 0 | Some st' -> depth st' in
     1 + max (arm st_pos) (arm st_neg)
   and informative_of st =
@@ -67,15 +67,3 @@ let worst_case_depth ?max_states st classes =
 
 let best_question ?max_states st classes =
   snd (search ?max_states st classes)
-
-let strategy ?max_states () =
-  {
-    Strategy.name = "optimal";
-    descr = "exact minimax policy (exponential; small instances only)";
-    kind = `Lookahead;
-    pick =
-      (fun ctx ->
-        match best_question ?max_states ctx.Strategy.state ctx.Strategy.classes with
-        | Some c -> Some c
-        | None -> None);
-  }

@@ -17,7 +17,8 @@ val worst_case_depth :
 val best_question :
   ?max_states:int -> State.t -> Sigclass.cls array -> int option
 (** A class achieving {!worst_case_depth}; [None] when nothing is
-    informative. *)
+    informative.
 
-val strategy : ?max_states:int -> unit -> Strategy.t
-(** {!Strategy.t} wrapper named ["optimal"]. *)
+    The {!Strategy.t} wrapper lives in {!Strategy.optimal} (the strategy
+    catalogue owns every name so that {!Strategy.of_string} is the one
+    canonical table). *)

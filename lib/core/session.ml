@@ -1,5 +1,15 @@
 module Relation = Jim_relational.Relation
 
+type error = Contradiction | Nothing_to_undo
+
+let error_to_string = function
+  | Contradiction ->
+    "the answer contradicts the earlier labels (no join predicate is \
+     consistent with all of them)"
+  | Nothing_to_undo -> "nothing to undo"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
 type t = {
   n : int;
   classes : Sigclass.cls array;
@@ -127,7 +137,7 @@ let top_questions eng strat rng k =
    instance (transcript replay across instance revisions). *)
 let absorb eng sg label =
   match State.add eng.st label sg with
-  | Error `Contradiction -> Error `Contradiction
+  | Error `Contradiction -> Error Contradiction
   | Ok st' ->
     eng.snapshots <- (eng.st, eng.positives) :: eng.snapshots;
     eng.st <- st';
@@ -143,7 +153,7 @@ let history eng = List.rev eng.history
 
 let undo eng =
   match (eng.snapshots, eng.history) with
-  | [], _ | _, [] -> Error `Nothing_to_undo
+  | [], _ | _, [] -> Error Nothing_to_undo
   | (st, positives) :: snaps, _ :: hist ->
     eng.st <- st;
     eng.positives <- positives;
@@ -209,7 +219,7 @@ let run_engine ?(seed = 0) ~strategy ~oracle eng =
       let cls = eng.classes.(c) in
       let label = Oracle.label oracle cls.Sigclass.sg in
       (match answer eng c label with
-      | Error `Contradiction ->
+      | Error _ ->
         {
           query = result eng;
           events = List.rev !events;

@@ -8,6 +8,14 @@
 
 type t
 
+type error = Contradiction | Nothing_to_undo
+(** Every way an engine operation can be refused.  One concrete type (not
+    per-function polymorphic variants) so callers — in particular the
+    wire protocol — can serialise and report engine errors uniformly. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
 val create : Jim_relational.Relation.t -> t
 (** Precomputes the signature classes of the instance. *)
 
@@ -39,20 +47,19 @@ val top_questions : t -> Strategy.t -> Random.State.t -> int -> int list
 (** Greedy top-[k] ranking: repeatedly ask the strategy, masking what it
     already proposed (mode 3 of Fig. 3). *)
 
-val answer : t -> int -> State.label -> (unit, [ `Contradiction ]) result
-(** Absorb the user's label for a class.  On [`Contradiction] the engine
-    is unchanged. *)
+val answer : t -> int -> State.label -> (unit, error) result
+(** Absorb the user's label for a class.  On [Error Contradiction] the
+    engine is unchanged ([Nothing_to_undo] cannot occur here). *)
 
 val absorb :
-  t -> Jim_partition.Partition.t -> State.label ->
-  (unit, [ `Contradiction ]) result
+  t -> Jim_partition.Partition.t -> State.label -> (unit, error) result
 (** Absorb a labelled signature directly (it need not be a class of the
     instance) — transcript replay across instance revisions. *)
 
 val history : t -> (Jim_partition.Partition.t * State.label) list
 (** Every label absorbed so far, in chronological order. *)
 
-val undo : t -> (unit, [ `Nothing_to_undo ]) result
+val undo : t -> (unit, error) result
 (** Retract the most recent label (the user mis-clicked): the state,
     statuses, history and counters roll back to just before it. *)
 

@@ -51,6 +51,14 @@ let add_exn st label sg =
   | Ok st' -> st'
   | Error `Contradiction -> invalid_arg "State.add_exn: contradictory label"
 
+let hypothetical st sg =
+  let branch label =
+    match add st label sg with
+    | Ok st' -> Some st'
+    | Error `Contradiction -> None
+  in
+  (branch Pos, branch Neg)
+
 type status = Certain_pos | Certain_neg | Informative
 
 let classify st sg =

@@ -35,6 +35,11 @@ val add :
 val add_exn : t -> label -> Jim_partition.Partition.t -> t
 (** Raises [Invalid_argument] on contradiction. *)
 
+val hypothetical : t -> Jim_partition.Partition.t -> t option * t option
+(** States after labelling a tuple of the given signature [+] / [−];
+    [None] marks the contradictory branch.  The helper behind every
+    lookahead strategy (and {!Optimal}'s minimax search). *)
+
 type status = Certain_pos | Certain_neg | Informative
 
 val classify : t -> Jim_partition.Partition.t -> status

@@ -18,11 +18,7 @@ type t = {
 let scorer_of ctx =
   Scorer.create ~cache:ctx.cache ctx.state ctx.classes ctx.informative
 
-let hypothetical st sg =
-  let branch label =
-    match State.add st label sg with Ok st' -> Some st' | Error `Contradiction -> None
-  in
-  (branch State.Pos, branch State.Neg)
+let hypothetical = State.hypothetical
 
 (* Unmemoised reference implementation, kept as the specification the
    scorer's memoised [decided_counts] is property-tested against. *)
@@ -185,3 +181,42 @@ let all =
   ]
 
 let find name = List.find_opt (fun s -> String.equal s.name name) all
+
+(* The two strategies whose machinery lives outside this module join the
+   catalogue here (their modules cannot depend on this one and also be
+   depended on by it), so [of_string] below is the single canonical name
+   table for the CLI, the bench harness and the wire protocol. *)
+
+let lookahead2 ?beam () =
+  {
+    name = "lookahead-2";
+    descr = "two-step maximin lookahead (beam-limited)";
+    kind = `Lookahead;
+    pick =
+      (fun ctx ->
+        Lookahead2.pick ?beam ~cache:ctx.cache ctx.state ctx.classes
+          ctx.informative);
+  }
+
+let optimal ?max_states () =
+  {
+    name = "optimal";
+    descr = "exact minimax policy (exponential; small instances only)";
+    kind = `Lookahead;
+    pick = (fun ctx -> Optimal.best_question ?max_states ctx.state ctx.classes);
+  }
+
+let names = List.map (fun s -> s.name) all @ [ "lookahead-2"; "optimal" ]
+
+let to_string s = s.name
+
+let of_string = function
+  | "optimal" -> Ok (optimal ())
+  | "lookahead-2" | "lookahead2" -> Ok (lookahead2 ())
+  | name -> (
+    match find name with
+    | Some s -> Ok s
+    | None ->
+      Error
+        (Printf.sprintf "unknown strategy %S (try: %s)" name
+           (String.concat ", " names)))

@@ -64,9 +64,36 @@ val lookahead_entropy : t
     of degenerating to the first informative class. *)
 
 val all : t list
-(** The catalogue above, in presentation order. *)
+(** The catalogue above, in presentation order.  ({!lookahead2} and
+    {!optimal} are not members: the former so the cheap catalogue stays
+    cheap, the latter because it is exponential.) *)
 
 val find : string -> t option
+(** Catalogue lookup by name ({!all} only). *)
+
+(** {1 The canonical name table}
+
+    Every surface that names strategies — the CLI, the bench [compare]
+    harness, the wire protocol — resolves names through {!of_string}, so
+    there is exactly one table. *)
+
+val lookahead2 : ?beam:int -> unit -> t
+(** {!Lookahead2.pick} wrapped as ["lookahead-2"] (default beam 8). *)
+
+val optimal : ?max_states:int -> unit -> t
+(** {!Optimal.best_question} wrapped as ["optimal"]. *)
+
+val names : string list
+(** Every canonical strategy name: {!all} plus ["lookahead-2"] and
+    ["optimal"]. *)
+
+val of_string : string -> (t, string) result
+(** Resolve any name in {!names} (also accepts the alias ["lookahead2"]);
+    the error is a human-readable "unknown strategy" message listing the
+    table.  Round-trips with {!to_string}. *)
+
+val to_string : t -> string
+(** The strategy's canonical name ([to_string s = s.name]). *)
 
 (** {1 Helpers shared with {!Optimal} and the interaction modes} *)
 

@@ -111,6 +111,6 @@ let replay t eng =
       | { sg; label } :: rest -> (
         match Session.absorb eng sg label with
         | Ok () -> go rest
-        | Error `Contradiction -> Error `Contradiction)
+        | Error _ -> Error `Contradiction)
     in
     go t.entries

@@ -134,11 +134,9 @@ let infer_column_ty cells =
   then Value.Tdate
   else Value.Tstring
 
-let load_auto ?sep ?name path =
-  let name = Option.value name ~default:(Filename.remove_extension (Filename.basename path)) in
-  match parse_string ?sep (read_file path) with
+let load_string ?sep ?(name = "csv") text =
+  match parse_string ?sep text with
   | exception Failure msg -> Error msg
-  | exception Sys_error msg -> Error msg
   | [] -> Error "empty CSV file"
   | header :: data ->
     let columns =
@@ -150,6 +148,12 @@ let load_auto ?sep ?name path =
     in
     (try parse_rows (Schema.make columns) name (header :: data)
      with Invalid_argument msg -> Error msg)
+
+let load_auto ?sep ?name path =
+  let name = Option.value name ~default:(Filename.remove_extension (Filename.basename path)) in
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text -> load_string ?sep ~name text
 
 let save ?sep r path =
   let header = Array.to_list (Schema.names (Relation.schema r)) in

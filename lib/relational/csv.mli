@@ -15,6 +15,10 @@ val load : ?sep:char -> ?name:string -> Schema.t -> string -> (Relation.t, strin
     schema's column names (header is required) and parses each field at
     its column type.  Returns a descriptive error on the first bad cell. *)
 
+val load_string : ?sep:char -> ?name:string -> string -> (Relation.t, string) result
+(** {!load_auto} on in-memory CSV text (header row, column types
+    inferred); what the wire protocol's inline-CSV instance source uses. *)
+
 val load_auto : ?sep:char -> ?name:string -> string -> (Relation.t, string) result
 (** Like {!load} but infers each column's type from the data (int ⊂ float
     ⊂ string; bool and date recognised when every non-empty cell parses). *)

@@ -1,0 +1,325 @@
+module P = Jim_api.Protocol
+open Jim_core
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+type session = {
+  id : int;
+  strategy : Strategy.t;
+  strategy_name : string;
+  eng : Session.t;
+  schema : Jim_relational.Schema.t;
+  rng : Random.State.t;
+  lock : Mutex.t;
+  mutable pending : int option option;
+      (* memoised next question: [Some q] until an answer or undo
+         invalidates it, so repeated Get_questions advance the RNG exactly
+         once per round — the determinism the smoke test pins. *)
+  mutable events_rev : Session.event list;
+  mutable contradiction : bool;
+  mutable metrics : Metrics.snapshot;
+  mutable last_used : float;
+}
+
+type t = {
+  lock : Mutex.t;  (* guards [sessions] and [next_id] *)
+  sessions : (int, session) Hashtbl.t;
+  mutable next_id : int;
+  max_sessions : int;
+  idle_ttl : float;
+  now : unit -> float;
+}
+
+let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
+    () =
+  {
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    next_id = 1;
+    max_sessions;
+    idle_ttl;
+    now;
+  }
+
+let session_count t = with_lock t.lock (fun () -> Hashtbl.length t.sessions)
+let max_sessions t = t.max_sessions
+let idle_ttl t = t.idle_ttl
+
+let sweep t =
+  let now = t.now () in
+  with_lock t.lock (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun id s acc ->
+            if now -. s.last_used > t.idle_ttl then id :: acc else acc)
+          t.sessions []
+      in
+      List.iter (Hashtbl.remove t.sessions) stale;
+      List.length stale)
+
+(* ------------------------------------------------------------------ *)
+(* Instance sources                                                    *)
+
+let resolve_source :
+    P.instance_source ->
+    (Jim_relational.Relation.t * Jim_relational.Schema.t, P.error) result =
+  function
+  | P.Builtin name -> (
+    match String.lowercase_ascii name with
+    | "flights" ->
+      Ok (Jim_workloads.Flights.instance, Jim_workloads.Flights.schema)
+    | "setcards" ->
+      Ok
+        ( Jim_workloads.Setcards.pair_instance (),
+          Jim_workloads.Setcards.pair_schema )
+    | other ->
+      Error
+        (P.Bad_source
+           (Printf.sprintf "unknown builtin %S (try: flights, setcards)" other)))
+  | P.Synthetic { n_attrs; n_tuples; domain; goal_rank; seed } -> (
+    let params =
+      { Jim_workloads.Synthetic.n_attrs; n_tuples; domain; goal_rank; seed }
+    in
+    match Jim_workloads.Synthetic.generate params with
+    | inst ->
+      Ok
+        ( inst.Jim_workloads.Synthetic.relation,
+          inst.Jim_workloads.Synthetic.schema )
+    | exception Invalid_argument msg -> Error (P.Bad_source msg))
+  | P.Csv_inline text -> (
+    match Jim_relational.Csv.load_string ~name:"inline" text with
+    | Ok rel -> Ok (rel, Jim_relational.Relation.schema rel)
+    | Error msg -> Error (P.Bad_source msg))
+
+(* ------------------------------------------------------------------ *)
+(* Per-session helpers                                                 *)
+
+(* Scorer counters are process-global (see Metrics); we attribute each
+   engine-touching request's delta to the session that caused it.  Under
+   concurrent load deltas can interleave across sessions — the totals
+   stay exact, the attribution is best-effort, which is all the Stats
+   reply promises. *)
+let measured s f =
+  let before = Metrics.snapshot () in
+  let r = f () in
+  s.metrics <- Metrics.add s.metrics (Metrics.diff (Metrics.snapshot ()) before);
+  r
+
+let decided_totals eng =
+  let classes = Session.classes eng in
+  let cd = ref 0 and td = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if Session.status eng i <> State.Informative then begin
+        incr cd;
+        td := !td + c.Sigclass.card
+      end)
+    classes;
+  (!cd, !td)
+
+let question_of_cls eng c =
+  let cls = (Session.classes eng).(c) in
+  { P.cls = c; row = Sigclass.representative cls; sg = cls.Sigclass.sg }
+
+let pending_question s =
+  match s.pending with
+  | Some q -> q
+  | None ->
+    let q = measured s (fun () -> Session.question s.eng s.strategy s.rng) in
+    s.pending <- Some q;
+    q
+
+let check_cls s c =
+  let n = Array.length (Session.classes s.eng) in
+  if c < 0 || c >= n then
+    Error
+      (P.Bad_request (Printf.sprintf "class index %d out of range 0..%d" c (n - 1)))
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                    *)
+
+let start_session t source strategy_name seed =
+  ignore (sweep t);
+  match resolve_source source with
+  | Error e -> P.Failed e
+  | Ok (rel, schema) -> (
+    match Strategy.of_string strategy_name with
+    | Error msg -> P.Failed (P.Unknown_strategy msg)
+    | Ok strategy ->
+      (* Build the engine outside the table lock: class computation can be
+         expensive and must not stall other sessions. *)
+      let eng = Session.create rel in
+      with_lock t.lock (fun () ->
+          let active = Hashtbl.length t.sessions in
+          if active >= t.max_sessions then
+            P.Failed (P.Server_busy { active; max = t.max_sessions })
+          else begin
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            let s =
+              {
+                id;
+                strategy;
+                strategy_name = Strategy.to_string strategy;
+                eng;
+                schema;
+                rng = Random.State.make [| seed |];
+                lock = Mutex.create ();
+                pending = None;
+                events_rev = [];
+                contradiction = false;
+                metrics = Metrics.zero;
+                last_used = t.now ();
+              }
+            in
+            Hashtbl.replace t.sessions id s;
+            P.Started
+              {
+                session = id;
+                arity = Jim_relational.Relation.arity rel;
+                classes = Array.length (Session.classes eng);
+                tuples = Jim_relational.Relation.cardinality rel;
+                strategy = s.strategy_name;
+              }
+          end))
+
+let with_session t id f =
+  let found =
+    with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.sessions id with
+        | None -> None
+        | Some s ->
+          s.last_used <- t.now ();
+          Some s)
+  in
+  match found with
+  | None -> P.Failed (P.Unknown_session id)
+  | Some s -> with_lock s.lock (fun () -> f s)
+
+let get_question s = P.Question (Option.map (question_of_cls s.eng) (pending_question s))
+
+let top_questions s k =
+  if k < 0 then P.Failed (P.Bad_request "k must be non-negative")
+  else
+    let cs =
+      measured s (fun () -> Session.top_questions s.eng s.strategy s.rng k)
+    in
+    P.Questions (List.map (question_of_cls s.eng) cs)
+
+let do_answer s c label =
+  match check_cls s c with
+  | Error e -> P.Failed e
+  | Ok () -> (
+    (* Advance the round's question first so the RNG consumption matches
+       [Session.run] even if the client answers without asking. *)
+    ignore (pending_question s);
+    match measured s (fun () -> Session.answer s.eng c label) with
+    | Error e ->
+      if e = Session.Contradiction then s.contradiction <- true;
+      P.Failed (P.Engine e)
+    | Ok () ->
+      s.pending <- None;
+      let cls = (Session.classes s.eng).(c) in
+      let decided, tuples = decided_totals s.eng in
+      let ev =
+        {
+          Session.step = Session.asked s.eng;
+          cls = c;
+          row = Sigclass.representative cls;
+          sg = cls.Sigclass.sg;
+          label;
+          decided_after = decided;
+          tuples_decided_after = tuples;
+          vs_after = Version_space.count (Session.state s.eng);
+        }
+      in
+      s.events_rev <- ev :: s.events_rev;
+      P.Answered
+        {
+          finished = Session.finished s.eng;
+          asked = Session.asked s.eng;
+          decided_classes = decided;
+          decided_tuples = tuples;
+        })
+
+let do_undo s =
+  match measured s (fun () -> Session.undo s.eng) with
+  | Error e -> P.Failed (P.Engine e)
+  | Ok () ->
+    s.pending <- None;
+    (match s.events_rev with [] -> () | _ :: tl -> s.events_rev <- tl);
+    P.Undone { asked = Session.asked s.eng }
+
+let do_explain s c =
+  match check_cls s c with
+  | Error e -> P.Failed e
+  | Ok () ->
+    let why = Session.explain_class s.eng c in
+    P.Explanation
+      {
+        cls = c;
+        status = Session.status s.eng c;
+        text = Explain.to_string s.schema why;
+      }
+
+let do_result s =
+  P.Outcome
+    {
+      Session.query = Session.result s.eng;
+      events = List.rev s.events_rev;
+      interactions = Session.asked s.eng;
+      contradiction = s.contradiction;
+    }
+
+let do_stats s =
+  let classes = Session.classes s.eng in
+  let _, decided_tuples = decided_totals s.eng in
+  let total = Sigclass.total_rows classes in
+  let labeled = Session.asked s.eng in
+  P.Session_stats
+    {
+      P.labeled;
+      auto_determined = max 0 (decided_tuples - labeled);
+      still_informative = total - decided_tuples;
+      total;
+      version_space = Version_space.count (Session.state s.eng);
+      scoring = s.metrics;
+    }
+
+let end_session t id =
+  with_lock t.lock (fun () ->
+      if Hashtbl.mem t.sessions id then begin
+        Hashtbl.remove t.sessions id;
+        P.Ended
+      end
+      else P.Failed (P.Unknown_session id))
+
+let handle t req =
+  match req with
+  | P.Start_session { source; strategy; seed } ->
+    start_session t source strategy seed
+  | P.Get_question { session } -> with_session t session get_question
+  | P.Top_questions { session; k } ->
+    with_session t session (fun s -> top_questions s k)
+  | P.Answer { session; cls; label } ->
+    with_session t session (fun s -> do_answer s cls label)
+  | P.Undo { session } -> with_session t session do_undo
+  | P.Explain { session; cls } ->
+    with_session t session (fun s -> do_explain s cls)
+  | P.Result { session } -> with_session t session do_result
+  | P.Stats { session } -> with_session t session do_stats
+  | P.End_session { session } -> end_session t session
+
+let handle_line t line =
+  let resp =
+    match P.request_of_string line with
+    | Error e -> P.Failed e
+    | Ok req -> (
+      try handle t req
+      with exn ->
+        P.Failed (P.Bad_request ("internal error: " ^ Printexc.to_string exn)))
+  in
+  P.response_to_string resp

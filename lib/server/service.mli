@@ -1,0 +1,44 @@
+(** The concurrent session manager: many inference sessions, one process.
+
+    Each {!Jim_api.Protocol.Start_session} builds an engine and registers
+    it under a monotonically increasing id; every later request addresses
+    the session by id.  The manager is thread-safe — a short global lock
+    guards the session table, a per-session lock serialises engine work —
+    so a pool of connection threads can call {!handle} freely.
+
+    Capacity is bounded: when [max_sessions] sessions are live, further
+    [Start_session]s get a typed [Server_busy] reply (backpressure, not a
+    hang).  Sessions idle longer than [idle_ttl] seconds are evicted by
+    {!sweep}, which runs on every [Start_session] and periodically from
+    the wire loop's housekeeping thread.
+
+    Determinism: the pending question is computed once per round and
+    cached until an answer or undo invalidates it, so a session driven
+    through this interface asks exactly the question sequence of the
+    in-process {!Jim_core.Session.run} with the same seed and strategy
+    (the server smoke test pins outcomes bit-identical). *)
+
+type t
+
+val create :
+  ?max_sessions:int -> ?idle_ttl:float -> ?now:(unit -> float) -> unit -> t
+(** Defaults: 64 sessions, 600 s TTL, [Unix.gettimeofday].  [now] is
+    injectable so tests can drive the TTL clock by hand. *)
+
+val handle : t -> Jim_api.Protocol.request -> Jim_api.Protocol.response
+(** Serve one request.  Never raises: internal exceptions become a
+    [Failed (Bad_request _)] reply. *)
+
+val handle_line : t -> string -> string
+(** The line-delimited wire entry point: parse (version check included),
+    {!handle}, print.  Always returns exactly one JSON line (without the
+    trailing newline). *)
+
+val sweep : t -> int
+(** Evict sessions idle longer than the TTL; returns how many died. *)
+
+val session_count : t -> int
+val max_sessions : t -> int
+
+val idle_ttl : t -> float
+(** The eviction threshold, seconds. *)

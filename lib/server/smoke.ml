@@ -1,0 +1,182 @@
+module P = Jim_api.Protocol
+open Jim_core
+
+type client_report = {
+  seed : int;
+  strategy : string;
+  questions : int;
+  ok : bool;
+  detail : string;
+}
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+(* Small instances keep 32 concurrent lookahead sessions fast while still
+   exercising multi-step inference. *)
+let params seed =
+  { Jim_workloads.Synthetic.n_attrs = 5; n_tuples = 40; domain = 8;
+    goal_rank = 2; seed }
+
+let event_equal (a : Session.event) (b : Session.event) =
+  a.step = b.step && a.cls = b.cls && a.row = b.row
+  && Jim_partition.Partition.equal a.sg b.sg
+  && a.label = b.label
+  && a.decided_after = b.decided_after
+  && a.tuples_decided_after = b.tuples_decided_after
+  && Float.equal a.vs_after b.vs_after
+
+let outcome_equal (a : Session.outcome) (b : Session.outcome) =
+  Jim_partition.Partition.equal a.query b.query
+  && a.interactions = b.interactions
+  && a.contradiction = b.contradiction
+  && List.length a.events = List.length b.events
+  && List.for_all2 event_equal a.events b.events
+
+let unexpected what resp =
+  Error (Printf.sprintf "unexpected reply to %s: %s" what
+           (P.response_to_string resp))
+
+let drive_over conn ~seed ~strategy =
+  let inst = Jim_workloads.Synthetic.generate (params seed) in
+  let oracle = Oracle.of_goal inst.Jim_workloads.Synthetic.goal in
+  let strat =
+    match Strategy.of_string strategy with
+    | Ok s -> s
+    | Error msg -> invalid_arg msg
+  in
+  let expected =
+    Session.run ~seed ~strategy:strat ~oracle
+      inst.Jim_workloads.Synthetic.relation
+  in
+  let p = params seed in
+  let* resp =
+    Wire.call conn
+      (P.Start_session
+         {
+           source =
+             P.Synthetic
+               {
+                 n_attrs = p.Jim_workloads.Synthetic.n_attrs;
+                 n_tuples = p.Jim_workloads.Synthetic.n_tuples;
+                 domain = p.Jim_workloads.Synthetic.domain;
+                 goal_rank = p.Jim_workloads.Synthetic.goal_rank;
+                 seed = p.Jim_workloads.Synthetic.seed;
+               };
+           strategy;
+           seed;
+         })
+  in
+  let* session =
+    match resp with
+    | P.Started { session; _ } -> Ok session
+    | P.Failed e -> Error (P.error_to_string e)
+    | other -> unexpected "Start_session" other
+  in
+  let rec loop asked =
+    let* q = Wire.call conn (P.Get_question { session }) in
+    match q with
+    | P.Question None ->
+      let* r = Wire.call conn (P.Result { session }) in
+      (match r with
+      | P.Outcome o ->
+        let* _ = Wire.call conn (P.End_session { session }) in
+        Ok (asked, o)
+      | other -> unexpected "Result" other)
+    | P.Question (Some { P.cls; sg; _ }) ->
+      let label = Oracle.label oracle sg in
+      let* a = Wire.call conn (P.Answer { session; cls; label }) in
+      (match a with
+      | P.Answered _ -> loop (asked + 1)
+      | other -> unexpected "Answer" other)
+    | other -> unexpected "Get_question" other
+  in
+  let* asked, got = loop 0 in
+  if outcome_equal expected got then Ok asked
+  else
+    Error
+      (Printf.sprintf "outcome differs from local Session.run: wire %s/%d, local %s/%d"
+         (Jim_partition.Partition.to_string got.Session.query)
+         got.Session.interactions
+         (Jim_partition.Partition.to_string expected.Session.query)
+         expected.Session.interactions)
+
+let drive_one ~address ~seed ~strategy =
+  let finish questions outcome =
+    match outcome with
+    | Ok () -> { seed; strategy; questions; ok = true; detail = "" }
+    | Error detail -> { seed; strategy; questions; ok = false; detail }
+  in
+  match Wire.connect ~retries:50 address with
+  | Error msg -> finish 0 (Error ("connect: " ^ msg))
+  | Ok conn ->
+    let r =
+      match drive_over conn ~seed ~strategy with
+      | Ok asked -> (asked, Ok ())
+      | Error msg -> (0, Error msg)
+      | exception exn -> (0, Error (Printexc.to_string exn))
+    in
+    Wire.close conn;
+    finish (fst r) (snd r)
+
+let run ?(clients = 32) ~address () =
+  let reports = ref [] in
+  let lock = Mutex.create () in
+  let spawn i =
+    Thread.create
+      (fun () ->
+        let seed = 100 + i in
+        let strategy =
+          if i mod 2 = 0 then "lookahead-entropy" else "random"
+        in
+        let r = drive_one ~address ~seed ~strategy in
+        Mutex.lock lock;
+        reports := r :: !reports;
+        Mutex.unlock lock)
+      ()
+  in
+  let threads = List.init clients spawn in
+  List.iter Thread.join threads;
+  List.sort (fun a b -> compare a.seed b.seed) !reports
+
+let busy_check ~address ~fill =
+  match Wire.connect ~retries:50 address with
+  | Error msg -> Error ("connect: " ^ msg)
+  | Ok conn ->
+    let start seed =
+      Wire.call conn
+        (P.Start_session
+           { source = P.Builtin "flights"; strategy = "random"; seed })
+    in
+    let finish r =
+      Wire.close conn;
+      r
+    in
+    let rec open_all acc k =
+      if k = 0 then Ok acc
+      else
+        let* resp = start k in
+        match resp with
+        | P.Started { session; _ } -> open_all (session :: acc) (k - 1)
+        | other -> unexpected "Start_session (fill)" other
+    in
+    finish
+      (let* sessions = open_all [] fill in
+       let* overflow = start 0 in
+       let verdict =
+         match overflow with
+         | P.Failed (P.Server_busy { active; max })
+           when active >= fill && max = fill -> Ok ()
+         | P.Failed (P.Server_busy { active; max }) ->
+           Error
+             (Printf.sprintf "Server_busy with odd counters: active=%d max=%d"
+                active max)
+         | other ->
+           (match unexpected "saturated Start_session" other with
+           | Error _ as e -> e
+           | Ok _ -> assert false)
+       in
+       List.iter
+         (fun session ->
+           ignore (Wire.call conn (P.End_session { session })))
+         sessions;
+       verdict)

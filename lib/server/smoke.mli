@@ -1,0 +1,36 @@
+(** The oracle-driven load generator: many concurrent clients, each
+    running a full inference session over the wire and checking the
+    outcome bit-for-bit against the in-process {!Jim_core.Session.run}
+    with the same instance, seed and strategy.  Shared by [jim client
+    --smoke] and the server test suite. *)
+
+type client_report = {
+  seed : int;
+  strategy : string;
+  questions : int;
+  ok : bool;
+  detail : string;  (** empty when [ok]; the mismatch/failure otherwise *)
+}
+
+val drive_one :
+  address:Wire.address -> seed:int -> strategy:string -> client_report
+(** One client, one session: start a synthetic instance (deterministic in
+    [seed], so the goal — and hence the oracle — is reconstructed
+    locally), loop question/answer to completion, fetch the outcome and
+    compare with the local reference run. *)
+
+val run : ?clients:int -> address:Wire.address -> unit -> client_report list
+(** [clients] (default 32) threads, one {!drive_one} each, alternating
+    strategies (lookahead-entropy / random) and distinct seeds.  Reports
+    come back sorted by seed. *)
+
+val busy_check :
+  address:Wire.address -> fill:int -> (unit, string) result
+(** Open [fill] sessions without ending them, then check that one more
+    [Start_session] is refused with [Server_busy] (the server must reply,
+    not hang).  Ends every session before returning.  Call against a
+    server whose [max_sessions] equals [fill]. *)
+
+val outcome_equal : Jim_core.Session.outcome -> Jim_core.Session.outcome -> bool
+(** Structural equality, float fields compared exactly — both sides are
+    computed by the same code path, so bit-identical is the bar. *)

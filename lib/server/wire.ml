@@ -1,0 +1,243 @@
+module P = Jim_api.Protocol
+
+type address = Tcp of string * int | Unix_path of string
+
+let address_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Unix_path path -> "unix:" ^ path
+
+let address_of_string s =
+  let prefix = "unix:" in
+  let plen = String.length prefix in
+  if String.length s >= plen && String.sub s 0 plen = prefix then
+    Ok (Unix_path (String.sub s plen (String.length s - plen)))
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+        Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "bad port %S" port))
+    | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT or unix:PATH)" s)
+
+let inet_addr host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr_of = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> Unix.ADDR_INET (inet_addr host, port)
+
+let socket_for = function
+  | Unix_path _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()  (* not a POSIX platform *)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+
+type server = {
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  queue : Unix.file_descr Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable stopping : bool;
+  mutable pool : Thread.t list;  (* workers + acceptor; joined on shutdown *)
+}
+
+let handle_conn service fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           output_string oc (Service.handle_line service line);
+           output_char oc '\n';
+           flush oc
+         end;
+         loop ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (* ic and oc share [fd]; close it once, ignoring the inevitable
+     second-close complaints from channel finalisers. *)
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker srv =
+  let rec next () =
+    Mutex.lock srv.qlock;
+    while Queue.is_empty srv.queue && not srv.stopping do
+      Condition.wait srv.qcond srv.qlock
+    done;
+    let job =
+      if Queue.is_empty srv.queue then None else Some (Queue.pop srv.queue)
+    in
+    Mutex.unlock srv.qlock;
+    match job with
+    | None -> ()
+    | Some fd ->
+      handle_conn srv.service fd;
+      next ()
+  in
+  next ()
+
+(* A blocked [accept] is NOT woken when another thread closes the listen
+   fd (Linux leaves it sleeping), so the acceptor polls with [select] and
+   re-checks [stopping] between waits — shutdown is then bounded by one
+   poll interval instead of hanging the join. *)
+let acceptor srv =
+  let rec loop () =
+    if srv.stopping then ()
+    else
+      match Unix.select [ srv.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept srv.listen_fd with
+        | fd, _ ->
+          Mutex.lock srv.qlock;
+          Queue.push fd srv.queue;
+          Condition.signal srv.qcond;
+          Mutex.unlock srv.qlock;
+          loop ()
+        | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+          loop ()
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ ->
+        (* listen fd closed by [shutdown] (or a fatal error: either way
+           the accept loop is over) *)
+        ()
+  in
+  loop ()
+
+let sweeper srv interval =
+  let rec loop () =
+    if not srv.stopping then begin
+      Thread.delay interval;
+      if not srv.stopping then begin
+        ignore (Service.sweep srv.service);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let serve ?(threads = 16) ?(backlog = 64) service addr =
+  ignore_sigpipe ();
+  let fd = socket_for addr in
+  (match addr with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr_of addr);
+  Unix.listen fd backlog;
+  let bound =
+    match addr with
+    | Tcp (host, 0) -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+      | _ -> addr)
+    | a -> a
+  in
+  let srv =
+    {
+      service;
+      listen_fd = fd;
+      bound;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = false;
+      pool = [];
+    }
+  in
+  let workers =
+    List.init (max 1 threads) (fun _ -> Thread.create worker srv)
+  in
+  let acc = Thread.create acceptor srv in
+  (* The sweeper sleeps in bounded steps and exits on [stopping]; it is
+     deliberately not joined (shutdown must not wait out a sleep). *)
+  let interval = Float.max 0.5 (Service.idle_ttl service /. 4.) in
+  ignore (Thread.create (fun () -> sweeper srv (Float.min interval 30.)) ());
+  srv.pool <- acc :: workers;
+  srv
+
+let bound_address srv = srv.bound
+let wait srv = List.iter Thread.join srv.pool
+
+let shutdown srv =
+  srv.stopping <- true;
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  Mutex.lock srv.qlock;
+  Condition.broadcast srv.qcond;
+  Mutex.unlock srv.qlock;
+  List.iter Thread.join srv.pool;
+  (* drain connections that were queued but never picked up *)
+  Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) srv.queue;
+  Queue.clear srv.queue;
+  match srv.bound with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(retries = 0) addr =
+  ignore_sigpipe ();
+  let rec attempt k =
+    let fd = socket_for addr in
+    match Unix.connect fd (sockaddr_of addr) with
+    | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT) as e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if k < retries then begin
+        Thread.delay 0.1;
+        attempt (k + 1)
+      end
+      else Error (Unix.error_message e)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+  in
+  attempt 0
+
+let call_line c line =
+  match
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+  with
+  | reply -> Ok reply
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let call c req =
+  match call_line c (P.request_to_string req) with
+  | Error _ as e -> e
+  | Ok line -> (
+    match P.response_of_string line with
+    | Ok resp -> Ok resp
+    | Error e -> Error ("bad reply: " ^ P.error_to_string e))
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

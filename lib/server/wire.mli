@@ -1,0 +1,55 @@
+(** Line-delimited JSON over a socket: the transport under {!Service}.
+
+    One request line in, one response line out, connections multiplexed
+    over a fixed thread pool (a worker owns a connection until the peer
+    closes it — size the pool for the expected concurrent clients).  A
+    housekeeping thread runs {!Service.sweep} periodically so idle
+    sessions die even when no one is connecting. *)
+
+type address =
+  | Tcp of string * int  (** host, port (port 0 lets the kernel pick) *)
+  | Unix_path of string
+
+val address_to_string : address -> string
+(** ["host:port"] or ["unix:/path"]. *)
+
+val address_of_string : string -> (address, string) result
+(** Inverse of {!address_to_string}: ["unix:PATH"] or ["HOST:PORT"]. *)
+
+(** {1 Server} *)
+
+type server
+
+val serve : ?threads:int -> ?backlog:int -> Service.t -> address -> server
+(** Bind, listen and start the pool ([threads] workers, default 16); the
+    call returns immediately.  For [Tcp (_, 0)] the kernel-chosen port is
+    reflected in {!bound_address}.  Raises [Unix.Unix_error] if the bind
+    fails.  Ignores [SIGPIPE] process-wide (abandoned connections must
+    not kill the server). *)
+
+val bound_address : server -> address
+
+val wait : server -> unit
+(** Block until the server is shut down (joins the acceptor). *)
+
+val shutdown : server -> unit
+(** Stop accepting, wake the pool, join acceptor and workers, unlink a
+    Unix-domain socket path.  Connections currently being served finish
+    their in-flight line. *)
+
+(** {1 Client} *)
+
+type client
+
+val connect : ?retries:int -> address -> (client, string) result
+(** [retries] (default 0) extra attempts, 100 ms apart, while the server
+    side is still coming up (connection refused / socket not yet bound). *)
+
+val call_line : client -> string -> (string, string) result
+(** Send one raw line, read one line back. *)
+
+val call :
+  client -> Jim_api.Protocol.request ->
+  (Jim_api.Protocol.response, string) result
+
+val close : client -> unit

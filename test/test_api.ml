@@ -1,0 +1,467 @@
+(* Wire-protocol tests: qcheck pins decode ∘ encode = id for every
+   request and response constructor of Jim_api.Protocol (including the
+   stable sub-encodings), plus the JSON layer's corner cases and the
+   Strategy name table the protocol rides on. *)
+
+module P = Jim_partition.Partition
+module Json = Jim_api.Json
+module Pr = Jim_api.Protocol
+open Jim_core
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let gen_partition =
+  QCheck.Gen.(
+    let* n = int_range 1 6 in
+    let rec build i maxv acc =
+      if i >= n then return (P.of_rgs (Array.of_list (List.rev acc)))
+      else
+        let* v = int_bound (min (maxv + 1) (n - 1)) in
+        build (i + 1) (max maxv v) (v :: acc)
+    in
+    build 0 (-1) [])
+
+let gen_label = QCheck.Gen.oneofl [ State.Pos; State.Neg ]
+
+let gen_status =
+  QCheck.Gen.oneofl [ State.Certain_pos; State.Certain_neg; State.Informative ]
+
+(* Strings exercise the escaper: quotes, backslashes, control chars,
+   non-ASCII bytes. *)
+let gen_string =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'Z'; '"'; '\\'; '\n'; '\t'; ','; ':';
+                               '{'; '}'; '\000'; '\127'; '\xc3'; ' ' ])
+      (int_bound 12))
+
+(* Finite floats of varied magnitude plus the infinities and NaN — the
+   codec must round-trip them all ([Float.equal nan nan] holds). *)
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* m = int_range (-1000000) 1000000 in
+         return (float_of_int m /. 7.));
+        (let* e = int_range (-300) 300 in
+         return (1.7 *. (10. ** float_of_int e)));
+        oneofl [ 0.; -0.; Float.infinity; Float.neg_infinity; Float.nan ];
+      ])
+
+let gen_source =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* name = oneofl [ "flights"; "setcards"; "nonesuch" ] in
+         return (Pr.Builtin name));
+        (let* n_attrs = int_range 1 9 in
+         let* n_tuples = int_range 1 500 in
+         let* domain = int_range 2 20 in
+         let* goal_rank = int_range 0 5 in
+         let* seed = int_range 0 10000 in
+         return (Pr.Synthetic { n_attrs; n_tuples; domain; goal_rank; seed }));
+        (let* text = gen_string in
+         return (Pr.Csv_inline text));
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    let id = int_range 0 1000 in
+    oneof
+      [
+        (let* source = gen_source in
+         let* strategy =
+           oneofl [ "random"; "lookahead-entropy"; "optimal"; "bogus" ]
+         in
+         let* seed = int_range 0 10000 in
+         return (Pr.Start_session { source; strategy; seed }));
+        (let* session = id in
+         return (Pr.Get_question { session }));
+        (let* session = id in
+         let* k = int_range 0 20 in
+         return (Pr.Top_questions { session; k }));
+        (let* session = id in
+         let* cls = int_range 0 50 in
+         let* label = gen_label in
+         return (Pr.Answer { session; cls; label }));
+        (let* session = id in
+         return (Pr.Undo { session }));
+        (let* session = id in
+         let* cls = int_range 0 50 in
+         return (Pr.Explain { session; cls }));
+        (let* session = id in
+         return (Pr.Result { session }));
+        (let* session = id in
+         return (Pr.Stats { session }));
+        (let* session = id in
+         return (Pr.End_session { session }));
+      ])
+
+let gen_question =
+  QCheck.Gen.(
+    let* cls = int_range 0 50 in
+    let* row = int_range 0 500 in
+    let* sg = gen_partition in
+    return { Pr.cls; row; sg })
+
+let gen_error =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* m = gen_string in
+         return (Pr.Bad_request m));
+        (let* s = int_range 0 1000 in
+         return (Pr.Unknown_session s));
+        (let* m = gen_string in
+         return (Pr.Unknown_strategy m));
+        (let* m = gen_string in
+         return (Pr.Bad_source m));
+        oneofl
+          [ Pr.Engine Session.Contradiction; Pr.Engine Session.Nothing_to_undo ];
+        (let* active = int_range 0 100 in
+         let* extra = int_bound 10 in
+         return (Pr.Server_busy { active; max = active + extra }));
+        (let* v = int_range 0 20 in
+         return (Pr.Unsupported_version v));
+      ])
+
+let gen_metrics =
+  QCheck.Gen.(
+    let nat = int_bound 100000 in
+    let* meets = nat in
+    let* classify_calls = nat in
+    let* cache_hits = nat in
+    let* cache_misses = nat in
+    let* picks = nat in
+    let* pick_time_ns = nat in
+    let* last_pick_ns = nat in
+    return
+      {
+        Metrics.meets;
+        classify_calls;
+        cache_hits;
+        cache_misses;
+        picks;
+        pick_time_ns;
+        last_pick_ns;
+      })
+
+let gen_event =
+  QCheck.Gen.(
+    let* step = int_range 1 50 in
+    let* cls = int_range 0 50 in
+    let* row = int_range 0 500 in
+    let* sg = gen_partition in
+    let* label = gen_label in
+    let* decided_after = int_bound 50 in
+    let* tuples_decided_after = int_bound 500 in
+    let* vs_after = gen_float in
+    return
+      {
+        Session.step;
+        cls;
+        row;
+        sg;
+        label;
+        decided_after;
+        tuples_decided_after;
+        vs_after;
+      })
+
+let gen_outcome =
+  QCheck.Gen.(
+    let* query = gen_partition in
+    let* events = list_size (int_bound 6) gen_event in
+    let* interactions = int_bound 50 in
+    let* contradiction = bool in
+    return { Session.query; events; interactions; contradiction })
+
+let gen_stats =
+  QCheck.Gen.(
+    let* labeled = int_bound 100 in
+    let* auto_determined = int_bound 500 in
+    let* still_informative = int_bound 500 in
+    let* total = int_bound 1000 in
+    let* version_space = gen_float in
+    let* scoring = gen_metrics in
+    return
+      {
+        Pr.labeled;
+        auto_determined;
+        still_informative;
+        total;
+        version_space;
+        scoring;
+      })
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* session = int_range 0 1000 in
+         let* arity = int_range 1 10 in
+         let* classes = int_range 1 100 in
+         let* tuples = int_range 1 1000 in
+         let* strategy = oneofl [ "random"; "lookahead-entropy"; "optimal" ] in
+         return (Pr.Started { session; arity; classes; tuples; strategy }));
+        (let* q = option gen_question in
+         return (Pr.Question q));
+        (let* qs = list_size (int_bound 5) gen_question in
+         return (Pr.Questions qs));
+        (let* finished = bool in
+         let* asked = int_bound 100 in
+         let* decided_classes = int_bound 100 in
+         let* decided_tuples = int_bound 1000 in
+         return (Pr.Answered { finished; asked; decided_classes; decided_tuples }));
+        (let* asked = int_bound 100 in
+         return (Pr.Undone { asked }));
+        (let* cls = int_bound 50 in
+         let* status = gen_status in
+         let* text = gen_string in
+         return (Pr.Explanation { cls; status; text }));
+        (let* o = gen_outcome in
+         return (Pr.Outcome o));
+        (let* s = gen_stats in
+         return (Pr.Session_stats s));
+        return Pr.Ended;
+        (let* e = gen_error in
+         return (Pr.Failed e));
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Equality (Partition via [P.equal], floats via [Float.equal] so NaN
+   compares equal to itself)                                           *)
+
+let source_eq a b =
+  match (a, b) with
+  | Pr.Builtin x, Pr.Builtin y -> x = y
+  | ( Pr.Synthetic { n_attrs; n_tuples; domain; goal_rank; seed },
+      Pr.Synthetic
+        {
+          n_attrs = n_attrs';
+          n_tuples = n_tuples';
+          domain = domain';
+          goal_rank = goal_rank';
+          seed = seed';
+        } ) ->
+    n_attrs = n_attrs' && n_tuples = n_tuples' && domain = domain'
+    && goal_rank = goal_rank' && seed = seed'
+  | Pr.Csv_inline x, Pr.Csv_inline y -> x = y
+  | _ -> false
+
+let question_eq (a : Pr.question) (b : Pr.question) =
+  a.cls = b.cls && a.row = b.row && P.equal a.sg b.sg
+
+let request_eq a b =
+  match (a, b) with
+  | ( Pr.Start_session { source = s1; strategy = st1; seed = sd1 },
+      Pr.Start_session { source = s2; strategy = st2; seed = sd2 } ) ->
+    source_eq s1 s2 && st1 = st2 && sd1 = sd2
+  | ( Pr.Answer { session = s1; cls = c1; label = l1 },
+      Pr.Answer { session = s2; cls = c2; label = l2 } ) ->
+    s1 = s2 && c1 = c2 && l1 = l2
+  | ( Pr.Top_questions { session = s1; k = k1 },
+      Pr.Top_questions { session = s2; k = k2 } ) ->
+    s1 = s2 && k1 = k2
+  | ( Pr.Explain { session = s1; cls = c1 },
+      Pr.Explain { session = s2; cls = c2 } ) ->
+    s1 = s2 && c1 = c2
+  | Pr.Get_question { session = s1 }, Pr.Get_question { session = s2 }
+  | Pr.Undo { session = s1 }, Pr.Undo { session = s2 }
+  | Pr.Result { session = s1 }, Pr.Result { session = s2 }
+  | Pr.Stats { session = s1 }, Pr.Stats { session = s2 }
+  | Pr.End_session { session = s1 }, Pr.End_session { session = s2 } ->
+    s1 = s2
+  | _ -> false
+
+let event_eq (a : Session.event) (b : Session.event) =
+  a.step = b.step && a.cls = b.cls && a.row = b.row && P.equal a.sg b.sg
+  && a.label = b.label
+  && a.decided_after = b.decided_after
+  && a.tuples_decided_after = b.tuples_decided_after
+  && Float.equal a.vs_after b.vs_after
+
+let outcome_eq (a : Session.outcome) (b : Session.outcome) =
+  P.equal a.query b.query
+  && a.interactions = b.interactions
+  && a.contradiction = b.contradiction
+  && List.length a.events = List.length b.events
+  && List.for_all2 event_eq a.events b.events
+
+let stats_eq (a : Pr.session_stats) (b : Pr.session_stats) =
+  a.labeled = b.labeled
+  && a.auto_determined = b.auto_determined
+  && a.still_informative = b.still_informative
+  && a.total = b.total
+  && Float.equal a.version_space b.version_space
+  && a.scoring = b.scoring
+
+let response_eq a b =
+  match (a, b) with
+  | ( Pr.Started { session = s1; arity = a1; classes = c1; tuples = t1; strategy = st1 },
+      Pr.Started { session = s2; arity = a2; classes = c2; tuples = t2; strategy = st2 } ) ->
+    s1 = s2 && a1 = a2 && c1 = c2 && t1 = t2 && st1 = st2
+  | Pr.Question None, Pr.Question None -> true
+  | Pr.Question (Some x), Pr.Question (Some y) -> question_eq x y
+  | Pr.Questions xs, Pr.Questions ys ->
+    List.length xs = List.length ys && List.for_all2 question_eq xs ys
+  | ( Pr.Answered { finished = f1; asked = a1; decided_classes = c1; decided_tuples = t1 },
+      Pr.Answered { finished = f2; asked = a2; decided_classes = c2; decided_tuples = t2 } ) ->
+    f1 = f2 && a1 = a2 && c1 = c2 && t1 = t2
+  | Pr.Undone { asked = a1 }, Pr.Undone { asked = a2 } -> a1 = a2
+  | ( Pr.Explanation { cls = c1; status = s1; text = t1 },
+      Pr.Explanation { cls = c2; status = s2; text = t2 } ) ->
+    c1 = c2 && s1 = s2 && t1 = t2
+  | Pr.Outcome x, Pr.Outcome y -> outcome_eq x y
+  | Pr.Session_stats x, Pr.Session_stats y -> stats_eq x y
+  | Pr.Ended, Pr.Ended -> true
+  | Pr.Failed x, Pr.Failed y -> x = y
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties                                               *)
+
+let prop_request_roundtrip =
+  qtest "request: decode ∘ encode = id"
+    (QCheck.make ~print:Pr.request_to_string gen_request) (fun req ->
+      match Pr.request_of_string (Pr.request_to_string req) with
+      | Ok req' -> request_eq req req'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" (Pr.error_to_string e))
+
+let prop_response_roundtrip =
+  qtest "response: decode ∘ encode = id"
+    (QCheck.make ~print:Pr.response_to_string gen_response) (fun resp ->
+      match Pr.response_of_string (Pr.response_to_string resp) with
+      | Ok resp' -> response_eq resp resp'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" (Pr.error_to_string e))
+
+let prop_encoding_stable =
+  (* re-encoding a decoded message is byte-identical: the encoding is
+     canonical, so servers can compare and log lines directly *)
+  qtest "response: encode ∘ decode ∘ encode = encode"
+    (QCheck.make ~print:Pr.response_to_string gen_response) (fun resp ->
+      let s = Pr.response_to_string resp in
+      match Pr.response_of_string s with
+      | Ok resp' -> Pr.response_to_string resp' = s
+      | Error _ -> false)
+
+let prop_partition_roundtrip =
+  qtest "partition sub-encoding round-trips"
+    (QCheck.make ~print:P.to_string gen_partition) (fun p ->
+      match Pr.partition_of_json (Pr.partition_to_json p) with
+      | Ok p' -> P.equal p p'
+      | Error _ -> false)
+
+let prop_outcome_roundtrip =
+  qtest ~count:100 "outcome sub-encoding round-trips"
+    (QCheck.make
+       ~print:(fun o -> Json.to_string (Pr.outcome_to_json o))
+       gen_outcome)
+    (fun o ->
+      match Pr.outcome_of_json (Pr.outcome_to_json o) with
+      | Ok o' -> outcome_eq o o'
+      | Error _ -> false)
+
+let prop_json_float_roundtrip =
+  qtest "json: floats round-trip bit-for-bit"
+    (QCheck.make ~print:string_of_float gen_float) (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok v -> ( match Json.as_float v with Ok f' -> Float.equal f f' | Error _ -> false)
+      | Error _ -> false)
+
+let prop_json_string_roundtrip =
+  qtest "json: strings round-trip through escaping"
+    (QCheck.make ~print:String.escaped gen_string) (fun s ->
+      match Json.of_string (Json.to_string (Json.String s)) with
+      | Ok (Json.String s') -> s = s'
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Version and malformed input                                         *)
+
+let test_version_mismatch () =
+  (match Pr.request_of_string {|{"jim":2,"req":"undo","session":1}|} with
+  | Error (Pr.Unsupported_version 2) -> ()
+  | _ -> Alcotest.fail "expected Unsupported_version 2");
+  match Pr.response_of_string {|{"jim":99,"resp":"ended"}|} with
+  | Error (Pr.Unsupported_version 99) -> ()
+  | _ -> Alcotest.fail "expected Unsupported_version 99"
+
+let test_malformed () =
+  let bad = function
+    | Error (Pr.Bad_request _) -> ()
+    | Error e -> Alcotest.fail ("wrong error: " ^ Pr.error_to_string e)
+    | Ok _ -> Alcotest.fail "malformed input decoded"
+  in
+  bad (Pr.request_of_string "not json at all");
+  bad (Pr.request_of_string {|{"jim":1}|});
+  bad (Pr.request_of_string {|{"jim":1,"req":"teleport"}|});
+  bad (Pr.request_of_string {|{"jim":1,"req":"answer","session":1}|});
+  bad (Pr.request_of_string {|[1,2,3]|})
+
+let test_label_encoding () =
+  (* the wire uses the paper's +/- vocabulary; pin it *)
+  Alcotest.(check string) "+" "\"+\"" (Json.to_string (Pr.label_to_json State.Pos));
+  Alcotest.(check string) "-" "\"-\"" (Json.to_string (Pr.label_to_json State.Neg))
+
+let test_json_trailing_garbage () =
+  match Json.of_string "{} {}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Strategy name table                                                 *)
+
+let test_strategy_roundtrip () =
+  List.iter
+    (fun name ->
+      match Strategy.of_string name with
+      | Ok s ->
+        Alcotest.(check string)
+          (name ^ " round-trips") name (Strategy.to_string s)
+      | Error e -> Alcotest.fail e)
+    Strategy.names;
+  (match Strategy.of_string "lookahead2" with
+  | Ok s ->
+    Alcotest.(check string) "alias normalises" "lookahead-2" (Strategy.to_string s)
+  | Error e -> Alcotest.fail e);
+  match Strategy.of_string "nonesuch" with
+  | Error msg ->
+    Alcotest.(check bool) "error lists the catalogue" true
+      (String.length msg > 0
+      && String.exists (fun _ -> true) msg
+      &&
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      has_sub msg "optimal")
+  | Ok _ -> Alcotest.fail "unknown strategy accepted"
+
+let () =
+  Alcotest.run "api"
+    [
+      ( "roundtrip",
+        [
+          prop_request_roundtrip;
+          prop_response_roundtrip;
+          prop_encoding_stable;
+          prop_partition_roundtrip;
+          prop_outcome_roundtrip;
+          prop_json_float_roundtrip;
+          prop_json_string_roundtrip;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "malformed input" `Quick test_malformed;
+          Alcotest.test_case "label encoding" `Quick test_label_encoding;
+          Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
+        ] );
+      ( "strategy names",
+        [ Alcotest.test_case "of_string/to_string" `Quick test_strategy_roundtrip ] );
+    ]

@@ -241,7 +241,7 @@ let test_engine_view_marks () =
        State.Pos
    with
   | Ok () -> ()
-  | Error `Contradiction -> Alcotest.fail "unexpected");
+  | Error _ -> Alcotest.fail "unexpected");
   let view = Jim_tui.Render.engine_view eng W.Flights.instance in
   (* (3), (4), (7), (12) decided -> grayed '.' marks; count them. *)
   let dots =

@@ -1,0 +1,259 @@
+(* Server tests: the concurrent session manager and the socket loop.
+
+   The headline test is the acceptance bar of the api_redesign issue:
+   32 threaded clients drive oracle-guided sessions over a Unix-domain
+   socket concurrently, and every outcome must be bit-identical to the
+   in-process [Session.run] with the same instance, seed and strategy.
+   Alongside it: max-sessions backpressure (a saturated server answers
+   Server_busy, it does not hang), idle-TTL eviction with an injected
+   clock, Get_question idempotency, undo over the wire, and protocol
+   error replies straight off [Service.handle_line]. *)
+
+module Pr = Jim_api.Protocol
+module Service = Jim_server.Service
+module Wire = Jim_server.Wire
+module Smoke = Jim_server.Smoke
+open Jim_core
+
+let fresh_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jim-test-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let with_server ?max_sessions ?idle_ttl ?(threads = 40) f =
+  let path = fresh_socket () in
+  let service = Service.create ?max_sessions ?idle_ttl () in
+  let server = Wire.serve ~threads service (Wire.Unix_path path) in
+  Fun.protect
+    ~finally:(fun () -> Wire.shutdown server)
+    (fun () -> f (Wire.Unix_path path) service)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: the acceptance bar                                     *)
+
+let test_smoke_32_clients () =
+  with_server (fun address _ ->
+      let reports = Smoke.run ~clients:32 ~address () in
+      Alcotest.(check int) "all clients reported" 32 (List.length reports);
+      List.iter
+        (fun r ->
+          if not r.Smoke.ok then
+            Alcotest.failf "seed %d (%s): %s" r.Smoke.seed r.Smoke.strategy
+              r.Smoke.detail;
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d asked questions" r.Smoke.seed)
+            true (r.Smoke.questions > 0))
+        reports)
+
+let test_server_busy () =
+  with_server ~max_sessions:2 (fun address service ->
+      (match Smoke.busy_check ~address ~fill:2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (* busy_check ended its sessions: capacity is free again *)
+      Alcotest.(check int) "sessions cleaned up" 0 (Service.session_count service))
+
+(* ------------------------------------------------------------------ *)
+(* Service-level behaviour (no socket: direct handle calls)            *)
+
+let start_flights service ~seed =
+  match
+    Service.handle service
+      (Pr.Start_session
+         { source = Pr.Builtin "flights"; strategy = "lookahead-entropy"; seed })
+  with
+  | Pr.Started { session; _ } -> session
+  | other -> Alcotest.failf "start failed: %s" (Pr.response_to_string other)
+
+let test_ttl_eviction () =
+  let clock = ref 0. in
+  let service = Service.create ~idle_ttl:10. ~now:(fun () -> !clock) () in
+  let s1 = start_flights service ~seed:1 in
+  clock := 8.;
+  let s2 = start_flights service ~seed:2 in
+  Alcotest.(check int) "two live" 2 (Service.session_count service);
+  (* touching s1 at t=8 resets its idle clock *)
+  (match Service.handle service (Pr.Get_question { session = s1 }) with
+  | Pr.Question (Some _) -> ()
+  | other -> Alcotest.failf "get failed: %s" (Pr.response_to_string other));
+  clock := 17.;
+  Alcotest.(check int) "nothing stale yet" 0 (Service.sweep service);
+  clock := 19.5;
+  (* s1 idle 11.5 s > TTL; s2 idle 11.5 s too *)
+  Alcotest.(check int) "both evicted" 2 (Service.sweep service);
+  match Service.handle service (Pr.Get_question { session = s2 }) with
+  | Pr.Failed (Pr.Unknown_session id) -> Alcotest.(check int) "id echoed" s2 id
+  | other -> Alcotest.failf "expected Unknown_session: %s" (Pr.response_to_string other)
+
+let test_get_question_idempotent () =
+  let service = Service.create () in
+  let s = start_flights service ~seed:42 in
+  let get () =
+    match Service.handle service (Pr.Get_question { session = s }) with
+    | Pr.Question (Some q) -> q
+    | other -> Alcotest.failf "get failed: %s" (Pr.response_to_string other)
+  in
+  let q1 = get () in
+  let q2 = get () in
+  let q3 = get () in
+  Alcotest.(check bool) "same class asked" true
+    (q1.Pr.cls = q2.Pr.cls && q2.Pr.cls = q3.Pr.cls)
+
+let test_answer_undo_over_service () =
+  let service = Service.create () in
+  let s = start_flights service ~seed:3 in
+  let get () =
+    match Service.handle service (Pr.Get_question { session = s }) with
+    | Pr.Question (Some q) -> q
+    | other -> Alcotest.failf "get failed: %s" (Pr.response_to_string other)
+  in
+  let q = get () in
+  (match
+     Service.handle service (Pr.Answer { session = s; cls = q.Pr.cls; label = State.Pos })
+   with
+  | Pr.Answered { asked = 1; _ } -> ()
+  | other -> Alcotest.failf "answer failed: %s" (Pr.response_to_string other));
+  (match Service.handle service (Pr.Undo { session = s }) with
+  | Pr.Undone { asked = 0 } -> ()
+  | other -> Alcotest.failf "undo failed: %s" (Pr.response_to_string other));
+  (* a second undo has nothing to retract: typed engine error *)
+  (match Service.handle service (Pr.Undo { session = s }) with
+  | Pr.Failed (Pr.Engine Session.Nothing_to_undo) -> ()
+  | other -> Alcotest.failf "expected Nothing_to_undo: %s" (Pr.response_to_string other));
+  (* after the undo the same question comes back (state rolled back) *)
+  let q' = get () in
+  Alcotest.(check int) "question re-proposed" q.Pr.cls q'.Pr.cls;
+  (* outcome events shrink with undo: answer twice, outcome has 2 events *)
+  let answer_current () =
+    let q = get () in
+    match
+      Service.handle service
+        (Pr.Answer { session = s; cls = q.Pr.cls; label = State.Neg })
+    with
+    | Pr.Answered _ -> ()
+    | other -> Alcotest.failf "answer failed: %s" (Pr.response_to_string other)
+  in
+  answer_current ();
+  answer_current ();
+  match Service.handle service (Pr.Result { session = s }) with
+  | Pr.Outcome o ->
+    Alcotest.(check int) "events track undo" 2 (List.length o.Session.events);
+    Alcotest.(check int) "interactions track undo" 2 o.Session.interactions
+  | other -> Alcotest.failf "result failed: %s" (Pr.response_to_string other)
+
+let test_session_stats () =
+  let service = Service.create () in
+  let s = start_flights service ~seed:5 in
+  (match Service.handle service (Pr.Get_question { session = s }) with
+  | Pr.Question (Some q) -> (
+    match
+      Service.handle service
+        (Pr.Answer { session = s; cls = q.Pr.cls; label = State.Pos })
+    with
+    | Pr.Answered _ -> ()
+    | other -> Alcotest.failf "answer failed: %s" (Pr.response_to_string other))
+  | other -> Alcotest.failf "get failed: %s" (Pr.response_to_string other));
+  match Service.handle service (Pr.Stats { session = s }) with
+  | Pr.Session_stats st ->
+    Alcotest.(check int) "one label" 1 st.Pr.labeled;
+    Alcotest.(check int) "totals add up" st.Pr.total
+      (st.Pr.labeled + st.Pr.auto_determined + st.Pr.still_informative);
+    Alcotest.(check bool) "scoring attributed to this session" true
+      (st.Pr.scoring.Metrics.picks >= 1)
+  | other -> Alcotest.failf "stats failed: %s" (Pr.response_to_string other)
+
+let test_bad_requests () =
+  let service = Service.create () in
+  let line l =
+    match Pr.response_of_string (Service.handle_line service l) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "reply unparseable: %s" (Pr.error_to_string e)
+  in
+  (match line "garbage" with
+  | Pr.Failed (Pr.Bad_request _) -> ()
+  | other -> Alcotest.failf "expected Bad_request: %s" (Pr.response_to_string other));
+  (match line {|{"jim":7,"req":"undo","session":1}|} with
+  | Pr.Failed (Pr.Unsupported_version 7) -> ()
+  | other ->
+    Alcotest.failf "expected Unsupported_version: %s" (Pr.response_to_string other));
+  (match line {|{"jim":1,"req":"undo","session":999}|} with
+  | Pr.Failed (Pr.Unknown_session 999) -> ()
+  | other -> Alcotest.failf "expected Unknown_session: %s" (Pr.response_to_string other));
+  (match
+     Service.handle service
+       (Pr.Start_session
+          { source = Pr.Builtin "flights"; strategy = "nonesuch"; seed = 0 })
+   with
+  | Pr.Failed (Pr.Unknown_strategy _) -> ()
+  | other ->
+    Alcotest.failf "expected Unknown_strategy: %s" (Pr.response_to_string other));
+  (match
+     Service.handle service
+       (Pr.Start_session
+          { source = Pr.Builtin "narnia"; strategy = "random"; seed = 0 })
+   with
+  | Pr.Failed (Pr.Bad_source _) -> ()
+  | other -> Alcotest.failf "expected Bad_source: %s" (Pr.response_to_string other));
+  (match
+     Service.handle service
+       (Pr.Start_session
+          {
+            source =
+              Pr.Synthetic
+                { n_attrs = 3; n_tuples = 2; domain = 1; goal_rank = 1; seed = 0 };
+            strategy = "random";
+            seed = 0;
+          })
+   with
+  | Pr.Failed (Pr.Bad_source _) -> ()
+  | other ->
+    Alcotest.failf "expected Bad_source (domain too small): %s"
+      (Pr.response_to_string other));
+  let s = start_flights service ~seed:9 in
+  match
+    Service.handle service (Pr.Answer { session = s; cls = 99; label = State.Pos })
+  with
+  | Pr.Failed (Pr.Bad_request _) -> ()
+  | other ->
+    Alcotest.failf "expected Bad_request (class range): %s"
+      (Pr.response_to_string other)
+
+let test_csv_inline_source () =
+  let service = Service.create () in
+  let csv = "a,b,c\n1,1,2\n1,2,2\n3,3,3\n" in
+  match
+    Service.handle service
+      (Pr.Start_session
+         { source = Pr.Csv_inline csv; strategy = "random"; seed = 0 })
+  with
+  | Pr.Started { arity = 3; tuples = 3; _ } -> ()
+  | other -> Alcotest.failf "csv start failed: %s" (Pr.response_to_string other)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "concurrency",
+        [
+          Alcotest.test_case "32 concurrent clients, bit-identical" `Slow
+            test_smoke_32_clients;
+          Alcotest.test_case "saturated server answers Server_busy" `Quick
+            test_server_busy;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "idle-TTL eviction" `Quick test_ttl_eviction;
+          Alcotest.test_case "Get_question is idempotent" `Quick
+            test_get_question_idempotent;
+          Alcotest.test_case "answer / undo / result" `Quick
+            test_answer_undo_over_service;
+          Alcotest.test_case "per-session stats" `Quick test_session_stats;
+        ] );
+      ( "protocol errors",
+        [
+          Alcotest.test_case "typed failure replies" `Quick test_bad_requests;
+          Alcotest.test_case "inline CSV source" `Quick test_csv_inline_source;
+        ] );
+    ]
