@@ -1,0 +1,351 @@
+(* Durability-cost benchmarks for the session store: journal append
+   throughput with the fsync barrier off and on (single writer vs the
+   group-commit multi-writer case), the full Store.record hot path, and
+   recovery latency from a journal tail vs from a snapshot.
+
+   Run with: dune exec bench/store/bench_store.exe [-- --quick] [--out F]
+   Writes the machine-readable BENCH_store.json (schema mirrors
+   BENCH_strategies.json: schema_version + generated_by + rows). *)
+
+module Pr = Jim_api.Protocol
+module Service = Jim_server.Service
+module Store = Jim_store.Store
+module Journal = Jim_store.Journal
+module Event = Jim_store.Event
+module Recovery = Jim_store.Recovery
+module W = Jim_workloads
+open Jim_core
+
+type row = {
+  name : string;
+  ops : int;  (* records appended / events replayed *)
+  bytes : int;  (* payload bytes through the journal, 0 if n/a *)
+  wall_s : float;
+}
+
+let ops_per_s r =
+  if r.wall_s <= 0.0 then 0.0 else float_of_int r.ops /. r.wall_s
+
+let mb_per_s r =
+  if r.wall_s <= 0.0 || r.bytes = 0 then 0.0
+  else float_of_int r.bytes /. 1048576.0 /. r.wall_s
+
+(* ------------------------------------------------------------------ *)
+(* Scratch space                                                       *)
+
+let scratch_root =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "jim-bench-store-%d" (Unix.getpid ()))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let scratch =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir = Filename.concat scratch_root (string_of_int !counter) in
+    (try Unix.mkdir scratch_root 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Unix.mkdir dir 0o755;
+    dir
+
+(* ------------------------------------------------------------------ *)
+(* A representative payload: one Answered event over a 5-ary relation,
+   the record the hot path writes on every acknowledged answer.         *)
+
+let sample_payload =
+  let sg =
+    match Jim_partition.Partition.of_string "{0,2}{1}{3,4}" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  Event.to_string
+    (Event.Answered { session = 17; cls = 42; sg; label = State.Pos })
+
+(* ------------------------------------------------------------------ *)
+(* Journal appends                                                     *)
+
+let bench_append ~name ~fsync ~threads ~per_thread =
+  let dir = scratch () in
+  let j = Journal.create ~fsync (Filename.concat dir "bench.wal") in
+  let t0 = Unix.gettimeofday () in
+  (if threads = 1 then
+     for _ = 1 to per_thread do
+       Journal.append j sample_payload
+     done
+   else
+     let spawn _ =
+       Thread.create
+         (fun () ->
+           for _ = 1 to per_thread do
+             Journal.append j sample_payload
+           done)
+         ()
+     in
+     List.iter Thread.join (List.init threads spawn));
+  let wall = Unix.gettimeofday () -. t0 in
+  Journal.close j;
+  rm_rf dir;
+  let ops = threads * per_thread in
+  { name; ops; bytes = ops * String.length sample_payload; wall_s = wall }
+
+(* ------------------------------------------------------------------ *)
+(* The Store.record hot path: encode + shadow update + journal append   *)
+
+let bench_store_record ~name ~fsync ~events =
+  let dir = scratch () in
+  let store =
+    match Store.open_dir ~fsync ~snapshot_every:max_int dir with
+    | Ok (s, _) -> s
+    | Error e -> failwith e
+  in
+  Store.record store
+    (Event.Started
+       {
+         session = 1;
+         arity = 5;
+         source = Pr.Builtin "flights";
+         strategy = "random";
+         seed = 0;
+         fingerprint = "00000000";
+       });
+  let sg =
+    match Jim_partition.Partition.of_string "{0,2}{1}{3,4}" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to events do
+    Store.record store
+      (Event.Answered { session = 1; cls = i land 0xff; sg; label = State.Pos });
+    (* keep the shadow transcript bounded so the bench measures the log,
+       not list growth *)
+    if i land 0xff = 0 then Store.record store (Event.Undone { session = 1 })
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Store.close store;
+  rm_rf dir;
+  { name; ops = events; bytes = 0; wall_s = wall }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery latency                                                    *)
+
+(* Journal [sessions] synthetic sessions of [answers] answers each,
+   leaving them live, and return the data directory. *)
+let populate ~sessions ~answers =
+  let dir = scratch () in
+  let store =
+    match Store.open_dir ~fsync:false ~snapshot_every:max_int dir with
+    | Ok (s, _) -> s
+    | Error e -> failwith e
+  in
+  let sg =
+    match Jim_partition.Partition.of_string "{0}{1,3}{2}{4}" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  for s = 1 to sessions do
+    Store.record store
+      (Event.Started
+         {
+           session = s;
+           arity = 5;
+           source = Pr.Builtin "flights";
+           strategy = "random";
+           seed = s;
+           fingerprint = "00000000";
+         });
+    for i = 1 to answers do
+      Store.record store
+        (Event.Answered { session = s; cls = i; sg; label = State.Neg })
+    done
+  done;
+  (dir, store)
+
+let bench_recovery_journal ~sessions ~answers =
+  let dir, store = populate ~sessions ~answers in
+  Store.close store;
+  let t0 = Unix.gettimeofday () in
+  let recovered =
+    match Store.open_dir ~fsync:false dir with
+    | Ok (s, r) ->
+      Store.close s;
+      r
+    | Error e -> failwith e
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  assert (List.length recovered.Recovery.sessions = sessions);
+  rm_rf dir;
+  {
+    name = "recovery/journal-replay";
+    ops = sessions * (answers + 1);
+    bytes = 0;
+    wall_s = wall;
+  }
+
+let bench_recovery_snapshot ~sessions ~answers =
+  let dir, store = populate ~sessions ~answers in
+  Store.checkpoint store;
+  Store.close store;
+  let t0 = Unix.gettimeofday () in
+  let recovered =
+    match Store.open_dir ~fsync:false dir with
+    | Ok (s, r) ->
+      Store.close s;
+      r
+    | Error e -> failwith e
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  assert (List.length recovered.Recovery.sessions = sessions);
+  rm_rf dir;
+  {
+    name = "recovery/snapshot";
+    ops = sessions * (answers + 1);
+    bytes = 0;
+    wall_s = wall;
+  }
+
+(* End-to-end: open the store AND rebuild live Service sessions (replay
+   through the engine, the part that actually re-runs inference).        *)
+let bench_recovery_service ~sessions =
+  let dir = scratch () in
+  let store =
+    match Store.open_dir ~fsync:false dir with
+    | Ok (s, _) -> s
+    | Error e -> failwith e
+  in
+  let service = Service.create ~persist:(Store.record store) () in
+  let total_answers = ref 0 in
+  for seed = 1 to sessions do
+    let params =
+      { W.Synthetic.n_attrs = 5; n_tuples = 40; domain = 8; goal_rank = 2; seed }
+    in
+    let inst = W.Synthetic.generate params in
+    let oracle = Oracle.of_goal inst.W.Synthetic.goal in
+    let session =
+      match
+        Service.handle service
+          (Pr.Start_session
+             {
+               source =
+                 Pr.Synthetic
+                   {
+                     n_attrs = params.W.Synthetic.n_attrs;
+                     n_tuples = params.W.Synthetic.n_tuples;
+                     domain = params.W.Synthetic.domain;
+                     goal_rank = params.W.Synthetic.goal_rank;
+                     seed = params.W.Synthetic.seed;
+                   };
+               strategy = "random";
+               seed;
+             })
+      with
+      | Pr.Started { session; _ } -> session
+      | other -> failwith (Pr.response_to_string other)
+    in
+    let rec answer () =
+      match Service.handle service (Pr.Get_question { session }) with
+      | Pr.Question (Some { Pr.cls; sg; _ }) -> (
+        match
+          Service.handle service
+            (Pr.Answer { session; cls; label = Oracle.label oracle sg })
+        with
+        | Pr.Answered _ ->
+          incr total_answers;
+          answer ()
+        | other -> failwith (Pr.response_to_string other))
+      | Pr.Question None -> ()
+      | other -> failwith (Pr.response_to_string other)
+    in
+    answer ()
+  done;
+  Store.close store;
+  let t0 = Unix.gettimeofday () in
+  let store', recovered =
+    match Store.open_dir ~fsync:false dir with
+    | Ok (s, r) -> (s, r)
+    | Error e -> failwith e
+  in
+  let service' = Service.create ~persist:(Store.record store') () in
+  let restored =
+    match Service.restore service' recovered with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Store.close store';
+  rm_rf dir;
+  assert (restored = sessions);
+  {
+    name = "recovery/service-restore";
+    ops = !total_answers;
+    bytes = 0;
+    wall_s = wall;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"name\":%S,\"ops\":%d,\"wall_s\":%.6f,\"ops_per_s\":%.1f,\
+     \"mb_per_s\":%.3f}"
+    r.name r.ops r.wall_s (ops_per_s r) (mb_per_s r)
+
+let write_json ~path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema_version\": 1,\n\
+        \  \"generated_by\": \"jim bench store\",\n\
+        \  \"payload_bytes\": %d,\n\
+        \  \"results\": [\n%s\n  ]\n}\n"
+        (String.length sample_payload)
+        (String.concat ",\n" (List.map json_of_row rows)))
+
+let () =
+  let quick = Array.mem "--quick" Sys.argv in
+  let out =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then "BENCH_store.json"
+      else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let scale n = if quick then max 1 (n / 10) else n in
+  let rows =
+    [
+      bench_append ~name:"append/no-fsync" ~fsync:false ~threads:1
+        ~per_thread:(scale 50_000);
+      bench_append ~name:"append/fsync" ~fsync:true ~threads:1
+        ~per_thread:(scale 500);
+      bench_append ~name:"append/fsync-group-commit-8" ~fsync:true ~threads:8
+        ~per_thread:(scale 500);
+      bench_store_record ~name:"store-record/no-fsync" ~fsync:false
+        ~events:(scale 50_000);
+      bench_recovery_journal ~sessions:(scale 20) ~answers:50;
+      bench_recovery_snapshot ~sessions:(scale 20) ~answers:50;
+      bench_recovery_service ~sessions:(scale 10);
+    ]
+  in
+  Printf.printf "%-30s %10s %10s %12s %10s\n" "benchmark" "ops" "wall s"
+    "ops/s" "MB/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-30s %10d %10.4f %12.1f %10.3f\n" r.name r.ops r.wall_s
+        (ops_per_s r) (mb_per_s r))
+    rows;
+  write_json ~path:out rows;
+  Printf.printf "\nwrote %s\n" out;
+  rm_rf scratch_root

@@ -7,7 +7,8 @@
      setcards  the joining-sets-of-pictures scenario (Fig. 5)
      tpch      crowd-style join tasks over the TPC-H-lite database
      serve     the session server (line-delimited JSON over a socket)
-     client    talk to a running server (batch / smoke / busy-check) *)
+     client    talk to a running server (batch / smoke / busy-check / crash drill)
+     journal   inspect, verify or export from a durable data directory *)
 
 module Partition = Jim_partition.Partition
 module Relation = Jim_relational.Relation
@@ -385,47 +386,93 @@ let resolve_address socket tcp =
     | Error e -> Error e)
   | None, None -> Ok (Jim_server.Wire.Unix_path "/tmp/jim.sock")
 
-let run_serve socket tcp max_sessions idle_ttl threads =
+let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim serve: %s\n" e;
     2
-  | Ok addr ->
-    let service = Jim_server.Service.create ~max_sessions ~idle_ttl () in
-    let server = Jim_server.Wire.serve ~threads service addr in
-    Printf.printf "jim serve: listening on %s (max %d sessions, %d threads)\n%!"
-      (Jim_server.Wire.address_to_string (Jim_server.Wire.bound_address server))
-      max_sessions threads;
-    Jim_server.Wire.wait server;
-    0
+  | Ok addr -> (
+    let store =
+      match data_dir with
+      | None -> Ok None
+      | Some dir -> (
+        match Jim_store.Store.open_dir ~snapshot_every dir with
+        | Ok (st, recovered) -> Ok (Some (st, recovered))
+        | Error e -> Error e)
+    in
+    match store with
+    | Error e ->
+      Printf.eprintf "jim serve: %s\n" e;
+      1
+    | Ok store -> (
+      let persist =
+        Option.map (fun (st, _) ev -> Jim_store.Store.record st ev) store
+      in
+      let service =
+        Jim_server.Service.create ~max_sessions ~idle_ttl ?persist ()
+      in
+      let restored =
+        match store with
+        | None -> Ok 0
+        | Some (_, recovered) -> Jim_server.Service.restore service recovered
+      in
+      match restored with
+      | Error e ->
+        Printf.eprintf "jim serve: recovery failed: %s\n" e;
+        Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
+        1
+      | Ok restored ->
+        let server = Jim_server.Wire.serve ~threads service addr in
+        Printf.printf
+          "jim serve: listening on %s (max %d sessions, %d threads)\n%!"
+          (Jim_server.Wire.address_to_string
+             (Jim_server.Wire.bound_address server))
+          max_sessions threads;
+        Option.iter
+          (fun (st, _) ->
+            Printf.printf
+              "jim serve: durable in %s (generation %d, %d sessions recovered)\n%!"
+              (Jim_store.Store.dir st)
+              (Jim_store.Store.generation st)
+              restored)
+          store;
+        Jim_server.Wire.wait server;
+        Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
+        0))
 
-let run_client socket tcp batch smoke busy =
+let print_reports verdict reports =
+  let failed = List.filter (fun r -> not r.Jim_server.Smoke.ok) reports in
+  List.iter
+    (fun r ->
+      let open Jim_server.Smoke in
+      if r.ok then
+        Printf.printf "seed %d %-18s ok (%d questions)\n" r.seed r.strategy
+          r.questions
+      else
+        Printf.printf "seed %d %-18s FAILED: %s\n" r.seed r.strategy r.detail)
+    reports;
+  Printf.printf "%d/%d sessions %s\n"
+    (List.length reports - List.length failed)
+    (List.length reports) verdict;
+  if failed = [] then 0 else 1
+
+let run_client socket tcp batch smoke busy crash_start crash_resume state_file =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim client: %s\n" e;
     2
   | Ok address -> (
-    match (smoke, busy) with
-    | Some clients, _ ->
-      let reports = Jim_server.Smoke.run ~clients ~address () in
-      let failed =
-        List.filter (fun r -> not r.Jim_server.Smoke.ok) reports
-      in
-      List.iter
-        (fun r ->
-          let open Jim_server.Smoke in
-          if r.ok then
-            Printf.printf "seed %d %-18s ok (%d questions)\n" r.seed r.strategy
-              r.questions
-          else
-            Printf.printf "seed %d %-18s FAILED: %s\n" r.seed r.strategy
-              r.detail)
-        reports;
-      Printf.printf "%d/%d sessions bit-identical to the local run\n"
-        (List.length reports - List.length failed)
-        (List.length reports);
-      if failed = [] then 0 else 1
-    | None, Some fill -> (
+    match (smoke, busy, crash_start, crash_resume) with
+    | Some clients, _, _, _ ->
+      print_reports "bit-identical to the local run"
+        (Jim_server.Smoke.run ~clients ~address ())
+    | None, _, Some clients, _ ->
+      print_reports "left half-answered for the crash drill"
+        (Jim_server.Smoke.crash_start ~address ~state_file ~clients ())
+    | None, _, None, true ->
+      print_reports "resumed bit-identical to an uninterrupted run"
+        (Jim_server.Smoke.crash_resume ~address ~state_file ())
+    | None, Some fill, None, false -> (
       match Jim_server.Smoke.busy_check ~address ~fill with
       | Ok () ->
         Printf.printf
@@ -434,7 +481,7 @@ let run_client socket tcp batch smoke busy =
       | Error e ->
         Printf.eprintf "busy-check FAILED: %s\n" e;
         1)
-    | None, None -> (
+    | None, None, None, false -> (
       (* batch mode: raw request lines in, raw response lines out *)
       let ic =
         match batch with
@@ -462,6 +509,111 @@ let run_client socket tcp batch smoke busy =
         Jim_server.Wire.close conn;
         if ic != stdin then close_in ic;
         !rc))
+
+(* ------------------------------------------------------------------ *)
+(* journal: offline inspection of a data directory                     *)
+
+let transcript_of_steps arity steps =
+  let entries_rev =
+    List.fold_left
+      (fun acc (step : Jim_store.Recovery.step) ->
+        match step with
+        | Jim_store.Recovery.Label { sg; label; _ } ->
+          { Transcript.sg; label } :: acc
+        | Jim_store.Recovery.Undo -> (
+          match acc with [] -> [] | _ :: tl -> tl))
+      [] steps
+  in
+  { Transcript.arity; entries = List.rev entries_rev; result = None }
+
+let run_journal_inspect dir =
+  match Jim_store.Recovery.load dir with
+  | Error e ->
+    Printf.eprintf "jim journal inspect: %s\n" e;
+    1
+  | Ok r ->
+    Printf.printf "data directory   %s\n" dir;
+    Printf.printf "generation       %d\n" r.Jim_store.Recovery.generation;
+    Printf.printf "next session id  %d\n" r.Jim_store.Recovery.next_id;
+    Printf.printf "journal          %s (%d records%s)\n"
+      r.Jim_store.Recovery.journal_path r.Jim_store.Recovery.journal_records
+      (match r.Jim_store.Recovery.torn with
+      | None -> ""
+      | Some (offset, bytes) ->
+        Printf.sprintf ", torn tail: %d bytes at offset %d" bytes offset);
+    Printf.printf "live sessions    %d\n"
+      (List.length r.Jim_store.Recovery.sessions);
+    List.iter
+      (fun (s : Jim_store.Recovery.session) ->
+        let labels, undos =
+          List.fold_left
+            (fun (l, u) step ->
+              match step with
+              | Jim_store.Recovery.Label _ -> (l + 1, u)
+              | Jim_store.Recovery.Undo -> (l, u + 1))
+            (0, 0) s.Jim_store.Recovery.steps
+        in
+        Printf.printf
+          "  session %-4d %-20s seed %-6d fingerprint %s  %d labels, %d undos\n"
+          s.Jim_store.Recovery.id s.Jim_store.Recovery.strategy
+          s.Jim_store.Recovery.seed s.Jim_store.Recovery.fingerprint labels
+          undos)
+      r.Jim_store.Recovery.sessions;
+    0
+
+let run_journal_verify dir =
+  match Jim_store.Recovery.load dir with
+  | Error e ->
+    Printf.eprintf "jim journal verify: %s\n" e;
+    1
+  | Ok r ->
+    (match r.Jim_store.Recovery.torn with
+    | None ->
+      Printf.printf
+        "ok: generation %d, %d journal records, %d live sessions, clean tail\n"
+        r.Jim_store.Recovery.generation r.Jim_store.Recovery.journal_records
+        (List.length r.Jim_store.Recovery.sessions)
+    | Some (offset, bytes) ->
+      Printf.printf
+        "ok: generation %d, %d journal records, %d live sessions\n\
+         torn tail: %d unacknowledged bytes at offset %d (cut on next open)\n"
+        r.Jim_store.Recovery.generation r.Jim_store.Recovery.journal_records
+        (List.length r.Jim_store.Recovery.sessions)
+        bytes offset);
+    0
+
+let run_journal_export dir session out =
+  match Jim_store.Recovery.load dir with
+  | Error e ->
+    Printf.eprintf "jim journal export-transcript: %s\n" e;
+    1
+  | Ok r -> (
+    match
+      List.find_opt
+        (fun (s : Jim_store.Recovery.session) ->
+          s.Jim_store.Recovery.id = session)
+        r.Jim_store.Recovery.sessions
+    with
+    | None ->
+      Printf.eprintf
+        "jim journal export-transcript: no live session %d (inspect lists them)\n"
+        session;
+      1
+    | Some s ->
+      let text =
+        Transcript.to_string
+          (transcript_of_steps s.Jim_store.Recovery.arity
+             s.Jim_store.Recovery.steps)
+      in
+      (match out with
+      | None -> print_string text
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text);
+        Printf.printf "Transcript for session %d written to %s\n" session path);
+      0)
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -595,10 +747,27 @@ let serve_cmd =
           ~doc:"Connection worker pool size (a worker owns a connection \
                 until the peer closes).")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:"Make sessions durable: journal every acknowledged answer to \
+                $(docv) before replying, and recover all live sessions from \
+                it on startup.  Omit for the default in-memory mode.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 1024
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Journal records between snapshot compactions (with \
+                $(b,--data-dir)).")
+  in
   let term =
     Term.(
-      const (fun () s t m i th -> run_serve s t m i th)
-      $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads)
+      const (fun () s t m i th d se -> run_serve s t m i th d se)
+      $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads
+      $ data_dir $ snapshot_every)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -631,15 +800,88 @@ let client_cmd =
           ~doc:"Fill the server with $(docv) sessions and check the next \
                 one is refused with Server_busy.")
   in
+  let crash_start =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-start" ] ~docv:"N"
+          ~doc:"Crash drill, phase one: leave $(docv) sessions half-answered \
+                and record what was acknowledged in $(b,--state); then kill \
+                the server with SIGKILL and restart it.")
+  in
+  let crash_resume =
+    Arg.(
+      value & flag
+      & info [ "crash-resume" ]
+          ~doc:"Crash drill, phase two: resume the sessions recorded in \
+                $(b,--state) against the restarted server and check every \
+                outcome bit-identical to an uninterrupted run.")
+  in
+  let state =
+    Arg.(
+      value
+      & opt string "/tmp/jim-crash-state.txt"
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:"Where the crash drill records acknowledged progress.")
+  in
   let term =
     Term.(
-      const (fun s t b sm bu -> run_client s t b sm bu)
-      $ socket_arg $ tcp_arg $ batch $ smoke $ busy)
+      const (fun s t b sm bu cs cr st -> run_client s t b sm bu cs cr st)
+      $ socket_arg $ tcp_arg $ batch $ smoke $ busy $ crash_start
+      $ crash_resume $ state)
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Talk to a running jim server: batch, smoke or busy-check mode.")
+       ~doc:"Talk to a running jim server: batch, smoke, busy-check or \
+             crash-drill mode.")
     term
+
+let journal_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"The server's $(b,--data-dir).")
+  in
+  let inspect =
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:"Recover DIR read-only and print generation, live sessions and \
+               journal status.")
+      Term.(const run_journal_inspect $ dir)
+  in
+  let verify =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Check every record's framing and CRC plus event consistency; \
+               exits non-zero naming the byte offset on mid-log corruption. \
+               A torn final record is reported and benign.")
+      Term.(const run_journal_verify $ dir)
+  in
+  let export =
+    let session =
+      Arg.(
+        required
+        & pos 1 (some int) None
+        & info [] ~docv:"SESSION" ~doc:"Live session id (see inspect).")
+    in
+    let out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write here instead of stdout.")
+    in
+    Cmd.v
+      (Cmd.info "export-transcript"
+         ~doc:"Print a live session's surviving labels in the \
+               $(b,jim infer --resume) transcript format.")
+      Term.(const run_journal_export $ dir $ session $ out)
+  in
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:"Inspect, verify or export from a durable data directory.")
+    [ inspect; verify; export ]
 
 let () =
   let doc = "JIM: interactive join query inference (VLDB 2014)" in
@@ -655,4 +897,5 @@ let () =
             tpch_cmd;
             serve_cmd;
             client_cmd;
+            journal_cmd;
           ]))

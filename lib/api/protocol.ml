@@ -25,6 +25,7 @@ type request =
   | Explain of { session : int; cls : int }
   | Result of { session : int }
   | Stats of { session : int }
+  | Get_transcript of { session : int }
   | End_session of { session : int }
 
 type error =
@@ -65,6 +66,7 @@ type response =
   | Explanation of { cls : int; status : State.status; text : string }
   | Outcome of Session.outcome
   | Session_stats of session_stats
+  | Transcript_text of { text : string }
   | Ended
   | Failed of error
 
@@ -290,6 +292,8 @@ let request_to_json = function
     envelope "req" "result" [ ("session", Json.Int session) ]
   | Stats { session } ->
     envelope "req" "stats" [ ("session", Json.Int session) ]
+  | Get_transcript { session } ->
+    envelope "req" "get_transcript" [ ("session", Json.Int session) ]
   | End_session { session } ->
     envelope "req" "end_session" [ ("session", Json.Int session) ]
 
@@ -338,6 +342,9 @@ let request_of_json v =
   | "stats" ->
     let* session = session () in
     Ok (Stats { session })
+  | "get_transcript" ->
+    let* session = session () in
+    Ok (Get_transcript { session })
   | "end_session" ->
     let* session = session () in
     Ok (End_session { session })
@@ -455,6 +462,8 @@ let response_to_json = function
         ("version_space", Json.Float s.version_space);
         ("scoring", metrics_to_json s.scoring);
       ]
+  | Transcript_text { text } ->
+    envelope "resp" "transcript" [ ("text", Json.String text) ]
   | Ended -> envelope "resp" "ended" []
   | Failed e -> envelope "resp" "error" [ ("error", error_to_json e) ]
 
@@ -531,6 +540,10 @@ let response_of_json v =
               version_space;
               scoring;
             }))
+  | "transcript" ->
+    bad
+      (let* text = string_field "text" v in
+       Ok (Transcript_text { text }))
   | "ended" -> Ok Ended
   | "error" ->
     bad

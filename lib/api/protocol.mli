@@ -54,6 +54,10 @@ type request =
   | Explain of { session : int; cls : int }
   | Result of { session : int }
   | Stats of { session : int }
+  | Get_transcript of { session : int }
+      (** Export the session's audit log in the {!Jim_core.Transcript}
+          text format — the same record of labels the durable store
+          persists, so a client can archive or later [--resume] it. *)
   | End_session of { session : int }
 
 type error =
@@ -97,6 +101,9 @@ type response =
   | Explanation of { cls : int; status : Jim_core.State.status; text : string }
   | Outcome of Jim_core.Session.outcome  (** reply to {!Result} *)
   | Session_stats of session_stats  (** reply to {!Stats} *)
+  | Transcript_text of { text : string }
+      (** reply to {!Get_transcript}: [Jim_core.Transcript.to_string]
+          output for the live engine *)
   | Ended
   | Failed of error
 
@@ -125,6 +132,8 @@ val response_of_string : string -> (response, error) result
 
 val label_to_json : Jim_core.State.label -> Json.t
 val label_of_json : Json.t -> (Jim_core.State.label, string) result
+val source_to_json : instance_source -> Json.t
+val source_of_json : Json.t -> (instance_source, string) result
 val partition_to_json : Jim_partition.Partition.t -> Json.t
 val partition_of_json : Json.t -> (Jim_partition.Partition.t, string) result
 val outcome_to_json : Jim_core.Session.outcome -> Json.t

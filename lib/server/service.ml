@@ -30,10 +30,14 @@ type t = {
   max_sessions : int;
   idle_ttl : float;
   now : unit -> float;
+  persist_hook : (Jim_store.Event.t -> unit) option;
+      (* called with every state-mutating event *before* its reply is
+         built; [None] in the default in-memory mode, which therefore
+         pays nothing (not even instance fingerprinting) *)
 }
 
 let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
-    () =
+    ?persist () =
   {
     lock = Mutex.create ();
     sessions = Hashtbl.create 16;
@@ -41,7 +45,11 @@ let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
     max_sessions;
     idle_ttl;
     now;
+    persist_hook = persist;
   }
+
+let persist t ev =
+  match t.persist_hook with None -> () | Some f -> f ev
 
 let session_count t = with_lock t.lock (fun () -> Hashtbl.length t.sessions)
 let max_sessions t = t.max_sessions
@@ -57,6 +65,9 @@ let sweep t =
           t.sessions []
       in
       List.iter (Hashtbl.remove t.sessions) stale;
+      List.iter
+        (fun session -> persist t (Jim_store.Event.Ended { session }))
+        stale;
       List.length stale)
 
 (* ------------------------------------------------------------------ *)
@@ -152,6 +163,13 @@ let start_session t source strategy_name seed =
       (* Build the engine outside the table lock: class computation can be
          expensive and must not stall other sessions. *)
       let eng = Session.create rel in
+      let fingerprint =
+        (* Only worth rendering when a store is listening. *)
+        match t.persist_hook with
+        | None -> ""
+        | Some _ -> Jim_store.Store.fingerprint rel
+      in
+      let arity = Jim_relational.Relation.arity rel in
       with_lock t.lock (fun () ->
           let active = Hashtbl.length t.sessions in
           if active >= t.max_sessions then
@@ -176,10 +194,23 @@ let start_session t source strategy_name seed =
               }
             in
             Hashtbl.replace t.sessions id s;
+            (* Journal the start while still holding the table lock so no
+               later event of this (or any newer) session can precede it
+               in the log. *)
+            persist t
+              (Jim_store.Event.Started
+                 {
+                   session = id;
+                   arity;
+                   source;
+                   strategy = s.strategy_name;
+                   seed;
+                   fingerprint;
+                 });
             P.Started
               {
                 session = id;
-                arity = Jim_relational.Relation.arity rel;
+                arity;
                 classes = Array.length (Session.classes eng);
                 tuples = Jim_relational.Relation.cardinality rel;
                 strategy = s.strategy_name;
@@ -209,7 +240,9 @@ let top_questions s k =
     in
     P.Questions (List.map (question_of_cls s.eng) cs)
 
-let do_answer s c label =
+(* The engine-mutating core, shared by live requests and crash-recovery
+   replay (which must not re-journal what it replays). *)
+let apply_answer s c label =
   match check_cls s c with
   | Error e -> P.Failed e
   | Ok () -> (
@@ -245,13 +278,28 @@ let do_answer s c label =
           decided_tuples = tuples;
         })
 
-let do_undo s =
+let apply_undo s =
   match measured s (fun () -> Session.undo s.eng) with
   | Error e -> P.Failed (P.Engine e)
   | Ok () ->
     s.pending <- None;
     (match s.events_rev with [] -> () | _ :: tl -> s.events_rev <- tl);
     P.Undone { asked = Session.asked s.eng }
+
+let do_answer t s c label =
+  match apply_answer s c label with
+  | P.Answered _ as r ->
+    let sg = (Session.classes s.eng).(c).Sigclass.sg in
+    persist t (Jim_store.Event.Answered { session = s.id; cls = c; sg; label });
+    r
+  | r -> r
+
+let do_undo t s =
+  match apply_undo s with
+  | P.Undone _ as r ->
+    persist t (Jim_store.Event.Undone { session = s.id });
+    r
+  | r -> r
 
 let do_explain s c =
   match check_cls s c with
@@ -289,13 +337,108 @@ let do_stats s =
       scoring = s.metrics;
     }
 
+let do_transcript s =
+  P.Transcript_text { text = Transcript.to_string (Transcript.of_engine s.eng) }
+
 let end_session t id =
   with_lock t.lock (fun () ->
       if Hashtbl.mem t.sessions id then begin
         Hashtbl.remove t.sessions id;
+        persist t (Jim_store.Event.Ended { session = id });
         P.Ended
       end
       else P.Failed (P.Unknown_session id))
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+
+let ( let* ) = Result.bind
+
+(* Rebuild one recovered session by re-resolving its source and replaying
+   its surviving labels through the exact live-request code path
+   ([pending_question] before every answer), so engine state, RNG state,
+   the cached question and the event log all land bit-identical to an
+   uninterrupted run. *)
+let restore_session t (rs : Jim_store.Recovery.session) =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "session %d: %s" rs.id m)) fmt
+  in
+  let* rel, schema =
+    match resolve_source rs.source with
+    | Ok x -> Ok x
+    | Error e -> fail "cannot re-resolve source: %s" (P.error_to_string e)
+  in
+  let fp = Jim_store.Store.fingerprint rel in
+  if fp <> rs.fingerprint then
+    fail "instance drifted since the journal was written (fingerprint %s, expected %s)"
+      fp rs.fingerprint
+  else
+    let* strategy =
+      match Strategy.of_string rs.strategy with
+      | Ok s -> Ok s
+      | Error m -> fail "%s" m
+    in
+    let eng = Session.create rel in
+    let s =
+      {
+        id = rs.id;
+        strategy;
+        strategy_name = Strategy.to_string strategy;
+        eng;
+        schema;
+        rng = Random.State.make [| rs.seed |];
+        lock = Mutex.create ();
+        pending = None;
+        events_rev = [];
+        contradiction = false;
+        metrics = Metrics.zero;
+        last_used = t.now ();
+      }
+    in
+    let classes = Session.classes eng in
+    let cls_of_sg sg =
+      let n = Array.length classes in
+      let rec go i =
+        if i >= n then fail "snapshot signature matches no class"
+        else if Jim_partition.Partition.equal classes.(i).Sigclass.sg sg then
+          Ok i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let* () =
+      List.fold_left
+        (fun acc step ->
+          let* () = acc in
+          match (step : Jim_store.Recovery.step) with
+          | Label { cls; sg; label } -> (
+            let* c = match cls with Some c -> Ok c | None -> cls_of_sg sg in
+            match apply_answer s c label with
+            | P.Answered _ -> Ok ()
+            | P.Failed e -> fail "replay: %s" (P.error_to_string e)
+            | _ -> fail "replay: unexpected reply")
+          | Undo -> (
+            match apply_undo s with
+            | P.Undone _ -> Ok ()
+            | P.Failed e -> fail "replay undo: %s" (P.error_to_string e)
+            | _ -> fail "replay undo: unexpected reply"))
+        (Ok ()) rs.steps
+    in
+    Ok s
+
+let restore t (r : Jim_store.Recovery.t) =
+  let* restored =
+    List.fold_left
+      (fun acc rs ->
+        let* acc = acc in
+        let* s = restore_session t rs in
+        Ok (s :: acc))
+      (Ok []) r.sessions
+  in
+  with_lock t.lock (fun () ->
+      List.iter (fun s -> Hashtbl.replace t.sessions s.id s) restored;
+      t.next_id <- max t.next_id r.next_id);
+  Ok (List.length restored)
 
 let handle t req =
   match req with
@@ -305,12 +448,13 @@ let handle t req =
   | P.Top_questions { session; k } ->
     with_session t session (fun s -> top_questions s k)
   | P.Answer { session; cls; label } ->
-    with_session t session (fun s -> do_answer s cls label)
-  | P.Undo { session } -> with_session t session do_undo
+    with_session t session (fun s -> do_answer t s cls label)
+  | P.Undo { session } -> with_session t session (do_undo t)
   | P.Explain { session; cls } ->
     with_session t session (fun s -> do_explain s cls)
   | P.Result { session } -> with_session t session do_result
   | P.Stats { session } -> with_session t session do_stats
+  | P.Get_transcript { session } -> with_session t session do_transcript
   | P.End_session { session } -> end_session t session
 
 let handle_line t line =

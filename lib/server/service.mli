@@ -21,9 +21,32 @@
 type t
 
 val create :
-  ?max_sessions:int -> ?idle_ttl:float -> ?now:(unit -> float) -> unit -> t
+  ?max_sessions:int ->
+  ?idle_ttl:float ->
+  ?now:(unit -> float) ->
+  ?persist:(Jim_store.Event.t -> unit) ->
+  unit ->
+  t
 (** Defaults: 64 sessions, 600 s TTL, [Unix.gettimeofday].  [now] is
-    injectable so tests can drive the TTL clock by hand. *)
+    injectable so tests can drive the TTL clock by hand.
+
+    [persist] is the durability hook: it is called with every
+    state-mutating event (session start, acknowledged answer, undo, end —
+    including idle evictions) {e before} the reply is built, so wiring in
+    {!Jim_store.Store.record} gives write-ahead semantics: an answer is
+    never acknowledged before it is on disk.  When omitted the service is
+    purely in-memory and behaves bit-identically to a service that never
+    heard of persistence (no fingerprinting, no extra work). *)
+
+val restore : t -> Jim_store.Recovery.t -> (int, string) result
+(** Rebuild sessions from recovered state: re-resolve each source, verify
+    its fingerprint, and replay the surviving labels through the same
+    code path live requests use — so the resumed session's questions,
+    RNG stream and result are bit-identical to an uninterrupted run.
+    Returns how many sessions were restored; an error (drifted instance,
+    unreplayable label) aborts the whole restore and registers nothing.
+    Call once, before serving traffic: replay does not invoke [persist]
+    (the journal already holds those events). *)
 
 val handle : t -> Jim_api.Protocol.request -> Jim_api.Protocol.response
 (** Serve one request.  Never raises: internal exceptions become a

@@ -138,6 +138,173 @@ let run ?(clients = 32) ~address () =
   List.iter Thread.join threads;
   List.sort (fun a b -> compare a.seed b.seed) !reports
 
+(* ------------------------------------------------------------------ *)
+(* Crash drill: leave sessions half-answered, let the caller SIGKILL the
+   server, then resume against the restarted one and hold it to the same
+   bit-identical bar as an uninterrupted run. *)
+
+let strategy_for i = if i mod 2 = 0 then "lookahead-entropy" else "random"
+
+let expected_outcome ~seed ~strategy =
+  let inst = Jim_workloads.Synthetic.generate (params seed) in
+  let oracle = Oracle.of_goal inst.Jim_workloads.Synthetic.goal in
+  let strat =
+    match Strategy.of_string strategy with
+    | Ok s -> s
+    | Error msg -> invalid_arg msg
+  in
+  ( oracle,
+    Session.run ~seed ~strategy:strat ~oracle
+      inst.Jim_workloads.Synthetic.relation )
+
+let start_synthetic conn ~seed ~strategy =
+  let p = params seed in
+  let* resp =
+    Wire.call conn
+      (P.Start_session
+         {
+           source =
+             P.Synthetic
+               {
+                 n_attrs = p.Jim_workloads.Synthetic.n_attrs;
+                 n_tuples = p.Jim_workloads.Synthetic.n_tuples;
+                 domain = p.Jim_workloads.Synthetic.domain;
+                 goal_rank = p.Jim_workloads.Synthetic.goal_rank;
+                 seed = p.Jim_workloads.Synthetic.seed;
+               };
+           strategy;
+           seed;
+         })
+  in
+  match resp with
+  | P.Started { session; _ } -> Ok session
+  | P.Failed e -> Error (P.error_to_string e)
+  | other -> unexpected "Start_session" other
+
+let answer_rounds conn ~session ~oracle ~rounds =
+  (* [rounds < 0]: run to completion.  Returns how many were answered. *)
+  let rec loop asked =
+    if asked = rounds then Ok asked
+    else
+      let* q = Wire.call conn (P.Get_question { session }) in
+      match q with
+      | P.Question None -> Ok asked
+      | P.Question (Some { P.cls; sg; _ }) -> (
+        let label = Oracle.label oracle sg in
+        let* a = Wire.call conn (P.Answer { session; cls; label }) in
+        match a with
+        | P.Answered _ -> loop (asked + 1)
+        | other -> unexpected "Answer" other)
+      | other -> unexpected "Get_question" other
+  in
+  loop 0
+
+let crash_start ~address ~state_file ?(clients = 8) () =
+  let lock = Mutex.create () in
+  let lines = ref [] and reports = ref [] in
+  let one i =
+    let seed = 100 + i in
+    let strategy = strategy_for i in
+    let outcome =
+      match Wire.connect ~retries:50 address with
+      | Error msg -> Error ("connect: " ^ msg)
+      | Ok conn ->
+        let r =
+          let oracle, expected = expected_outcome ~seed ~strategy in
+          let* session = start_synthetic conn ~seed ~strategy in
+          (* Half the reference run's interactions: enough history to make
+             recovery non-trivial, with real work left for the resume. *)
+          let rounds = max 1 (expected.Session.interactions / 2) in
+          let* asked = answer_rounds conn ~session ~oracle ~rounds in
+          Ok (Printf.sprintf "%d %s %d %d" seed strategy session asked, asked)
+        in
+        Wire.close conn;
+        r
+    in
+    Mutex.lock lock;
+    (match outcome with
+    | Ok (line, asked) ->
+      lines := line :: !lines;
+      reports := { seed; strategy; questions = asked; ok = true; detail = "" }
+                 :: !reports
+    | Error detail ->
+      reports := { seed; strategy; questions = 0; ok = false; detail }
+                 :: !reports);
+    Mutex.unlock lock
+  in
+  let threads = List.init clients (fun i -> Thread.create one i) in
+  List.iter Thread.join threads;
+  let oc = open_out state_file in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (List.sort compare !lines);
+  close_out oc;
+  List.sort (fun a b -> compare a.seed b.seed) !reports
+
+let resume_one ~address ~seed ~strategy ~session ~already =
+  match Wire.connect ~retries:50 address with
+  | Error msg -> Error ("connect: " ^ msg)
+  | Ok conn ->
+    let r =
+      let oracle, expected = expected_outcome ~seed ~strategy in
+      (* Every acknowledged answer must have survived the kill. *)
+      let* st = Wire.call conn (P.Stats { session }) in
+      let* () =
+        match st with
+        | P.Session_stats { labeled; _ } when labeled = already -> Ok ()
+        | P.Session_stats { labeled; _ } ->
+          Error
+            (Printf.sprintf
+               "recovered session holds %d answers, %d were acknowledged"
+               labeled already)
+        | other -> (
+          match unexpected "Stats" other with
+          | Error _ as e -> e
+          | Ok _ -> assert false)
+      in
+      let* _ = answer_rounds conn ~session ~oracle ~rounds:(-1) in
+      let* r = Wire.call conn (P.Result { session }) in
+      let* got =
+        match r with
+        | P.Outcome o -> Ok o
+        | other -> unexpected "Result" other
+      in
+      let* _ = Wire.call conn (P.End_session { session }) in
+      if outcome_equal expected got then Ok got.Session.interactions
+      else
+        Error
+          (Printf.sprintf
+             "resumed outcome differs from uninterrupted run: wire %s/%d, local %s/%d"
+             (Jim_partition.Partition.to_string got.Session.query)
+             got.Session.interactions
+             (Jim_partition.Partition.to_string expected.Session.query)
+             expected.Session.interactions)
+    in
+    Wire.close conn;
+    r
+
+let crash_resume ~address ~state_file () =
+  let ic = open_in state_file in
+  let rec read acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> read (line :: acc)
+  in
+  let lines = read [] in
+  close_in ic;
+  List.map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ seed; strategy; session; asked ] -> (
+        let seed = int_of_string seed
+        and session = int_of_string session
+        and asked = int_of_string asked in
+        match resume_one ~address ~seed ~strategy ~session ~already:asked with
+        | Ok questions -> { seed; strategy; questions; ok = true; detail = "" }
+        | Error detail -> { seed; strategy; questions = 0; ok = false; detail })
+      | _ ->
+        { seed = 0; strategy = ""; questions = 0; ok = false;
+          detail = "bad state line: " ^ line })
+    lines
+
 let busy_check ~address ~fill =
   match Wire.connect ~retries:50 address with
   | Error msg -> Error ("connect: " ^ msg)

@@ -24,6 +24,28 @@ val run : ?clients:int -> address:Wire.address -> unit -> client_report list
     strategies (lookahead-entropy / random) and distinct seeds.  Reports
     come back sorted by seed. *)
 
+val crash_start :
+  address:Wire.address ->
+  state_file:string ->
+  ?clients:int ->
+  unit ->
+  client_report list
+(** Phase one of the crash drill: [clients] (default 8) concurrent
+    sessions each answer {e half} of their reference run's questions —
+    every answer acknowledged by the server — then disconnect without
+    ending the session.  What was acknowledged (seed, strategy, session
+    id, answer count) is written to [state_file] for {!crash_resume}.
+    The caller then SIGKILLs the server and restarts it over the same
+    data directory. *)
+
+val crash_resume :
+  address:Wire.address -> state_file:string -> unit -> client_report list
+(** Phase two: for each line of [state_file], check the restarted server
+    still holds every acknowledged answer (via [Stats]), drive the
+    session to completion, and require the outcome bit-identical to an
+    uninterrupted local {!Jim_core.Session.run} — the durability
+    invariant the store exists to provide. *)
+
 val busy_check :
   address:Wire.address -> fill:int -> (unit, string) result
 (** Open [fill] sessions without ending them, then check that one more

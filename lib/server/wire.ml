@@ -55,7 +55,12 @@ type server = {
   qlock : Mutex.t;
   qcond : Condition.t;
   mutable stopping : bool;
-  mutable pool : Thread.t list;  (* workers + acceptor; joined on shutdown *)
+  mutable pool : Thread.t list;
+      (* workers + acceptor + sweeper; joined on shutdown *)
+  stop_r : Unix.file_descr;
+      (* self-pipe: the sweeper sleeps in [select] on this instead of
+         [Thread.delay], so shutdown can wake it instantly and join it *)
+  stop_w : Unix.file_descr;
 }
 
 let handle_conn service fd =
@@ -130,7 +135,10 @@ let acceptor srv =
 let sweeper srv interval =
   let rec loop () =
     if not srv.stopping then begin
-      Thread.delay interval;
+      (match Unix.select [ srv.stop_r ] [] [] interval with
+      | [], _, _ -> ()  (* interval elapsed *)
+      | _ -> ()  (* shutdown wrote the wake byte *)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       if not srv.stopping then begin
         ignore (Service.sweep srv.service);
         loop ()
@@ -155,6 +163,7 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
       | _ -> addr)
     | a -> a
   in
+  let stop_r, stop_w = Unix.pipe () in
   let srv =
     {
       service;
@@ -165,17 +174,17 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
       qcond = Condition.create ();
       stopping = false;
       pool = [];
+      stop_r;
+      stop_w;
     }
   in
   let workers =
     List.init (max 1 threads) (fun _ -> Thread.create worker srv)
   in
   let acc = Thread.create acceptor srv in
-  (* The sweeper sleeps in bounded steps and exits on [stopping]; it is
-     deliberately not joined (shutdown must not wait out a sleep). *)
   let interval = Float.max 0.5 (Service.idle_ttl service /. 4.) in
-  ignore (Thread.create (fun () -> sweeper srv (Float.min interval 30.)) ());
-  srv.pool <- acc :: workers;
+  let swp = Thread.create (fun () -> sweeper srv (Float.min interval 30.)) () in
+  srv.pool <- swp :: acc :: workers;
   srv
 
 let bound_address srv = srv.bound
@@ -184,10 +193,15 @@ let wait srv = List.iter Thread.join srv.pool
 let shutdown srv =
   srv.stopping <- true;
   (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  (* Wake the sweeper out of its select sleep. *)
+  (try ignore (Unix.write srv.stop_w (Bytes.of_string "x") 0 1)
+   with Unix.Unix_error _ -> ());
   Mutex.lock srv.qlock;
   Condition.broadcast srv.qcond;
   Mutex.unlock srv.qlock;
   List.iter Thread.join srv.pool;
+  (try Unix.close srv.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close srv.stop_w with Unix.Unix_error _ -> ());
   (* drain connections that were queued but never picked up *)
   Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) srv.queue;
   Queue.clear srv.queue;

@@ -33,9 +33,11 @@ val wait : server -> unit
 (** Block until the server is shut down (joins the acceptor). *)
 
 val shutdown : server -> unit
-(** Stop accepting, wake the pool, join acceptor and workers, unlink a
-    Unix-domain socket path.  Connections currently being served finish
-    their in-flight line. *)
+(** Stop accepting, wake the pool — including the idle-session sweeper,
+    which sleeps on a self-pipe so it can be interrupted instantly — join
+    every thread, and unlink a Unix-domain socket path.  Connections
+    currently being served finish their in-flight line.  No thread
+    outlives this call. *)
 
 (** {1 Client} *)
 

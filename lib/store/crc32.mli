@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), the checksum guarding
+    every journal record and snapshot file.  Hand-rolled table-driven
+    implementation — the container ships no zlib binding, and the store
+    needs only this much. *)
+
+val digest : ?crc:int32 -> bytes -> int -> int -> int32
+(** [digest ?crc buf off len] extends [crc] (default: the empty-message
+    CRC) over [len] bytes of [buf] starting at [off].  Feeding a message
+    in chunks yields the same result as one call over the whole. *)
+
+val digest_string : string -> int32
+
+val to_hex : int32 -> string
+(** Lower-case, zero-padded 8-digit hex — the rendering used in
+    fingerprints, snapshot trailers and corruption diagnostics. *)

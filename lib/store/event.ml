@@ -1,0 +1,86 @@
+module Json = Jim_api.Json
+module P = Jim_api.Protocol
+
+type t =
+  | Started of {
+      session : int;
+      arity : int;
+      source : P.instance_source;
+      strategy : string;
+      seed : int;
+      fingerprint : string;
+    }
+  | Answered of {
+      session : int;
+      cls : int;
+      sg : Jim_partition.Partition.t;
+      label : Jim_core.State.label;
+    }
+  | Undone of { session : int }
+  | Ended of { session : int }
+
+let session = function
+  | Started { session; _ }
+  | Answered { session; _ }
+  | Undone { session }
+  | Ended { session } ->
+    session
+
+let to_json = function
+  | Started { session; arity; source; strategy; seed; fingerprint } ->
+    Json.Obj
+      [
+        ("ev", Json.String "start");
+        ("session", Json.Int session);
+        ("arity", Json.Int arity);
+        ("source", P.source_to_json source);
+        ("strategy", Json.String strategy);
+        ("seed", Json.Int seed);
+        ("fp", Json.String fingerprint);
+      ]
+  | Answered { session; cls; sg; label } ->
+    Json.Obj
+      [
+        ("ev", Json.String "answer");
+        ("session", Json.Int session);
+        ("cls", Json.Int cls);
+        ("sg", P.partition_to_json sg);
+        ("label", P.label_to_json label);
+      ]
+  | Undone { session } ->
+    Json.Obj [ ("ev", Json.String "undo"); ("session", Json.Int session) ]
+  | Ended { session } ->
+    Json.Obj [ ("ev", Json.String "end"); ("session", Json.Int session) ]
+
+let ( let* ) = Result.bind
+
+let int_field k v =
+  let* f = Json.field k v in
+  Json.as_int f
+
+let of_json v =
+  let* tag = Result.bind (Json.field "ev" v) Json.as_string in
+  let* session = int_field "session" v in
+  match tag with
+  | "start" ->
+    let* arity = int_field "arity" v in
+    let* source = Result.bind (Json.field "source" v) P.source_of_json in
+    let* strategy = Result.bind (Json.field "strategy" v) Json.as_string in
+    let* seed = int_field "seed" v in
+    let* fingerprint = Result.bind (Json.field "fp" v) Json.as_string in
+    Ok (Started { session; arity; source; strategy; seed; fingerprint })
+  | "answer" ->
+    let* cls = int_field "cls" v in
+    let* sg = Result.bind (Json.field "sg" v) P.partition_of_json in
+    let* label = Result.bind (Json.field "label" v) P.label_of_json in
+    Ok (Answered { session; cls; sg; label })
+  | "undo" -> Ok (Undone { session })
+  | "end" -> Ok (Ended { session })
+  | tag -> Error (Printf.sprintf "unknown journal event %S" tag)
+
+let to_string e = Json.to_string (to_json e)
+
+let of_string s =
+  match Json.of_string s with
+  | Error m -> Error m
+  | Ok v -> of_json v

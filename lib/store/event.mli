@@ -1,0 +1,38 @@
+(** The state-mutating protocol events a durable server journals: exactly
+    the operations that change what a later {!Recovery} must rebuild.
+    Read-only requests (questions, explanations, stats) never reach the
+    log.
+
+    Payload encoding is one compact JSON object (reusing the wire
+    protocol's stable sub-encodings for sources, partitions and labels),
+    so [jim journal inspect] output is also valid protocol-style JSON. *)
+
+type t =
+  | Started of {
+      session : int;
+      arity : int;  (** attribute count (the transcript arity) *)
+      source : Jim_api.Protocol.instance_source;
+      strategy : string;  (** canonical {!Jim_core.Strategy} name *)
+      seed : int;  (** the session RNG seed — replay re-derives the RNG *)
+      fingerprint : string;
+          (** {!Store.fingerprint} of the resolved instance, checked on
+              recovery so a drifted builtin/synthetic source fails loudly *)
+    }
+  | Answered of {
+      session : int;
+      cls : int;  (** class index answered *)
+      sg : Jim_partition.Partition.t;
+          (** the class signature — lets snapshots compact to the
+              transcript format without rebuilding the instance *)
+      label : Jim_core.State.label;
+    }
+  | Undone of { session : int }
+  | Ended of { session : int }
+      (** explicit [End_session] or idle-TTL eviction *)
+
+val session : t -> int
+
+val to_string : t -> string
+(** One line of compact JSON (never contains a newline). *)
+
+val of_string : string -> (t, string) result

@@ -1,0 +1,224 @@
+let file_magic = "JIMWAL01"
+let header_size = String.length file_magic
+let record_magic = "JREC"
+let record_version = '\001'
+let record_header_size = 4 + 1 + 4 + 4
+
+type t = {
+  fd : Unix.file_descr;
+  fsync : bool;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable written : int;  (* bytes handed to [write] so far *)
+  mutable synced : int;  (* bytes known covered by an fsync *)
+  mutable syncing : bool;  (* a leader's fsync is in flight *)
+  mutable closed : bool;
+}
+
+let put_le32 buf off v =
+  Bytes.set buf off (Char.chr (v land 0xff));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set buf (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set buf (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_le32 buf off =
+  Char.code (Bytes.get buf off)
+  lor (Char.code (Bytes.get buf (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get buf (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get buf (off + 3)) lsl 24)
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then go (off + Unix.write fd buf off (len - off))
+  in
+  go 0
+
+let of_fd ~fsync ~written fd =
+  {
+    fd;
+    fsync;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    written;
+    synced = written;
+    syncing = false;
+    closed = false;
+  }
+
+let create ?(fsync = true) path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  write_all fd (Bytes.of_string file_magic);
+  if fsync then Unix.fsync fd;
+  of_fd ~fsync ~written:header_size fd
+
+let open_append ?(fsync = true) path =
+  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | fd ->
+    let size = (Unix.fstat fd).Unix.st_size in
+    if size < header_size then begin
+      Unix.close fd;
+      Error (Printf.sprintf "%s: too short for a journal file header" path)
+    end
+    else begin
+      let hdr = Bytes.create header_size in
+      ignore (Unix.read fd hdr 0 header_size);
+      if Bytes.to_string hdr <> file_magic then begin
+        Unix.close fd;
+        Error (Printf.sprintf "%s: bad journal file magic" path)
+      end
+      else begin
+        ignore (Unix.lseek fd 0 Unix.SEEK_END);
+        Ok (of_fd ~fsync ~written:size fd)
+      end
+    end
+
+let record payload =
+  let plen = String.length payload in
+  let buf = Bytes.create (record_header_size + plen) in
+  Bytes.blit_string record_magic 0 buf 0 4;
+  Bytes.set buf 4 record_version;
+  put_le32 buf 5 plen;
+  put_le32 buf 9
+    (Int32.to_int
+       (Int32.logand (Crc32.digest_string payload) 0xffffffffl)
+    land 0xffffffff);
+  Bytes.blit_string payload 0 buf record_header_size plen;
+  buf
+
+(* Group commit: write under the lock, then wait until some leader's
+   fsync barrier covers our bytes.  The first waiter whose bytes are not
+   yet durable becomes the leader, releases the lock for the (slow)
+   fsync, and broadcasts the new high-water mark; appenders that wrote
+   while the leader was syncing ride the next round. *)
+let append t payload =
+  let buf = record payload in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Journal.append: closed"
+  end;
+  write_all t.fd buf;
+  t.written <- t.written + Bytes.length buf;
+  let ticket = t.written in
+  if not t.fsync then Mutex.unlock t.lock
+  else begin
+    while t.synced < ticket do
+      if t.syncing then Condition.wait t.cond t.lock
+      else begin
+        t.syncing <- true;
+        let barrier = t.written in
+        Mutex.unlock t.lock;
+        Unix.fsync t.fd;
+        Mutex.lock t.lock;
+        t.synced <- max t.synced barrier;
+        t.syncing <- false;
+        Condition.broadcast t.cond
+      end
+    done;
+    Mutex.unlock t.lock
+  end
+
+let sync t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    let barrier = t.written in
+    if t.synced < barrier then begin
+      Unix.fsync t.fd;
+      t.synced <- max t.synced barrier
+    end
+  end;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    if t.fsync then Unix.fsync t.fd;
+    Unix.close t.fd
+  end;
+  Mutex.unlock t.lock
+
+type tail = Complete | Truncated of { offset : int; bytes : int }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan path =
+  match read_file path with
+  | exception Sys_error msg -> Error (`Corrupt (0, msg))
+  | data ->
+    let size = String.length data in
+    if size < header_size then
+      (* A crash during [create] can leave a partial file header: torn,
+         and necessarily empty of acknowledged records. *)
+      Ok ([], Truncated { offset = 0; bytes = size })
+    else if String.sub data 0 header_size <> file_magic then
+      Error (`Corrupt (0, "bad or missing journal file magic"))
+    else begin
+      let buf = Bytes.unsafe_of_string data in
+      let rec go pos acc =
+        if pos = size then Ok (List.rev acc, Complete)
+        else if size - pos < record_header_size then
+          Ok (List.rev acc, Truncated { offset = pos; bytes = size - pos })
+        else if
+          String.sub data pos 4 <> record_magic
+          || data.[pos + 4] <> record_version
+        then
+          Error
+            (`Corrupt
+               (pos, "bad record magic/version (file overwritten or shifted?)"))
+        else begin
+          let plen = get_le32 buf (pos + 5) in
+          let crc = get_le32 buf (pos + 9) in
+          if plen < 0 || pos + record_header_size + plen > size then
+            (* The length field points past EOF: a torn payload (or a
+               corrupt length — indistinguishable without more records,
+               and a crash can only truncate). *)
+            Ok (List.rev acc, Truncated { offset = pos; bytes = size - pos })
+          else begin
+            let payload = String.sub data (pos + record_header_size) plen in
+            let actual =
+              Int32.to_int
+                (Int32.logand (Crc32.digest_string payload) 0xffffffffl)
+              land 0xffffffff
+            in
+            let next = pos + record_header_size + plen in
+            if actual <> crc then
+              if next = size then
+                (* Full-length final record with a bad CRC: the header
+                   block hit the disk but the payload did not — torn. *)
+                Ok (List.rev acc, Truncated { offset = pos; bytes = size - pos })
+              else
+                Error
+                  (`Corrupt
+                     ( pos,
+                       Printf.sprintf "payload CRC mismatch (stored %08x, computed %08x)"
+                         crc actual ))
+            else go next ((pos, payload) :: acc)
+          end
+        end
+      in
+      go header_size []
+    end
+
+let truncate path offset =
+  match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match
+          Unix.ftruncate fd offset;
+          Unix.fsync fd
+        with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))

@@ -1,0 +1,92 @@
+(** The write-ahead journal: an append-only, length-prefixed,
+    CRC-checked binary log of {!Event} payloads.  Every state-mutating
+    protocol event is appended — and fsynced — before the server
+    acknowledges it, so a SIGKILL at any instant loses at most the
+    unacknowledged suffix.
+
+    {1 On-disk format}
+
+    A journal file is a fixed 8-byte file header followed by zero or more
+    records, nothing else:
+
+    {v
+    file header   8 bytes   the ASCII magic "JIMWAL01" (name + format
+                            version; a future format bumps the trailing
+                            digits)
+
+    record        13-byte record header + payload:
+      magic       4 bytes   ASCII "JREC"
+      version     1 byte    0x01
+      length      4 bytes   payload byte count, little-endian unsigned
+      crc         4 bytes   CRC-32 (IEEE) of the payload, little-endian
+      payload     [length] bytes (one Event.to_string line, no newline)
+    v}
+
+    Each record is assembled in memory and appended with a single
+    [write], so a crash leaves a clean prefix of the file plus at most
+    one partial record.  {!scan} distinguishes the two failure shapes the
+    acceptance criteria name:
+
+    - a {e torn tail} — the file ends inside a record header or payload,
+      or the final full-length record fails its CRC (out-of-order block
+      writes) — is reported as [Truncated] and safe to cut at the
+      reported offset;
+    - a {e mid-log corruption} — bad magic/version or a CRC mismatch on a
+      record that is {e not} the last — is a hard [`Corrupt] error naming
+      the byte offset, because silently dropping acknowledged history is
+      exactly what the store exists to prevent.
+
+    {1 Group commit}
+
+    {!append} returns only once the record is durable ([fsync] has
+    covered it), but concurrent appenders share fsyncs: the first thread
+    to need one becomes the leader and syncs every byte written so far;
+    the rest wait on a condition variable and piggyback on the leader's
+    barrier.  Under [n] concurrent sessions the hot path pays ~1/n of an
+    fsync each. *)
+
+type t
+
+val create : ?fsync:bool -> string -> t
+(** Create (or truncate) a journal file and write the file header.
+    [fsync false] (default [true]) turns the durability barrier off —
+    for benchmarks and tests only. *)
+
+val open_append : ?fsync:bool -> string -> (t, string) result
+(** Open an existing journal for appending — after {!scan} has validated
+    it and any torn tail has been cut with {!truncate}. *)
+
+val append : t -> string -> unit
+(** Append one payload as a record; returns after the record is fsynced
+    (group-committed).  Thread-safe. *)
+
+val sync : t -> unit
+(** Force an fsync barrier over everything appended so far. *)
+
+val close : t -> unit
+
+(** {1 Reading} *)
+
+type tail =
+  | Complete  (** the file ends exactly on a record boundary *)
+  | Truncated of { offset : int; bytes : int }
+      (** a torn final record: [bytes] trailing bytes starting at
+          [offset] are not a whole record and should be cut *)
+
+val scan :
+  string ->
+  ((int * string) list * tail, [ `Corrupt of int * string ]) result
+(** [scan path] reads every complete record, returning
+    [(byte offset, payload)] pairs in file order plus the tail status.
+    [`Corrupt (offset, reason)] is a mid-log integrity failure at the
+    given byte offset (also used for a garbled file header, at offset 0).
+    A file shorter than the file header — a crash during {!create} — is
+    [Truncated] at offset 0, not corrupt. *)
+
+val truncate : string -> int -> (unit, string) result
+(** Cut the file at the given byte offset (recovery's response to a
+    [Truncated] tail) and fsync it. *)
+
+val header_size : int
+(** Size of the file header, bytes (= 8): the offset of the first
+    record. *)

@@ -1,0 +1,207 @@
+module P = Jim_api.Protocol
+module Transcript = Jim_core.Transcript
+
+type step =
+  | Label of {
+      cls : int option;
+      sg : Jim_partition.Partition.t;
+      label : Jim_core.State.label;
+    }
+  | Undo
+
+type session = {
+  id : int;
+  arity : int;
+  source : P.instance_source;
+  strategy : string;
+  seed : int;
+  fingerprint : string;
+  steps : step list;
+}
+
+type t = {
+  generation : int;
+  next_id : int;
+  sessions : session list;
+  journal_path : string;
+  journal_records : int;
+  torn : (int * int) option;
+}
+
+let snapshot_path dir g = Filename.concat dir (Printf.sprintf "snapshot.%d" g)
+
+let journal_path dir g =
+  Filename.concat dir (Printf.sprintf "journal.%d.wal" g)
+
+(* Parse "snapshot.<g>" / "journal.<g>.wal" names; anything else in the
+   directory is not ours and is left alone. *)
+let generations dir =
+  let snaps = ref [] and journals = ref [] in
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        match String.split_on_char '.' name with
+        | [ "snapshot"; g ] ->
+          Option.iter (fun g -> snaps := g :: !snaps) (int_of_string_opt g)
+        | [ "journal"; g; "wal" ] ->
+          Option.iter (fun g -> journals := g :: !journals) (int_of_string_opt g)
+        | _ -> ())
+      entries);
+  (List.sort compare !snaps, List.sort compare !journals)
+
+let ( let* ) = Result.bind
+
+(* Chronological mutable builder for the fold over the journal tail. *)
+type building = {
+  b_id : int;
+  b_arity : int;
+  b_source : P.instance_source;
+  b_strategy : string;
+  b_seed : int;
+  b_fingerprint : string;
+  mutable b_steps_rev : step list;
+}
+
+let apply_events base_sessions ~next_id ~file events =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace tbl b.b_id b) base_sessions;
+  let next_id = ref next_id in
+  let err offset fmt =
+    Printf.ksprintf
+      (fun m ->
+        Error
+          (Printf.sprintf "%s: inconsistent event at byte offset %d: %s" file
+             offset m))
+      fmt
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (offset, ev) :: rest -> (
+      match ev with
+      | Event.Started { session; arity; source; strategy; seed; fingerprint }
+        ->
+        if Hashtbl.mem tbl session then
+          err offset "session %d started twice" session
+        else begin
+          Hashtbl.replace tbl session
+            {
+              b_id = session;
+              b_arity = arity;
+              b_source = source;
+              b_strategy = strategy;
+              b_seed = seed;
+              b_fingerprint = fingerprint;
+              b_steps_rev = [];
+            };
+          next_id := max !next_id (session + 1);
+          go rest
+        end
+      | Event.Answered { session; cls; sg; label } -> (
+        match Hashtbl.find_opt tbl session with
+        | None -> err offset "answer for unknown session %d" session
+        | Some b ->
+          b.b_steps_rev <- Label { cls = Some cls; sg; label } :: b.b_steps_rev;
+          go rest)
+      | Event.Undone { session } -> (
+        match Hashtbl.find_opt tbl session with
+        | None -> err offset "undo for unknown session %d" session
+        | Some b ->
+          b.b_steps_rev <- Undo :: b.b_steps_rev;
+          go rest)
+      | Event.Ended { session } ->
+        if Hashtbl.mem tbl session then begin
+          Hashtbl.remove tbl session;
+          go rest
+        end
+        else err offset "end for unknown session %d" session)
+  in
+  let* () = go events in
+  let sessions =
+    Hashtbl.fold
+      (fun _ b acc ->
+        {
+          id = b.b_id;
+          arity = b.b_arity;
+          source = b.b_source;
+          strategy = b.b_strategy;
+          seed = b.b_seed;
+          fingerprint = b.b_fingerprint;
+          steps = List.rev b.b_steps_rev;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.id b.id)
+  in
+  Ok (sessions, !next_id)
+
+let load dir =
+  let snaps, journals = generations dir in
+  let generation =
+    match (List.rev snaps, List.rev journals) with
+    | g :: _, _ -> g  (* highest complete snapshot wins *)
+    | [], g :: _ -> g
+    | [], [] -> 0
+  in
+  let* base, next_id =
+    if List.mem generation snaps then
+      let* snap = Snapshot.load (snapshot_path dir generation) in
+      Ok
+        ( List.map
+            (fun (s : Snapshot.session) ->
+              {
+                b_id = s.Snapshot.id;
+                b_arity = s.transcript.Transcript.arity;
+                b_source = s.source;
+                b_strategy = s.strategy;
+                b_seed = s.seed;
+                b_fingerprint = s.fingerprint;
+                b_steps_rev =
+                  List.rev_map
+                    (fun (e : Transcript.entry) ->
+                      Label { cls = None; sg = e.sg; label = e.label })
+                    s.transcript.Transcript.entries;
+              })
+            snap.Snapshot.sessions,
+          snap.Snapshot.next_id )
+    else Ok ([], 1)
+  in
+  let jpath = journal_path dir generation in
+  let* records, torn =
+    if Sys.file_exists jpath then
+      match Journal.scan jpath with
+      | Ok (records, Journal.Complete) -> Ok (records, None)
+      | Ok (records, Journal.Truncated { offset; bytes }) ->
+        Ok (records, Some (offset, bytes))
+      | Error (`Corrupt (offset, reason)) ->
+        Error
+          (Printf.sprintf "%s: corrupt record at byte offset %d: %s" jpath
+             offset reason)
+    else Ok ([], None)
+  in
+  let* events =
+    List.fold_left
+      (fun acc (offset, payload) ->
+        let* acc = acc in
+        match Event.of_string payload with
+        | Ok ev -> Ok ((offset, ev) :: acc)
+        | Error m ->
+          Error
+            (Printf.sprintf "%s: undecodable event at byte offset %d: %s" jpath
+               offset m))
+      (Ok []) records
+  in
+  let events = List.rev events in
+  let* sessions, next_id =
+    apply_events base ~next_id ~file:jpath events
+  in
+  Ok
+    {
+      generation;
+      next_id;
+      sessions;
+      journal_path = jpath;
+      journal_records = List.length records;
+      torn;
+    }

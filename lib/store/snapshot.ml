@@ -1,0 +1,155 @@
+module Json = Jim_api.Json
+module P = Jim_api.Protocol
+module Transcript = Jim_core.Transcript
+
+type session = {
+  id : int;
+  source : P.instance_source;
+  strategy : string;
+  seed : int;
+  fingerprint : string;
+  transcript : Transcript.t;
+}
+
+type t = { next_id : int; sessions : session list }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "jim-snapshot 1\n";
+  Buffer.add_string buf (Printf.sprintf "next-id %d\n" t.next_id);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "session %d %s %d %s\n" s.id s.strategy s.seed
+           s.fingerprint);
+      Buffer.add_string buf
+        ("source " ^ Json.to_string (P.source_to_json s.source) ^ "\n");
+      Buffer.add_string buf (Transcript.to_string s.transcript);
+      Buffer.add_string buf "end\n")
+    t.sessions;
+  let body = Buffer.contents buf in
+  body ^ "checksum " ^ Crc32.to_hex (Crc32.digest_string body) ^ "\n"
+
+let ( let* ) = Result.bind
+
+let of_string text =
+  (* Peel and verify the checksum trailer first: everything after this is
+     parsing known-good bytes. *)
+  let* body =
+    let len = String.length text in
+    if len = 0 || text.[len - 1] <> '\n' then
+      Error "snapshot: missing checksum trailer"
+    else
+      match String.rindex_from_opt text (len - 2) '\n' with
+      | None -> Error "snapshot: missing checksum trailer"
+      | Some i -> (
+        let body = String.sub text 0 (i + 1) in
+        let trailer = String.sub text (i + 1) (len - i - 2) in
+        match String.split_on_char ' ' trailer with
+        | [ "checksum"; hex ] ->
+          let actual = Crc32.to_hex (Crc32.digest_string body) in
+          if String.lowercase_ascii hex = actual then Ok body
+          else
+            Error
+              (Printf.sprintf "snapshot: checksum mismatch (stored %s, computed %s)"
+                 hex actual)
+        | _ -> Error "snapshot: missing checksum trailer")
+  in
+  let lines = String.split_on_char '\n' body in
+  let* rest =
+    match lines with
+    | "jim-snapshot 1" :: rest -> Ok rest
+    | _ -> Error "snapshot: unknown header"
+  in
+  let* next_id, rest =
+    match rest with
+    | first :: more -> (
+      match String.split_on_char ' ' first with
+      | [ "next-id"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Ok (n, more)
+        | _ -> Error "snapshot: bad next-id")
+      | _ -> Error "snapshot: expected a next-id line")
+    | [] -> Error "snapshot: missing next-id line"
+  in
+  let rec sessions acc = function
+    | [] | [ "" ] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match String.split_on_char ' ' line with
+      | [ "session"; id; strategy; seed; fingerprint ] -> (
+        let* id =
+          Option.to_result ~none:"snapshot: bad session id"
+            (int_of_string_opt id)
+        in
+        let* seed =
+          Option.to_result ~none:"snapshot: bad session seed"
+            (int_of_string_opt seed)
+        in
+        match rest with
+        | src :: rest
+          when String.length src > 7 && String.sub src 0 7 = "source " ->
+          let* source =
+            Result.bind
+              (Json.of_string (String.sub src 7 (String.length src - 7)))
+              P.source_of_json
+          in
+          (* The transcript block runs until the "end" sentinel. *)
+          let rec split_block acc = function
+            | "end" :: rest -> Ok (List.rev acc, rest)
+            | l :: rest -> split_block (l :: acc) rest
+            | [] -> Error "snapshot: unterminated transcript block"
+          in
+          let* block, rest = split_block [] rest in
+          let* transcript = Transcript.of_string (String.concat "\n" block) in
+          sessions
+            ({ id; source; strategy; seed; fingerprint; transcript } :: acc)
+            rest
+        | _ -> Error "snapshot: expected a source line")
+      | _ -> Error ("snapshot: bad line: " ^ line))
+  in
+  let* sessions = sessions [] rest in
+  Ok { next_id; sessions }
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()  (* best effort; not all FSes allow it *)
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write path t =
+  let tmp = path ^ ".tmp" in
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let data = Bytes.of_string (to_string t) in
+        let len = Bytes.length data in
+        let rec go off =
+          if off < len then go (off + Unix.write fd data off (len - off))
+        in
+        go 0;
+        Unix.fsync fd);
+    Unix.rename tmp path;
+    fsync_dir (Filename.dirname path)
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, op, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Printf.sprintf "snapshot %s: %s: %s" path op (Unix.error_message e))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match of_string text with
+    | Ok t -> Ok t
+    | Error e -> Error (path ^ ": " ^ e))

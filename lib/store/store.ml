@@ -1,0 +1,286 @@
+module P = Jim_api.Protocol
+module Transcript = Jim_core.Transcript
+
+type shadow = {
+  s_arity : int;
+  s_source : P.instance_source;
+  s_strategy : string;
+  s_seed : int;
+  s_fingerprint : string;
+  mutable s_entries_rev : Transcript.entry list;
+}
+
+type t = {
+  dir : string;
+  fsync : bool;
+  snapshot_every : int;
+  lock : Mutex.t;
+  idle : Condition.t;
+  shadow : (int, shadow) Hashtbl.t;
+  mutable next_id : int;
+  mutable gen : int;
+  mutable journal : Journal.t;
+  mutable since_snapshot : int;
+  mutable inflight : int;  (* appends between handle-grab and completion *)
+  mutable checkpointing : bool;
+  mutable closed : bool;
+}
+
+let dir t = t.dir
+let generation t = t.gen
+let record_count t = t.since_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+
+let fingerprint rel =
+  let module Relation = Jim_relational.Relation in
+  let module Schema = Jim_relational.Schema in
+  let header =
+    Array.to_list (Schema.names (Relation.schema rel))
+    @ List.map Jim_relational.Value.ty_name
+        (Array.to_list (Schema.types (Relation.schema rel)))
+  in
+  let rows =
+    List.map
+      (fun tup ->
+        List.map Jim_relational.Value.to_string (Array.to_list tup))
+      (Relation.tuples rel)
+  in
+  Crc32.to_hex
+    (Crc32.digest_string (Jim_relational.Csv.print_string (header :: rows)))
+
+(* ------------------------------------------------------------------ *)
+(* Shadow maintenance                                                  *)
+
+let apply_shadow t = function
+  | Event.Started { session; arity; source; strategy; seed; fingerprint } ->
+    Hashtbl.replace t.shadow session
+      {
+        s_arity = arity;
+        s_source = source;
+        s_strategy = strategy;
+        s_seed = seed;
+        s_fingerprint = fingerprint;
+        s_entries_rev = [];
+      };
+    t.next_id <- max t.next_id (session + 1)
+  | Event.Answered { session; sg; label; _ } -> (
+    match Hashtbl.find_opt t.shadow session with
+    | None -> ()
+    | Some s -> s.s_entries_rev <- { Transcript.sg; label } :: s.s_entries_rev)
+  | Event.Undone { session } -> (
+    match Hashtbl.find_opt t.shadow session with
+    | None -> ()
+    | Some s -> (
+      match s.s_entries_rev with
+      | [] -> ()
+      | _ :: tl -> s.s_entries_rev <- tl))
+  | Event.Ended { session } -> Hashtbl.remove t.shadow session
+
+let snapshot_of_shadow t =
+  let sessions =
+    Hashtbl.fold
+      (fun id s acc ->
+        {
+          Snapshot.id;
+          source = s.s_source;
+          strategy = s.s_strategy;
+          seed = s.s_seed;
+          fingerprint = s.s_fingerprint;
+          transcript =
+            {
+              Transcript.arity = s.s_arity;
+              entries = List.rev s.s_entries_rev;
+              result = None;
+            };
+        }
+        :: acc)
+      t.shadow []
+    |> List.sort (fun a b -> compare a.Snapshot.id b.Snapshot.id)
+  in
+  { Snapshot.next_id = t.next_id; sessions }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: snapshot the shadow, rotate the journal, sweep.         *)
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+(* Caller holds [t.lock] and has quiesced appends ([t.inflight = 0]). *)
+let checkpoint_locked t =
+  let g' = t.gen + 1 in
+  (match Snapshot.write (Recovery.snapshot_path t.dir g') (snapshot_of_shadow t) with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let journal' = Journal.create ~fsync:t.fsync (Recovery.journal_path t.dir g') in
+  Journal.close t.journal;
+  (* Everything up to here is durable in snapshot g'; the old generation
+     is now redundant. *)
+  remove_if_exists (Recovery.journal_path t.dir t.gen);
+  remove_if_exists (Recovery.snapshot_path t.dir t.gen);
+  t.journal <- journal';
+  t.gen <- g';
+  t.since_snapshot <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Opening                                                             *)
+
+let ( let* ) = Result.bind
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir ?(fsync = true) ?(snapshot_every = 1024) dir =
+  if snapshot_every < 1 then invalid_arg "Store.open_dir: snapshot_every";
+  match
+    mkdir_p dir;
+    Recovery.load dir
+  with
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, op, arg) ->
+    Error (Printf.sprintf "%s %s: %s" op arg (Unix.error_message e))
+  | Error _ as e -> e
+  | Ok recovered -> (
+    (* Cut the torn tail (the one write path that modifies the log) and
+       reopen for append; sweep generations the checkpoint protocol made
+       redundant. *)
+    let* () =
+      match recovered.Recovery.torn with
+      | None | Some (0, _) -> Ok ()  (* 0: partial file header, recreate *)
+      | Some (offset, _) ->
+        Journal.truncate recovered.Recovery.journal_path offset
+    in
+    let journal =
+      match recovered.Recovery.torn with
+      | Some (0, _) -> Ok (Journal.create ~fsync recovered.Recovery.journal_path)
+      | _ ->
+        if Sys.file_exists recovered.Recovery.journal_path then
+          Journal.open_append ~fsync recovered.Recovery.journal_path
+        else Ok (Journal.create ~fsync recovered.Recovery.journal_path)
+    in
+    match journal with
+    | Error _ as e -> e
+    | Ok journal ->
+      let t =
+        {
+          dir;
+          fsync;
+          snapshot_every;
+          lock = Mutex.create ();
+          idle = Condition.create ();
+          shadow = Hashtbl.create 16;
+          next_id = recovered.Recovery.next_id;
+          gen = recovered.Recovery.generation;
+          journal;
+          since_snapshot = recovered.Recovery.journal_records;
+          inflight = 0;
+          checkpointing = false;
+          closed = false;
+        }
+      in
+      List.iter
+        (fun (s : Recovery.session) ->
+          let entries_rev =
+            List.fold_left
+              (fun acc step ->
+                match step with
+                | Recovery.Label { sg; label; _ } ->
+                  { Transcript.sg; label } :: acc
+                | Recovery.Undo -> (
+                  match acc with [] -> [] | _ :: tl -> tl))
+              [] s.Recovery.steps
+          in
+          Hashtbl.replace t.shadow s.Recovery.id
+            {
+              s_arity = s.Recovery.arity;
+              s_source = s.Recovery.source;
+              s_strategy = s.Recovery.strategy;
+              s_seed = s.Recovery.seed;
+              s_fingerprint = s.Recovery.fingerprint;
+              s_entries_rev = entries_rev;
+            })
+        recovered.Recovery.sessions;
+      (* Stale lower generations (crash between rotate and sweep). *)
+      for g = 0 to t.gen - 1 do
+        remove_if_exists (Recovery.journal_path dir g);
+        remove_if_exists (Recovery.snapshot_path dir g)
+      done;
+      Ok (t, recovered))
+
+(* ------------------------------------------------------------------ *)
+(* The hot path                                                        *)
+
+let record t ev =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Store.record: closed"
+  end;
+  while t.checkpointing do
+    Condition.wait t.idle t.lock
+  done;
+  apply_shadow t ev;
+  let journal = t.journal in
+  t.inflight <- t.inflight + 1;
+  t.since_snapshot <- t.since_snapshot + 1;
+  let due = t.since_snapshot >= t.snapshot_every in
+  Mutex.unlock t.lock;
+  let finally () =
+    Mutex.lock t.lock;
+    t.inflight <- t.inflight - 1;
+    if t.inflight = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.lock
+  in
+  (try Journal.append journal (Event.to_string ev)
+   with exn ->
+     finally ();
+     raise exn);
+  finally ();
+  if due then begin
+    Mutex.lock t.lock;
+    if t.since_snapshot >= t.snapshot_every && not t.checkpointing then begin
+      t.checkpointing <- true;
+      while t.inflight > 0 do
+        Condition.wait t.idle t.lock
+      done;
+      Fun.protect
+        ~finally:(fun () ->
+          t.checkpointing <- false;
+          Condition.broadcast t.idle)
+        (fun () -> checkpoint_locked t)
+    end;
+    Mutex.unlock t.lock
+  end
+
+let checkpoint t =
+  Mutex.lock t.lock;
+  if not t.closed && not t.checkpointing then begin
+    t.checkpointing <- true;
+    while t.inflight > 0 do
+      Condition.wait t.idle t.lock
+    done;
+    Fun.protect
+      ~finally:(fun () ->
+        t.checkpointing <- false;
+        Condition.broadcast t.idle)
+      (fun () -> checkpoint_locked t)
+  end;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    while t.checkpointing do
+      Condition.wait t.idle t.lock
+    done;
+    while t.inflight > 0 do
+      Condition.wait t.idle t.lock
+    done;
+    t.closed <- true;
+    Journal.close t.journal
+  end;
+  Mutex.unlock t.lock

@@ -1,0 +1,59 @@
+(** The durable session store: the runtime handle a server threads its
+    {!Event}s through.
+
+    The store keeps a lightweight {e shadow} of every live session
+    (source, strategy, seed, surviving labels) rebuilt from the same
+    events it journals, so checkpoints never need to consult the engine:
+    every [snapshot_every] records it compacts the shadow into a
+    {!Snapshot}, starts a fresh journal generation and deletes the old
+    files.
+
+    Concurrency: {!record} is thread-safe.  Shadow updates take a short
+    store lock; the journal append itself runs outside it and
+    group-commits (see {!Journal}), so concurrent sessions share fsync
+    barriers.  A checkpoint briefly quiesces appends (records arriving
+    mid-checkpoint wait; they are covered by the snapshot being written
+    either way). *)
+
+type t
+
+val open_dir :
+  ?fsync:bool ->
+  ?snapshot_every:int ->
+  string ->
+  (t * Recovery.t, string) result
+(** Open (creating the directory if needed) and recover: load the latest
+    snapshot generation, scan the journal tail — cutting a torn final
+    record, halting on mid-log corruption — sweep stale generations, and
+    reopen the journal for appending.  Returns the handle plus the
+    recovered state for {!Jim_server.Service.restore}.
+
+    [fsync] (default [true]): turn off the durability barrier (benchmarks
+    and tests only — acknowledged answers can then be lost to a crash).
+    [snapshot_every] (default 1024): journal records between automatic
+    checkpoints. *)
+
+val record : t -> Event.t -> unit
+(** Journal one event; returns once it is durable.  May raise
+    [Unix.Unix_error] if the disk fails — the caller's reply turns into a
+    typed internal error, and the in-memory session is then ahead of the
+    log (documented, unrecovered). *)
+
+val checkpoint : t -> unit
+(** Force a snapshot + journal rotation now (tests, graceful shutdown). *)
+
+val close : t -> unit
+
+val dir : t -> string
+
+val generation : t -> int
+
+val record_count : t -> int
+(** Records appended to the current journal generation (resets on
+    checkpoint). *)
+
+val fingerprint : Jim_relational.Relation.t -> string
+(** CRC-32 (hex) over the instance's canonical CSV rendering — schema
+    header plus every tuple, order-sensitive.  Journaled at session
+    start; {!Jim_server.Service.restore} recomputes it from the re-resolved
+    source and refuses to replay onto a drifted instance. *)

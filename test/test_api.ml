@@ -97,6 +97,8 @@ let gen_request =
         (let* session = id in
          return (Pr.Stats { session }));
         (let* session = id in
+         return (Pr.Get_transcript { session }));
+        (let* session = id in
          return (Pr.End_session { session }));
       ])
 
@@ -226,6 +228,8 @@ let gen_response =
          return (Pr.Outcome o));
         (let* s = gen_stats in
          return (Pr.Session_stats s));
+        (let* text = gen_string in
+         return (Pr.Transcript_text { text }));
         return Pr.Ended;
         (let* e = gen_error in
          return (Pr.Failed e));
@@ -273,6 +277,7 @@ let request_eq a b =
   | Pr.Undo { session = s1 }, Pr.Undo { session = s2 }
   | Pr.Result { session = s1 }, Pr.Result { session = s2 }
   | Pr.Stats { session = s1 }, Pr.Stats { session = s2 }
+  | Pr.Get_transcript { session = s1 }, Pr.Get_transcript { session = s2 }
   | Pr.End_session { session = s1 }, Pr.End_session { session = s2 } ->
     s1 = s2
   | _ -> false
@@ -317,6 +322,8 @@ let response_eq a b =
     c1 = c2 && s1 = s2 && t1 = t2
   | Pr.Outcome x, Pr.Outcome y -> outcome_eq x y
   | Pr.Session_stats x, Pr.Session_stats y -> stats_eq x y
+  | Pr.Transcript_text { text = t1 }, Pr.Transcript_text { text = t2 } ->
+    t1 = t2
   | Pr.Ended, Pr.Ended -> true
   | Pr.Failed x, Pr.Failed y -> x = y
   | _ -> false

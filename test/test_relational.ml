@@ -769,6 +769,63 @@ let algebra_props =
     prop_group_by_counts;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* CSV save/load round-trip on random relations whose cells exercise
+   every quoting rule: separators, quotes, CR/LF, embedded newlines.    *)
+
+let csv_rt_schema =
+  Schema.of_list [ ("id", V.Tint); ("note", V.Tstring); ("tag", V.Tstring) ]
+
+let gen_cell_text =
+  (* Non-empty by construction: an empty string parses back as Null, a
+     deliberate asymmetry of [Value.parse] this property must not trip
+     over. *)
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl
+          [
+            "plain"; "with,comma"; "with\"quote"; "\"quoted\""; "multi\nline";
+            "crlf\r\nrow"; " padded "; "he said \"\"hi\"\""; ",,,"; "\r"; "\n";
+          ];
+        map
+          (fun s -> "s" ^ s)
+          (string_size ~gen:(oneofl [ 'a'; 'z'; ','; '"'; '\n'; '\r'; ' ' ])
+             (int_bound 6));
+      ])
+
+let gen_csv_rows =
+  QCheck.Gen.(
+    let cell ty =
+      match ty with
+      | V.Tint ->
+        oneof [ return V.Null; map (fun i -> V.Int i) (int_range (-1000) 1000) ]
+      | _ -> oneof [ return V.Null; map (fun s -> V.Str s) gen_cell_text ]
+    in
+    list_size (int_bound 12)
+      (flatten_l
+         (List.map
+            (fun c -> cell c.Schema.cty)
+            (Schema.columns csv_rt_schema))))
+
+let prop_csv_save_load_roundtrip =
+  qtest "csv: save ∘ load = id (quoting edge cases)"
+    (QCheck.make
+       ~print:(fun rows ->
+         Csv.print_string
+           (List.map (List.map V.to_string) rows))
+       gen_csv_rows)
+    (fun rows ->
+      let rel = R.of_rows ~name:"roundtrip" csv_rt_schema rows in
+      let path = Filename.temp_file "jimcsvrt" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Csv.save rel path;
+          match Csv.load ~name:"roundtrip" csv_rt_schema path with
+          | Error e -> QCheck.Test.fail_reportf "load failed: %s" e
+          | Ok rel' -> R.equal_contents rel' rel))
+
 let () =
   Alcotest.run "relational"
     [
@@ -824,6 +881,7 @@ let () =
           Alcotest.test_case "load_auto infers types" `Quick
             test_csv_load_auto_types;
           Alcotest.test_case "header mismatch" `Quick test_csv_header_mismatch;
+          prop_csv_save_load_roundtrip;
         ] );
       ( "expr",
         [

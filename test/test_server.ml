@@ -165,6 +165,46 @@ let test_session_stats () =
       (st.Pr.scoring.Metrics.picks >= 1)
   | other -> Alcotest.failf "stats failed: %s" (Pr.response_to_string other)
 
+let test_get_transcript () =
+  let service = Service.create () in
+  let s = start_flights service ~seed:11 in
+  let answer_current () =
+    match Service.handle service (Pr.Get_question { session = s }) with
+    | Pr.Question (Some q) -> (
+      match
+        Service.handle service
+          (Pr.Answer { session = s; cls = q.Pr.cls; label = State.Neg })
+      with
+      | Pr.Answered _ -> ()
+      | other -> Alcotest.failf "answer failed: %s" (Pr.response_to_string other))
+    | other -> Alcotest.failf "get failed: %s" (Pr.response_to_string other)
+  in
+  answer_current ();
+  answer_current ();
+  let transcript () =
+    match Service.handle service (Pr.Get_transcript { session = s }) with
+    | Pr.Transcript_text { text } -> (
+      match Transcript.of_string text with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "transcript unparseable: %s" e)
+    | other ->
+      Alcotest.failf "get_transcript failed: %s" (Pr.response_to_string other)
+  in
+  let t = transcript () in
+  Alcotest.(check int) "flights arity" 5 t.Transcript.arity;
+  Alcotest.(check int) "two labels recorded" 2
+    (List.length t.Transcript.entries);
+  (* the transcript shrinks with undo, like the engine *)
+  (match Service.handle service (Pr.Undo { session = s }) with
+  | Pr.Undone _ -> ()
+  | other -> Alcotest.failf "undo failed: %s" (Pr.response_to_string other));
+  let t' = transcript () in
+  Alcotest.(check int) "undo drops a label" 1 (List.length t'.Transcript.entries);
+  match Service.handle service (Pr.Get_transcript { session = 999 }) with
+  | Pr.Failed (Pr.Unknown_session 999) -> ()
+  | other ->
+    Alcotest.failf "expected Unknown_session: %s" (Pr.response_to_string other)
+
 let test_bad_requests () =
   let service = Service.create () in
   let line l =
@@ -250,6 +290,8 @@ let () =
           Alcotest.test_case "answer / undo / result" `Quick
             test_answer_undo_over_service;
           Alcotest.test_case "per-session stats" `Quick test_session_stats;
+          Alcotest.test_case "transcript over the wire" `Quick
+            test_get_transcript;
         ] );
       ( "protocol errors",
         [
