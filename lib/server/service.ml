@@ -21,6 +21,12 @@ type session = {
   mutable contradiction : bool;
   mutable metrics : Metrics.snapshot;
   mutable last_used : float;
+  mutable ended : bool;
+      (* set under [lock] when the session is ended/swept, *before* the
+         Ended event is journalled.  Handlers check it under the same
+         lock, so nothing can journal an Answered/Undone after Ended —
+         recovery replays the log in order and would otherwise see
+         events for a session it already discarded. *)
 }
 
 type t = {
@@ -57,18 +63,27 @@ let idle_ttl t = t.idle_ttl
 
 let sweep t =
   let now = t.now () in
-  with_lock t.lock (fun () ->
-      let stale =
-        Hashtbl.fold
-          (fun id s acc ->
-            if now -. s.last_used > t.idle_ttl then id :: acc else acc)
-          t.sessions []
-      in
-      List.iter (Hashtbl.remove t.sessions) stale;
-      List.iter
-        (fun session -> persist t (Jim_store.Event.Ended { session }))
-        stale;
-      List.length stale)
+  let stale =
+    with_lock t.lock (fun () ->
+        let stale =
+          Hashtbl.fold
+            (fun _ s acc ->
+              if now -. s.last_used > t.idle_ttl then s :: acc else acc)
+            t.sessions []
+        in
+        List.iter (fun s -> Hashtbl.remove t.sessions s.id) stale;
+        stale)
+  in
+  (* Journal Ended under each session's own lock: an in-flight handler
+     that looked the session up before removal either journals before us
+     (we wait for its lock) or sees [ended] and refuses. *)
+  List.iter
+    (fun (s : session) ->
+      with_lock s.lock (fun () ->
+          s.ended <- true;
+          persist t (Jim_store.Event.Ended { session = s.id })))
+    stale;
+  List.length stale
 
 (* ------------------------------------------------------------------ *)
 (* Instance sources                                                    *)
@@ -191,6 +206,7 @@ let start_session t source strategy_name seed =
                 contradiction = false;
                 metrics = Metrics.zero;
                 last_used = t.now ();
+                ended = false;
               }
             in
             Hashtbl.replace t.sessions id s;
@@ -228,7 +244,9 @@ let with_session t id f =
   in
   match found with
   | None -> P.Failed (P.Unknown_session id)
-  | Some s -> with_lock s.lock (fun () -> f s)
+  | Some s ->
+    with_lock s.lock (fun () ->
+        if s.ended then P.Failed (P.Unknown_session id) else f s)
 
 let get_question s = P.Question (Option.map (question_of_cls s.eng) (pending_question s))
 
@@ -341,13 +359,24 @@ let do_transcript s =
   P.Transcript_text { text = Transcript.to_string (Transcript.of_engine s.eng) }
 
 let end_session t id =
-  with_lock t.lock (fun () ->
-      if Hashtbl.mem t.sessions id then begin
-        Hashtbl.remove t.sessions id;
-        persist t (Jim_store.Event.Ended { session = id });
-        P.Ended
-      end
-      else P.Failed (P.Unknown_session id))
+  let found =
+    with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.sessions id with
+        | None -> None
+        | Some s ->
+          Hashtbl.remove t.sessions id;
+          Some s)
+  in
+  match found with
+  | None -> P.Failed (P.Unknown_session id)
+  | Some s ->
+    (* Same discipline as [sweep]: mark + journal under the session lock
+       so Ended is totally ordered after every journalled answer/undo of
+       this session. *)
+    with_lock s.lock (fun () ->
+        s.ended <- true;
+        persist t (Jim_store.Event.Ended { session = id }));
+    P.Ended
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                      *)
@@ -393,6 +422,7 @@ let restore_session t (rs : Jim_store.Recovery.session) =
         contradiction = false;
         metrics = Metrics.zero;
         last_used = t.now ();
+        ended = false;
       }
     in
     let classes = Session.classes eng in

@@ -111,11 +111,21 @@ let append t payload =
         t.syncing <- true;
         let barrier = t.written in
         Mutex.unlock t.lock;
-        Unix.fsync t.fd;
+        let result = try Ok (Unix.fsync t.fd) with exn -> Error exn in
         Mutex.lock t.lock;
-        t.synced <- max t.synced barrier;
+        (* Reset + broadcast even on failure, or every waiting appender
+           blocks forever on a leader that will never report back; they
+           retake the leader role and surface their own error. *)
         t.syncing <- false;
-        Condition.broadcast t.cond
+        (match result with
+        | Ok () -> t.synced <- max t.synced barrier
+        | Error _ -> ());
+        Condition.broadcast t.cond;
+        match result with
+        | Ok () -> ()
+        | Error exn ->
+          Mutex.unlock t.lock;
+          raise exn
       end
     done;
     Mutex.unlock t.lock
@@ -149,6 +159,31 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Is there a complete, CRC-valid record starting at [q]?  Used to tell
+   a torn tail from a corrupted length field: a torn append is by
+   construction the final write, so any valid record *after* the suspect
+   one proves the log was damaged in place, not truncated. *)
+let valid_record_at data size q =
+  q + record_header_size <= size
+  && String.sub data q 4 = record_magic
+  && data.[q + 4] = record_version
+  &&
+  let buf = Bytes.unsafe_of_string data in
+  let plen = get_le32 buf (q + 5) in
+  let crc = get_le32 buf (q + 9) in
+  plen >= 0
+  && q + record_header_size + plen <= size
+  && Int32.to_int (Int32.logand (Crc32.digest_string (String.sub data (q + record_header_size) plen)) 0xffffffffl)
+     land 0xffffffff
+     = crc
+
+let record_follows data size pos =
+  let rec go q =
+    q + record_header_size <= size
+    && (valid_record_at data size q || go (q + 1))
+  in
+  go (pos + 1)
+
 let scan path =
   match read_file path with
   | exception Sys_error msg -> Error (`Corrupt (0, msg))
@@ -177,10 +212,17 @@ let scan path =
           let plen = get_le32 buf (pos + 5) in
           let crc = get_le32 buf (pos + 9) in
           if plen < 0 || pos + record_header_size + plen > size then
-            (* The length field points past EOF: a torn payload (or a
-               corrupt length — indistinguishable without more records,
-               and a crash can only truncate). *)
-            Ok (List.rev acc, Truncated { offset = pos; bytes = size - pos })
+            (* The length field points past EOF: a torn payload — unless
+               a valid record follows, in which case the length itself is
+               corrupt and cutting here would drop acknowledged history. *)
+            if record_follows data size pos then
+              Error
+                (`Corrupt
+                   ( pos,
+                     Printf.sprintf
+                       "record length %d runs past EOF but valid records follow — corrupt length field, refusing to drop %d bytes"
+                       plen (size - pos) ))
+            else Ok (List.rev acc, Truncated { offset = pos; bytes = size - pos })
           else begin
             let payload = String.sub data (pos + record_header_size) plen in
             let actual =

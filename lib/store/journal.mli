@@ -31,10 +31,13 @@
       or the final full-length record fails its CRC (out-of-order block
       writes) — is reported as [Truncated] and safe to cut at the
       reported offset;
-    - a {e mid-log corruption} — bad magic/version or a CRC mismatch on a
-      record that is {e not} the last — is a hard [`Corrupt] error naming
-      the byte offset, because silently dropping acknowledged history is
-      exactly what the store exists to prevent.
+    - a {e mid-log corruption} — bad magic/version, a CRC mismatch on a
+      record that is {e not} the last, or a length field running past EOF
+      while a CRC-valid record still follows it (a torn append is by
+      construction the final write, so trailing valid records prove
+      in-place damage) — is a hard [`Corrupt] error naming the byte
+      offset, because silently dropping acknowledged history is exactly
+      what the store exists to prevent.
 
     {1 Group commit}
 

@@ -67,6 +67,11 @@ type building = {
 let apply_events base_sessions ~next_id ~file events =
   let tbl = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace tbl b.b_id b) base_sessions;
+  (* Sessions removed by an Ended event.  A racy writer can journal an
+     answer/undo (or a second Ended) after Ended for the same session;
+     Store.apply_shadow drops such events, so replay must too — only
+     events for sessions that were *never* known are integrity errors. *)
+  let ended = Hashtbl.create 8 in
   let next_id = ref next_id in
   let err offset fmt =
     Printf.ksprintf
@@ -100,21 +105,27 @@ let apply_events base_sessions ~next_id ~file events =
         end
       | Event.Answered { session; cls; sg; label } -> (
         match Hashtbl.find_opt tbl session with
-        | None -> err offset "answer for unknown session %d" session
+        | None ->
+          if Hashtbl.mem ended session then go rest
+          else err offset "answer for unknown session %d" session
         | Some b ->
           b.b_steps_rev <- Label { cls = Some cls; sg; label } :: b.b_steps_rev;
           go rest)
       | Event.Undone { session } -> (
         match Hashtbl.find_opt tbl session with
-        | None -> err offset "undo for unknown session %d" session
+        | None ->
+          if Hashtbl.mem ended session then go rest
+          else err offset "undo for unknown session %d" session
         | Some b ->
           b.b_steps_rev <- Undo :: b.b_steps_rev;
           go rest)
       | Event.Ended { session } ->
         if Hashtbl.mem tbl session then begin
           Hashtbl.remove tbl session;
+          Hashtbl.replace ended session ();
           go rest
         end
+        else if Hashtbl.mem ended session then go rest
         else err offset "end for unknown session %d" session)
   in
   let* () = go events in

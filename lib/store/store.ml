@@ -223,23 +223,31 @@ let record t ev =
   while t.checkpointing do
     Condition.wait t.idle t.lock
   done;
-  apply_shadow t ev;
   let journal = t.journal in
   t.inflight <- t.inflight + 1;
-  t.since_snapshot <- t.since_snapshot + 1;
-  let due = t.since_snapshot >= t.snapshot_every in
   Mutex.unlock t.lock;
-  let finally () =
+  (* Journal first, shadow second: if the append fails the caller
+     reports Failed, and the event must not survive into the next
+     snapshot via the shadow — recovery would resurrect state the
+     client was told did not happen.  Our inflight ticket keeps the
+     checkpointer out until the shadow catches up. *)
+  let finish applied =
     Mutex.lock t.lock;
+    if applied then begin
+      apply_shadow t ev;
+      t.since_snapshot <- t.since_snapshot + 1
+    end;
     t.inflight <- t.inflight - 1;
     if t.inflight = 0 then Condition.broadcast t.idle;
-    Mutex.unlock t.lock
+    let due = applied && t.since_snapshot >= t.snapshot_every in
+    Mutex.unlock t.lock;
+    due
   in
   (try Journal.append journal (Event.to_string ev)
    with exn ->
-     finally ();
+     ignore (finish false);
      raise exn);
-  finally ();
+  let due = finish true in
   if due then begin
     Mutex.lock t.lock;
     if t.since_snapshot >= t.snapshot_every && not t.checkpointing then begin

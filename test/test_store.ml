@@ -423,6 +423,66 @@ let test_journal_midlog_corruption () =
         Alcotest.failf "final-record damage must be torn, got corrupt at %d: %s"
           off m)
 
+let test_journal_corrupt_length () =
+  (* A length field damaged in place points past EOF, which looks exactly
+     like a torn tail — except real records follow it.  Mid-log it must
+     be refused (truncating would drop acknowledged history); on the
+     final record it is indistinguishable from a torn append and is cut. *)
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j.wal" in
+      write_sample_journal path;
+      let pristine = read_file path in
+      let offsets =
+        match Journal.scan path with
+        | Ok (records, _) -> List.map fst records
+        | Error _ -> Alcotest.fail "scan of pristine journal"
+      in
+      let smash_length data off =
+        (* little-endian 0x7fffffff: far past EOF *)
+        Bytes.set data (off + 5) '\xff';
+        Bytes.set data (off + 6) '\xff';
+        Bytes.set data (off + 7) '\xff';
+        Bytes.set data (off + 8) '\x7f'
+      in
+      let victim = List.nth offsets 1 in
+      let data = Bytes.of_string pristine in
+      smash_length data victim;
+      write_file path (Bytes.to_string data);
+      (match Journal.scan path with
+      | Error (`Corrupt (off, reason)) ->
+        Alcotest.(check int) "located at the damaged record" victim off;
+        Alcotest.(check bool) "reason names the length" true
+          (let lower = String.lowercase_ascii reason in
+           let needle = "length" in
+           let rec has i =
+             i + String.length needle <= String.length lower
+             && (String.sub lower i (String.length needle) = needle
+                || has (i + 1))
+           in
+           has 0)
+      | Ok (_, Journal.Truncated { offset; _ }) ->
+        Alcotest.failf "mid-log length damage read as torn at %d" offset
+      | Ok (_, Journal.Complete) ->
+        Alcotest.fail "mid-log length damage read as clean");
+      (* the same damage on the last record: torn, cut there *)
+      let last = List.nth offsets (List.length offsets - 1) in
+      let data = Bytes.of_string pristine in
+      smash_length data last;
+      write_file path (Bytes.to_string data);
+      match Journal.scan path with
+      | Ok (records, Journal.Truncated { offset; _ }) ->
+        Alcotest.(check int) "torn at the last record" last offset;
+        Alcotest.(check int) "records before the tear"
+          (List.length offsets - 1)
+          (List.length records)
+      | Ok (_, Journal.Complete) ->
+        Alcotest.fail "bad final length read as clean"
+      | Error (`Corrupt (off, m)) ->
+        Alcotest.failf
+          "final-record length damage must be torn, got corrupt at %d: %s" off
+          m)
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot format                                                     *)
 
@@ -773,6 +833,64 @@ let test_ended_sessions_stay_dead () =
         (Printf.sprintf "fresh id %d > %d" s3 s2)
         true (s3 > s2))
 
+let test_post_ended_events_tolerated () =
+  (* Journals written before the Answer/End_session race was fixed can
+     hold an answer/undo (or a duplicate Ended) after a session's Ended.
+     The live shadow drops those silently, so replay must too — while an
+     event for a session that was *never* started stays a hard error. *)
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let sg =
+        match Jim_partition.Partition.of_string "{0,1}{2,3,4}" with
+        | Ok p -> p
+        | Error e -> failwith e
+      in
+      let jpath = Recovery.journal_path dir 0 in
+      let j = Journal.create ~fsync:false jpath in
+      List.iter
+        (fun ev -> Journal.append j (Event.to_string ev))
+        [
+          Event.Started
+            {
+              session = 1;
+              arity = 5;
+              source = source_of 42;
+              strategy = "random";
+              seed = 7;
+              fingerprint = "feedface";
+            };
+          Event.Answered { session = 1; cls = 0; sg; label = State.Pos };
+          Event.Ended { session = 1 };
+          Event.Answered { session = 1; cls = 1; sg; label = State.Neg };
+          Event.Undone { session = 1 };
+          Event.Ended { session = 1 };
+        ];
+      Journal.close j;
+      (match Recovery.load dir with
+      | Error e -> Alcotest.failf "post-Ended events broke recovery: %s" e
+      | Ok r ->
+        Alcotest.(check (list int))
+          "session stays ended" []
+          (List.map
+             (fun (s : Recovery.session) -> s.Recovery.id)
+             r.Recovery.sessions));
+      let j =
+        match Journal.open_append ~fsync:false jpath with
+        | Ok j -> j
+        | Error e -> Alcotest.fail e
+      in
+      Journal.append j
+        (Event.to_string
+           (Event.Answered { session = 99; cls = 0; sg; label = State.Pos }));
+      Journal.close j;
+      match Recovery.load dir with
+      | Ok _ -> Alcotest.fail "answer for a never-started session recovered"
+      | Error e ->
+        Alcotest.(check bool)
+          ("names the session: " ^ e)
+          true
+          (contains ~needle:"unknown session 99" e))
+
 let test_fingerprint_drift_refused () =
   with_dir (fun dir ->
       let store, _ = open_store dir in
@@ -828,6 +946,8 @@ let () =
             test_journal_torn_tail_every_prefix;
           Alcotest.test_case "mid-log vs final-record damage" `Quick
             test_journal_midlog_corruption;
+          Alcotest.test_case "corrupt length field never truncates mid-log"
+            `Quick test_journal_corrupt_length;
         ] );
       ( "snapshot",
         [
@@ -851,6 +971,8 @@ let () =
             test_undo_replayed;
           Alcotest.test_case "ended sessions stay dead, ids never recycle"
             `Quick test_ended_sessions_stay_dead;
+          Alcotest.test_case "post-Ended events are dropped, like the shadow"
+            `Quick test_post_ended_events_tolerated;
           Alcotest.test_case "fingerprint drift is refused" `Quick
             test_fingerprint_drift_refused;
           Alcotest.test_case "fingerprint is canonical" `Quick
