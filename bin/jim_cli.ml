@@ -440,23 +440,53 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every =
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
         0))
 
-let print_reports verdict reports =
-  let failed = List.filter (fun r -> not r.Jim_server.Smoke.ok) reports in
+(* Exit-code policy: a drill passes only when every expected report came
+   back and none of them diverged.  An empty (or short) report list is a
+   failure — a driver thread dying or an empty state file must not read
+   as "0/0 sessions ok".  Transport drops fail too unless the caller
+   opted in with --tolerate-drops (chaos-proxy runs, where drops are the
+   injected fault). *)
+let print_reports ?expected ~tolerate_drops verdict reports =
+  let diverged, dropped =
+    List.partition
+      (fun r -> not r.Jim_server.Smoke.dropped)
+      (List.filter (fun r -> not r.Jim_server.Smoke.ok) reports)
+  in
   List.iter
     (fun r ->
       let open Jim_server.Smoke in
       if r.ok then
         Printf.printf "seed %d %-18s ok (%d questions)\n" r.seed r.strategy
           r.questions
+      else if r.dropped then
+        Printf.printf "seed %d %-18s %s: %s\n" r.seed r.strategy
+          (if tolerate_drops then "dropped (tolerated)" else "DROPPED")
+          r.detail
       else
         Printf.printf "seed %d %-18s FAILED: %s\n" r.seed r.strategy r.detail)
     reports;
-  Printf.printf "%d/%d sessions %s\n"
-    (List.length reports - List.length failed)
-    (List.length reports) verdict;
-  if failed = [] then 0 else 1
+  Printf.printf "%d/%d sessions %s%s\n"
+    (List.length reports - List.length diverged - List.length dropped)
+    (List.length reports) verdict
+    (if dropped = [] then ""
+     else Printf.sprintf " (%d dropped)" (List.length dropped));
+  if reports = [] then begin
+    Printf.eprintf "jim client: no sessions ran at all\n";
+    1
+  end
+  else
+    match expected with
+    | Some n when List.length reports <> n ->
+      Printf.eprintf "jim client: expected %d reports, got %d\n" n
+        (List.length reports);
+      1
+    | _ ->
+      if diverged <> [] then 1
+      else if dropped <> [] && not tolerate_drops then 1
+      else 0
 
-let run_client socket tcp batch smoke busy crash_start crash_resume state_file =
+let run_client socket tcp batch smoke busy crash_start crash_resume state_file
+    tolerate_drops =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim client: %s\n" e;
@@ -464,13 +494,16 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file =
   | Ok address -> (
     match (smoke, busy, crash_start, crash_resume) with
     | Some clients, _, _, _ ->
-      print_reports "bit-identical to the local run"
+      print_reports ~expected:clients ~tolerate_drops
+        "bit-identical to the local run"
         (Jim_server.Smoke.run ~clients ~address ())
     | None, _, Some clients, _ ->
-      print_reports "left half-answered for the crash drill"
+      print_reports ~expected:clients ~tolerate_drops
+        "left half-answered for the crash drill"
         (Jim_server.Smoke.crash_start ~address ~state_file ~clients ())
     | None, _, None, true ->
-      print_reports "resumed bit-identical to an uninterrupted run"
+      print_reports ~tolerate_drops
+        "resumed bit-identical to an uninterrupted run"
         (Jim_server.Smoke.crash_resume ~address ~state_file ())
     | None, Some fill, None, false -> (
       match Jim_server.Smoke.busy_check ~address ~fill with
@@ -509,6 +542,48 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file =
         Jim_server.Wire.close conn;
         if ic != stdin then close_in ic;
         !rc))
+
+(* ------------------------------------------------------------------ *)
+(* chaos: the wire fault-injection proxy                               *)
+
+let run_chaos socket tcp upstream plan =
+  match
+    let ( let* ) = Result.bind in
+    let* listen = resolve_address socket tcp in
+    let* upstream = Jim_server.Wire.address_of_string upstream in
+    let* plan = Jim_server.Chaos.plan_of_string plan in
+    Ok (listen, upstream, plan)
+  with
+  | Error e ->
+    Printf.eprintf "jim chaos: %s\n" e;
+    2
+  | Ok (listen, upstream, plan) -> (
+    let log line = Printf.eprintf "jim chaos: %s\n%!" line in
+    match Jim_server.Chaos.start ~log ~plan ~listen ~upstream () with
+    | Error e ->
+      Printf.eprintf "jim chaos: %s\n" e;
+      1
+    | Ok proxy ->
+      Printf.printf "jim chaos: %s -> %s, plan %s\n%!"
+        (Jim_server.Wire.address_to_string (Jim_server.Chaos.bound proxy))
+        (Jim_server.Wire.address_to_string upstream)
+        (Jim_server.Chaos.plan_to_string plan);
+      let stop _ =
+        let st = Jim_server.Chaos.stop proxy in
+        Printf.printf
+          "jim chaos: %d connections, %d dropped, %d trickled, %d partial, \
+           %d stalled\n%!"
+          st.Jim_server.Chaos.connections st.Jim_server.Chaos.dropped
+          st.Jim_server.Chaos.trickled st.Jim_server.Chaos.chopped
+          st.Jim_server.Chaos.stalled;
+        exit 0
+      in
+      (try
+         ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+         ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop))
+       with Invalid_argument _ -> ());
+      Jim_server.Chaos.wait proxy;
+      0)
 
 (* ------------------------------------------------------------------ *)
 (* journal: offline inspection of a data directory                     *)
@@ -824,16 +899,55 @@ let client_cmd =
       & info [ "state" ] ~docv:"FILE"
           ~doc:"Where the crash drill records acknowledged progress.")
   in
+  let tolerate_drops =
+    Arg.(
+      value & flag
+      & info [ "tolerate-drops" ]
+          ~doc:"Don't fail on transport-level losses (connection refused, \
+                clean EOF) — for runs through a chaos proxy, where drops \
+                are the injected fault.  Divergent outcomes still fail.")
+  in
   let term =
     Term.(
-      const (fun s t b sm bu cs cr st -> run_client s t b sm bu cs cr st)
+      const (fun s t b sm bu cs cr st td -> run_client s t b sm bu cs cr st td)
       $ socket_arg $ tcp_arg $ batch $ smoke $ busy $ crash_start
-      $ crash_resume $ state)
+      $ crash_resume $ state $ tolerate_drops)
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Talk to a running jim server: batch, smoke, busy-check or \
              crash-drill mode.")
+    term
+
+let chaos_cmd =
+  let upstream =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "upstream" ] ~docv:"ADDR"
+          ~doc:"The real server to forward to: HOST:PORT or unix:PATH.")
+  in
+  let plan =
+    Arg.(
+      value & opt string "none"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:"Comma-separated faults by connection index: $(b,drop=N) \
+                (cut every Nth connection at a line boundary after \
+                $(b,drop-lines=K) replies), $(b,trickle=N) (byte-at-a-time \
+                replies), $(b,partial=N) (replies in ragged flushed \
+                chunks), $(b,stall=N) (delay replies so other sessions \
+                overtake), $(b,delay-ms=M) (pacing).")
+  in
+  let term =
+    Term.(
+      const (fun s t u p -> run_chaos s t u p)
+      $ socket_arg $ tcp_arg $ upstream $ plan)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injecting proxy between jim clients and a jim server: \
+             deterministic connection drops, partial lines, slow-loris \
+             trickle and stalled streams.  SIGINT prints stats and exits.")
     term
 
 let journal_cmd =
@@ -897,5 +1011,6 @@ let () =
             tpch_cmd;
             serve_cmd;
             client_cmd;
+            chaos_cmd;
             journal_cmd;
           ]))

@@ -1,0 +1,241 @@
+module Io = Jim_store.Io
+
+exception Power_cut
+
+let () =
+  Printexc.register_printer (function
+    | Power_cut -> Some "Jim_fault.Memfs.Power_cut"
+    | _ -> None)
+
+type mf = {
+  mutable data : Bytes.t;  (* capacity >= len *)
+  mutable len : int;  (* cache view: everything written *)
+  mutable synced : int;  (* durable prefix *)
+}
+
+type t = {
+  lock : Mutex.t;
+  files : (string, mf) Hashtbl.t;
+  dirs : (string, unit) Hashtbl.t;
+  plan : Plan.t;
+  mutable writes : int;
+  mutable fsyncs : int;
+  mutable accepted : int;
+  mutable dead : bool;
+}
+
+let create ?(plan = Plan.none) () =
+  {
+    lock = Mutex.create ();
+    files = Hashtbl.create 8;
+    dirs = Hashtbl.create 8;
+    plan;
+    writes = 0;
+    fsyncs = 0;
+    accepted = 0;
+    dead = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let alive t = if t.dead then raise Power_cut
+
+let writes t = with_lock t (fun () -> t.writes)
+let fsyncs t = with_lock t (fun () -> t.fsyncs)
+let bytes_accepted t = with_lock t (fun () -> t.accepted)
+
+let content mf = Bytes.sub_string mf.data 0 mf.len
+
+let file t path =
+  with_lock t (fun () ->
+      Option.map content (Hashtbl.find_opt t.files path))
+
+let fresh_mf () = { data = Bytes.create 256; len = 0; synced = 0 }
+
+let set_file t path data =
+  with_lock t (fun () ->
+      let n = String.length data in
+      Hashtbl.replace t.files path
+        { data = Bytes.of_string data; len = n; synced = n })
+
+let ensure_capacity mf extra =
+  let need = mf.len + extra in
+  if Bytes.length mf.data < need then begin
+    let cap = max need (2 * Bytes.length mf.data) in
+    let data = Bytes.create cap in
+    Bytes.blit mf.data 0 data 0 mf.len;
+    mf.data <- data
+  end
+
+let append_bytes mf buf off n =
+  ensure_capacity mf n;
+  Bytes.blit buf off mf.data mf.len n;
+  mf.len <- mf.len + n
+
+let eio op path = Unix.Unix_error (Unix.EIO, op, path)
+
+(* One write operation against [mf], under the plan.  Returns the number
+   of bytes accepted (the caller loops, exactly like over a real fd). *)
+let do_write t path mf buf off len =
+  alive t;
+  if len <= 0 then 0
+  else begin
+    t.writes <- t.writes + 1;
+    let n = t.writes in
+    (match t.plan.Plan.crash_write with
+    | Some (nth, applied) when n = nth ->
+      append_bytes mf buf off (min applied len);
+      t.dead <- true;
+      raise Power_cut
+    | _ -> ());
+    (match t.plan.Plan.fail_write with
+    | Some nth when n = nth -> raise (eio "write" path)
+    | _ -> ());
+    let budget =
+      match t.plan.Plan.enospc_after with
+      | None -> len
+      | Some b ->
+        if t.accepted >= b then raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
+        else min len (b - t.accepted)
+    in
+    let cap =
+      match t.plan.Plan.short_write with
+      | Some (nth, k) when n = nth -> min budget k
+      | _ -> budget
+    in
+    let cap =
+      match t.plan.Plan.write_chunk with
+      | Some k -> min cap k
+      | None -> cap
+    in
+    append_bytes mf buf off cap;
+    t.accepted <- t.accepted + cap;
+    cap
+  end
+
+let do_fsync t path mf =
+  alive t;
+  t.fsyncs <- t.fsyncs + 1;
+  (match t.plan.Plan.fail_fsync with
+  | Some nth when nth = t.fsyncs ->
+    (* fsyncgate semantics: the dirty pages this fsync was meant to cover
+       may be gone for good; the durable prefix does NOT advance. *)
+    raise (eio "fsync" path)
+  | _ -> ());
+  mf.synced <- mf.len
+
+let handle_of t path mf =
+  {
+    Io.write = (fun buf off len -> with_lock t (fun () -> do_write t path mf buf off len));
+    fsync = (fun () -> with_lock t (fun () -> do_fsync t path mf));
+    (* [close] never raises — it runs from [Fun.protect] finalisers, and
+       after a power cut there is nothing left to close anyway. *)
+    close = (fun () -> ());
+  }
+
+let rec register_dirs t dir =
+  if dir <> "" && not (Hashtbl.mem t.dirs dir) then begin
+    Hashtbl.replace t.dirs dir ();
+    let parent = Filename.dirname dir in
+    if parent <> dir then register_dirs t parent
+  end
+
+let io t =
+  {
+    Io.create =
+      (fun path ->
+        with_lock t (fun () ->
+            alive t;
+            let mf =
+              match Hashtbl.find_opt t.files path with
+              | Some mf ->
+                (* O_TRUNC on an existing file *)
+                mf.len <- 0;
+                mf.synced <- 0;
+                mf
+              | None ->
+                let mf = fresh_mf () in
+                Hashtbl.replace t.files path mf;
+                mf
+            in
+            handle_of t path mf));
+    open_append =
+      (fun path ->
+        with_lock t (fun () ->
+            alive t;
+            match Hashtbl.find_opt t.files path with
+            | None -> Error (path ^ ": no such file")
+            | Some mf -> Ok (handle_of t path mf, mf.len)));
+    read_file =
+      (fun path ->
+        with_lock t (fun () ->
+            alive t;
+            match Hashtbl.find_opt t.files path with
+            | None -> Error (path ^ ": no such file")
+            | Some mf -> Ok (content mf)));
+    truncate =
+      (fun path offset ->
+        with_lock t (fun () ->
+            alive t;
+            match Hashtbl.find_opt t.files path with
+            | None -> Error (path ^ ": no such file")
+            | Some mf ->
+              (* ftruncate + fsync: the shorter file is durable whole. *)
+              mf.len <- min mf.len (max 0 offset);
+              mf.synced <- mf.len;
+              Ok ()));
+    rename =
+      (fun src dst ->
+        with_lock t (fun () ->
+            alive t;
+            match Hashtbl.find_opt t.files src with
+            | None -> raise (Unix.Unix_error (Unix.ENOENT, "rename", src))
+            | Some mf ->
+              Hashtbl.remove t.files src;
+              Hashtbl.replace t.files dst mf));
+    exists =
+      (fun path ->
+        with_lock t (fun () ->
+            alive t;
+            Hashtbl.mem t.files path || Hashtbl.mem t.dirs path));
+    readdir =
+      (fun dir ->
+        with_lock t (fun () ->
+            alive t;
+            let acc = ref [] in
+            Hashtbl.iter
+              (fun path _ ->
+                if Filename.dirname path = dir then
+                  acc := Filename.basename path :: !acc)
+              t.files;
+            Hashtbl.iter
+              (fun path _ ->
+                if path <> dir && Filename.dirname path = dir then
+                  acc := Filename.basename path :: !acc)
+              t.dirs;
+            Array.of_list (List.sort_uniq compare !acc)));
+    remove =
+      (fun path ->
+        with_lock t (fun () ->
+            alive t;
+            Hashtbl.remove t.files path));
+    mkdir_p = (fun dir -> with_lock t (fun () -> alive t; register_dirs t dir));
+    fsync_dir = (fun _ -> with_lock t (fun () -> alive t));
+  }
+
+let image keep t =
+  with_lock t (fun () ->
+      let t' = create () in
+      Hashtbl.iter
+        (fun path mf ->
+          let n = if keep then mf.len else mf.synced in
+          Hashtbl.replace t'.files path
+            { data = Bytes.sub mf.data 0 n; len = n; synced = n })
+        t.files;
+      Hashtbl.iter (fun d () -> Hashtbl.replace t'.dirs d ()) t.dirs;
+      t')
+
+let durable_image t = image false t
+let flushed_image t = image true t

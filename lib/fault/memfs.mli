@@ -1,0 +1,66 @@
+(** A deterministic in-memory filesystem behind the store's
+    {!Jim_store.Io} seam, with a page-cache model and fault injection.
+
+    {1 The model}
+
+    Every file holds two lengths: everything the process has written (the
+    {e cache} view, which reads and appends see) and the prefix known to
+    be durable (advanced to the full length by a successful [fsync]).  A
+    {e power cut} freezes the filesystem — every later operation raises
+    {!Power_cut}, as the process is dead — and the surviving disk is then
+    one of two images:
+
+    - {!durable_image}: every unsynced byte is gone — the adversarial
+      kernel dropped the whole page cache (torn exactly at the last fsync
+      barrier);
+    - {!flushed_image}: the kernel happened to flush everything,
+      including the partial bytes of the write the cut interrupted — a
+      torn tail mid-record.
+
+    Real crashes land anywhere between the two; a recovery correct on
+    both (and on the partial-write variants a {!Plan.t}'s [crash_write]
+    produces) is correct on all of them, because the store's files are
+    append-only between fsync barriers.
+
+    Metadata ([create]/[rename]/[remove]) is modelled as durable
+    immediately — the metadata-journalling discipline of ext4-style
+    filesystems — so [rename] is atomic and the interesting damage is
+    always in file {e contents}, which is what the crash sweeps
+    enumerate.  Faults ({!Plan.t}) surface as [Unix.Unix_error] (EIO,
+    ENOSPC), matching the convention documented in {!Jim_store.Io}. *)
+
+exception Power_cut
+(** The plan's power cut fired; the filesystem refuses everything
+    thereafter.  Build an image and recover from it. *)
+
+type t
+
+val create : ?plan:Plan.t -> unit -> t
+(** A fresh, empty filesystem.  [plan] defaults to {!Plan.none}. *)
+
+val io : t -> Jim_store.Io.t
+(** The {!Jim_store.Io} view to hand to [Store.open_dir ~io] etc. *)
+
+val writes : t -> int
+(** Write operations attempted so far (each short-write retry counts). *)
+
+val fsyncs : t -> int
+(** File fsync operations attempted so far. *)
+
+val bytes_accepted : t -> int
+(** Total bytes accepted across all writes (the ENOSPC meter). *)
+
+val durable_image : t -> t
+(** Post-power-cut disk with every unsynced byte dropped.  The image has
+    plan {!Plan.none} and fresh counters. *)
+
+val flushed_image : t -> t
+(** Post-power-cut disk with the whole cache flushed (everything written,
+    including a partial final write, survived).  Plan {!Plan.none}. *)
+
+val file : t -> string -> string option
+(** Cache-view content of one file, for byte-level assertions. *)
+
+val set_file : t -> string -> string -> unit
+(** Install raw content as a durable file (tests building disk images by
+    hand). *)

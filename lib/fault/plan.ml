@@ -1,0 +1,98 @@
+type t = {
+  fail_write : int option;
+  short_write : (int * int) option;
+  write_chunk : int option;
+  fail_fsync : int option;
+  enospc_after : int option;
+  crash_write : (int * int) option;
+}
+
+let none =
+  {
+    fail_write = None;
+    short_write = None;
+    write_chunk = None;
+    fail_fsync = None;
+    enospc_after = None;
+    crash_write = None;
+  }
+
+let to_string t =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "fail-write=%d") t.fail_write;
+        Option.map
+          (fun (n, k) -> Printf.sprintf "short-write=%d:%d" n k)
+          t.short_write;
+        Option.map (Printf.sprintf "write-chunk=%d") t.write_chunk;
+        Option.map (Printf.sprintf "fail-fsync=%d") t.fail_fsync;
+        Option.map (Printf.sprintf "enospc=%d") t.enospc_after;
+        Option.map
+          (fun (n, a) -> Printf.sprintf "crash-write=%d:%d" n a)
+          t.crash_write;
+      ]
+  in
+  match parts with [] -> "none" | _ -> String.concat "," parts
+
+let ( let* ) = Result.bind
+
+let positive what v =
+  if v >= 1 then Ok v else Error (Printf.sprintf "%s wants a count >= 1" what)
+
+let int_arg what s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> positive what v
+  | None -> Error (Printf.sprintf "%s: not a number: %S" what s)
+
+let pair_arg what s =
+  match String.split_on_char ':' s with
+  | [ a; b ] ->
+    let* a = int_arg what a in
+    (* the second component may legitimately be 0 (crash with no bytes
+       applied) *)
+    (match int_of_string_opt (String.trim b) with
+    | Some b when b >= 0 -> Ok (a, b)
+    | _ -> Error (Printf.sprintf "%s: bad second component %S" what b))
+  | _ -> Error (Printf.sprintf "%s wants N or N:K, got %S" what s)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    List.fold_left
+      (fun acc tok ->
+        let* t = acc in
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "bad fault %S (want key=value)" tok)
+        | Some i -> (
+          let key = String.sub tok 0 i in
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match key with
+          | "fail-write" ->
+            let* n = int_arg key v in
+            Ok { t with fail_write = Some n }
+          | "short-write" ->
+            let* p = pair_arg key v in
+            if snd p < 1 then Error "short-write wants K >= 1"
+            else Ok { t with short_write = Some p }
+          | "write-chunk" ->
+            let* n = int_arg key v in
+            Ok { t with write_chunk = Some n }
+          | "fail-fsync" ->
+            let* n = int_arg key v in
+            Ok { t with fail_fsync = Some n }
+          | "enospc" ->
+            let* n = int_arg key v in
+            Ok { t with enospc_after = Some n }
+          | "crash-write" ->
+            let* p = pair_arg key v in
+            Ok { t with crash_write = Some p }
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown fault %S (try fail-write, short-write, write-chunk, \
+                  fail-fsync, enospc, crash-write)"
+                 key)))
+      (Ok none)
+      (String.split_on_char ',' s)

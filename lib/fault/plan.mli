@@ -1,0 +1,44 @@
+(** Fault plans: what the in-memory filesystem ({!Memfs}) should break,
+    and when.
+
+    A plan is deterministic — ordinals count operations from the moment
+    the filesystem is created, so replaying the same workload against the
+    same plan injects the same fault at the same instruction.  [none]
+    injects nothing (the filesystem is then just a fast, deterministic
+    ramdisk).
+
+    The string form (one [key=value] per fault, comma-separated) exists
+    for CLI surfaces and test labels:
+
+    {v
+    none
+    crash-write=7:3          power cut during the 7th write, 3 bytes applied
+    fail-write=3             the 3rd write raises EIO
+    short-write=5:2          the 5th write accepts only 2 bytes
+    write-chunk=3            every write accepts at most 3 bytes
+    fail-fsync=2             the 2nd fsync raises EIO
+    enospc=4096              writes fail with ENOSPC after 4096 bytes
+    v} *)
+
+type t = {
+  fail_write : int option;  (** 1-based ordinal of a write that raises EIO *)
+  short_write : (int * int) option;
+      (** [(n, k)]: the [n]th write accepts at most [k] bytes ([k >= 1]) *)
+  write_chunk : int option;
+      (** every write accepts at most this many bytes — multiplies the
+          number of write boundaries a crash sweep can cut at *)
+  fail_fsync : int option;  (** 1-based ordinal of an fsync that raises EIO *)
+  enospc_after : int option;
+      (** total byte budget; once accepted bytes reach it, writes raise
+          ENOSPC *)
+  crash_write : (int * int) option;
+      (** [(n, applied)]: power cut during the [n]th write after [applied]
+          bytes of it reached the page cache — every filesystem operation
+          from then on raises {!Memfs.Power_cut} *)
+}
+
+val none : t
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result

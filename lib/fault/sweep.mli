@@ -1,0 +1,72 @@
+(** Exhaustive simulated crash sweeps: drive a full multi-session
+    inference workload through a {!Jim_server.Service} persisted by a
+    {!Jim_store.Store} running on a {!Memfs}, injure the filesystem at
+    every interesting point, and prove recovery.
+
+    Each sweep replays the {e same} deterministic workload (sessions over
+    synthetic instances, oracle-answered, round-robin) under a family of
+    {!Plan}s, then checks both post-crash disk images ({!Memfs.durable_image}
+    and {!Memfs.flushed_image}) for the store's contract:
+
+    - every session whose [Start_session] was acknowledged is recovered;
+    - per session, recovered answers ∈ [acked, acked + 1] (at most the
+      one in-flight record);
+    - every recovered session, driven to completion, finishes
+      bit-identical ({!Jim_server.Smoke.outcome_equal}) to an
+      uninterrupted in-process {!Jim_core.Session.run}.
+
+    No processes are spawned and no real disk is touched: one crash point
+    costs two in-memory recoveries, so sweeping {e every} write boundary
+    of a 50+-event workload is cheap enough for the default test run. *)
+
+exception Divergence of string
+(** A recovery contract violation (lost acked answer, diverged resume,
+    refused recovery).  Injected faults themselves never raise this —
+    they are the point. *)
+
+type spec = {
+  seed : int;  (** base seed; session [i] uses [seed + i] *)
+  strategies : string list;  (** round-robin across sessions *)
+  sessions : int;
+  snapshot_every : int;
+      (** keep small (e.g. 16) so sweeps cross checkpoint rotations *)
+}
+
+val default : spec
+(** 7 sessions, lookahead-entropy/random alternating, [snapshot_every =
+    16] — journals 60+ events and crosses several checkpoints. *)
+
+type stats = {
+  events : int;  (** events the uninterrupted reference run journals *)
+  points : int;  (** fault points exercised *)
+  runs : int;  (** faulted workload executions *)
+  images : int;  (** post-crash disk images recovered and verified *)
+}
+
+val crash_sweep :
+  ?chunk:int -> ?stride:int -> ?applied:int list -> spec -> stats
+(** Power cut at every write ordinal of the reference run (or every
+    [stride]th, default 1), each with every partial-application count in
+    [applied] (default [[0; 3]]: a clean cut at the boundary and a torn
+    tail 3 bytes in).  [chunk] caps bytes-per-write for the whole family
+    ({!Plan.t.write_chunk}), multiplying the boundaries swept.  Raises
+    {!Divergence} on any contract violation. *)
+
+val fsync_sweep : ?stride:int -> spec -> stats
+(** Fail every fsync ordinal (EIO, fsyncgate semantics: the journal
+    poisons itself and refuses further appends); both images must still
+    recover every previously acknowledged answer. *)
+
+val write_error_sweep : ?stride:int -> spec -> stats
+(** Fail every write ordinal with EIO (transient disk error — the
+    filesystem survives, the journal poisons itself). *)
+
+val enospc_sweep : ?points:int -> spec -> stats
+(** Run the workload under [points] (default 8) byte budgets spread over
+    the reference run's total accepted bytes; the disk filling mid-record
+    must still leave every acked answer recoverable. *)
+
+val chunk_run : chunk:int -> spec -> stats
+(** No faults, but every write accepts at most [chunk] bytes: the
+    short-write retry loops must reassemble bit-identical journals and
+    the workload must complete exactly like the reference run. *)

@@ -6,10 +6,35 @@ type client_report = {
   strategy : string;
   questions : int;
   ok : bool;
+  dropped : bool;
   detail : string;
 }
 
+(* Failures carry their class from the call site that observed them:
+   [transport] failures (refused connect, clean EOF, reset) are what a
+   chaos proxy manufactures on purpose; everything else is the server
+   getting the protocol or the inference wrong. *)
+type fail = { transport : bool; msg : string }
+
+let diverged fmt = Printf.ksprintf (fun msg -> { transport = false; msg }) fmt
+
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+(* [Wire.call_line] errors are transport by construction; an unparsable
+   reply line is not — the bytes arrived, the server spoke garbage. *)
+let call conn req =
+  match Wire.call_line conn (P.request_to_string req) with
+  | Error msg -> Error { transport = true; msg }
+  | Ok line -> (
+    match P.response_of_string line with
+    | Ok resp -> Ok resp
+    | Error e ->
+      Error (diverged "bad reply: %s" (P.error_to_string e)))
+
+let report ~seed ~strategy ~questions = function
+  | Ok () -> { seed; strategy; questions; ok = true; dropped = false; detail = "" }
+  | Error { transport; msg } ->
+      { seed; strategy; questions; ok = false; dropped = transport; detail = msg }
 
 (* Small instances keep 32 concurrent lookahead sessions fast while still
    exercising multi-step inference. *)
@@ -33,8 +58,8 @@ let outcome_equal (a : Session.outcome) (b : Session.outcome) =
   && List.for_all2 event_equal a.events b.events
 
 let unexpected what resp =
-  Error (Printf.sprintf "unexpected reply to %s: %s" what
-           (P.response_to_string resp))
+  Error
+    (diverged "unexpected reply to %s: %s" what (P.response_to_string resp))
 
 let drive_over conn ~seed ~strategy =
   let inst = Jim_workloads.Synthetic.generate (params seed) in
@@ -50,7 +75,7 @@ let drive_over conn ~seed ~strategy =
   in
   let p = params seed in
   let* resp =
-    Wire.call conn
+    call conn
       (P.Start_session
          {
            source =
@@ -69,22 +94,22 @@ let drive_over conn ~seed ~strategy =
   let* session =
     match resp with
     | P.Started { session; _ } -> Ok session
-    | P.Failed e -> Error (P.error_to_string e)
+    | P.Failed e -> Error (diverged "%s" (P.error_to_string e))
     | other -> unexpected "Start_session" other
   in
   let rec loop asked =
-    let* q = Wire.call conn (P.Get_question { session }) in
+    let* q = call conn (P.Get_question { session }) in
     match q with
     | P.Question None ->
-      let* r = Wire.call conn (P.Result { session }) in
+      let* r = call conn (P.Result { session }) in
       (match r with
       | P.Outcome o ->
-        let* _ = Wire.call conn (P.End_session { session }) in
+        let* _ = call conn (P.End_session { session }) in
         Ok (asked, o)
       | other -> unexpected "Result" other)
     | P.Question (Some { P.cls; sg; _ }) ->
       let label = Oracle.label oracle sg in
-      let* a = Wire.call conn (P.Answer { session; cls; label }) in
+      let* a = call conn (P.Answer { session; cls; label }) in
       (match a with
       | P.Answered _ -> loop (asked + 1)
       | other -> unexpected "Answer" other)
@@ -94,29 +119,26 @@ let drive_over conn ~seed ~strategy =
   if outcome_equal expected got then Ok asked
   else
     Error
-      (Printf.sprintf "outcome differs from local Session.run: wire %s/%d, local %s/%d"
+      (diverged "outcome differs from local Session.run: wire %s/%d, local %s/%d"
          (Jim_partition.Partition.to_string got.Session.query)
          got.Session.interactions
          (Jim_partition.Partition.to_string expected.Session.query)
          expected.Session.interactions)
 
 let drive_one ~address ~seed ~strategy =
-  let finish questions outcome =
-    match outcome with
-    | Ok () -> { seed; strategy; questions; ok = true; detail = "" }
-    | Error detail -> { seed; strategy; questions; ok = false; detail }
-  in
   match Wire.connect ~retries:50 address with
-  | Error msg -> finish 0 (Error ("connect: " ^ msg))
+  | Error msg ->
+    report ~seed ~strategy ~questions:0
+      (Error { transport = true; msg = "connect: " ^ msg })
   | Ok conn ->
-    let r =
+    let questions, outcome =
       match drive_over conn ~seed ~strategy with
       | Ok asked -> (asked, Ok ())
-      | Error msg -> (0, Error msg)
-      | exception exn -> (0, Error (Printexc.to_string exn))
+      | Error e -> (0, Error e)
+      | exception exn -> (0, Error (diverged "%s" (Printexc.to_string exn)))
     in
     Wire.close conn;
-    finish (fst r) (snd r)
+    report ~seed ~strategy ~questions outcome
 
 let run ?(clients = 32) ~address () =
   let reports = ref [] in
@@ -160,7 +182,7 @@ let expected_outcome ~seed ~strategy =
 let start_synthetic conn ~seed ~strategy =
   let p = params seed in
   let* resp =
-    Wire.call conn
+    call conn
       (P.Start_session
          {
            source =
@@ -178,7 +200,7 @@ let start_synthetic conn ~seed ~strategy =
   in
   match resp with
   | P.Started { session; _ } -> Ok session
-  | P.Failed e -> Error (P.error_to_string e)
+  | P.Failed e -> Error (diverged "%s" (P.error_to_string e))
   | other -> unexpected "Start_session" other
 
 let answer_rounds conn ~session ~oracle ~rounds =
@@ -186,12 +208,12 @@ let answer_rounds conn ~session ~oracle ~rounds =
   let rec loop asked =
     if asked = rounds then Ok asked
     else
-      let* q = Wire.call conn (P.Get_question { session }) in
+      let* q = call conn (P.Get_question { session }) in
       match q with
       | P.Question None -> Ok asked
       | P.Question (Some { P.cls; sg; _ }) -> (
         let label = Oracle.label oracle sg in
-        let* a = Wire.call conn (P.Answer { session; cls; label }) in
+        let* a = call conn (P.Answer { session; cls; label }) in
         match a with
         | P.Answered _ -> loop (asked + 1)
         | other -> unexpected "Answer" other)
@@ -207,16 +229,20 @@ let crash_start ~address ~state_file ?(clients = 8) () =
     let strategy = strategy_for i in
     let outcome =
       match Wire.connect ~retries:50 address with
-      | Error msg -> Error ("connect: " ^ msg)
+      | Error msg -> Error { transport = true; msg = "connect: " ^ msg }
       | Ok conn ->
         let r =
-          let oracle, expected = expected_outcome ~seed ~strategy in
-          let* session = start_synthetic conn ~seed ~strategy in
-          (* Half the reference run's interactions: enough history to make
-             recovery non-trivial, with real work left for the resume. *)
-          let rounds = max 1 (expected.Session.interactions / 2) in
-          let* asked = answer_rounds conn ~session ~oracle ~rounds in
-          Ok (Printf.sprintf "%d %s %d %d" seed strategy session asked, asked)
+          match
+            let oracle, expected = expected_outcome ~seed ~strategy in
+            let* session = start_synthetic conn ~seed ~strategy in
+            (* Half the reference run's interactions: enough history to make
+               recovery non-trivial, with real work left for the resume. *)
+            let rounds = max 1 (expected.Session.interactions / 2) in
+            let* asked = answer_rounds conn ~session ~oracle ~rounds in
+            Ok (Printf.sprintf "%d %s %d %d" seed strategy session asked, asked)
+          with
+          | r -> r
+          | exception exn -> Error (diverged "%s" (Printexc.to_string exn))
         in
         Wire.close conn;
         r
@@ -225,11 +251,9 @@ let crash_start ~address ~state_file ?(clients = 8) () =
     (match outcome with
     | Ok (line, asked) ->
       lines := line :: !lines;
-      reports := { seed; strategy; questions = asked; ok = true; detail = "" }
-                 :: !reports
-    | Error detail ->
-      reports := { seed; strategy; questions = 0; ok = false; detail }
-                 :: !reports);
+      reports :=
+        report ~seed ~strategy ~questions:asked (Ok ()) :: !reports
+    | Error e -> reports := report ~seed ~strategy ~questions:0 (Error e) :: !reports);
     Mutex.unlock lock
   in
   let threads = List.init clients (fun i -> Thread.create one i) in
@@ -241,42 +265,46 @@ let crash_start ~address ~state_file ?(clients = 8) () =
 
 let resume_one ~address ~seed ~strategy ~session ~already =
   match Wire.connect ~retries:50 address with
-  | Error msg -> Error ("connect: " ^ msg)
+  | Error msg -> Error { transport = true; msg = "connect: " ^ msg }
   | Ok conn ->
     let r =
-      let oracle, expected = expected_outcome ~seed ~strategy in
-      (* Every acknowledged answer must have survived the kill. *)
-      let* st = Wire.call conn (P.Stats { session }) in
-      let* () =
-        match st with
-        | P.Session_stats { labeled; _ } when labeled = already -> Ok ()
-        | P.Session_stats { labeled; _ } ->
+      match
+        let oracle, expected = expected_outcome ~seed ~strategy in
+        (* Every acknowledged answer must have survived the kill. *)
+        let* st = call conn (P.Stats { session }) in
+        let* () =
+          match st with
+          | P.Session_stats { labeled; _ } when labeled = already -> Ok ()
+          | P.Session_stats { labeled; _ } ->
+            Error
+              (diverged
+                 "recovered session holds %d answers, %d were acknowledged"
+                 labeled already)
+          | other -> (
+            match unexpected "Stats" other with
+            | Error _ as e -> e
+            | Ok _ -> assert false)
+        in
+        let* _ = answer_rounds conn ~session ~oracle ~rounds:(-1) in
+        let* r = call conn (P.Result { session }) in
+        let* got =
+          match r with
+          | P.Outcome o -> Ok o
+          | other -> unexpected "Result" other
+        in
+        let* _ = call conn (P.End_session { session }) in
+        if outcome_equal expected got then Ok got.Session.interactions
+        else
           Error
-            (Printf.sprintf
-               "recovered session holds %d answers, %d were acknowledged"
-               labeled already)
-        | other -> (
-          match unexpected "Stats" other with
-          | Error _ as e -> e
-          | Ok _ -> assert false)
-      in
-      let* _ = answer_rounds conn ~session ~oracle ~rounds:(-1) in
-      let* r = Wire.call conn (P.Result { session }) in
-      let* got =
-        match r with
-        | P.Outcome o -> Ok o
-        | other -> unexpected "Result" other
-      in
-      let* _ = Wire.call conn (P.End_session { session }) in
-      if outcome_equal expected got then Ok got.Session.interactions
-      else
-        Error
-          (Printf.sprintf
-             "resumed outcome differs from uninterrupted run: wire %s/%d, local %s/%d"
-             (Jim_partition.Partition.to_string got.Session.query)
-             got.Session.interactions
-             (Jim_partition.Partition.to_string expected.Session.query)
-             expected.Session.interactions)
+            (diverged
+               "resumed outcome differs from uninterrupted run: wire %s/%d, local %s/%d"
+               (Jim_partition.Partition.to_string got.Session.query)
+               got.Session.interactions
+               (Jim_partition.Partition.to_string expected.Session.query)
+               expected.Session.interactions)
+      with
+      | r -> r
+      | exception exn -> Error (diverged "%s" (Printexc.to_string exn))
     in
     Wire.close conn;
     r
@@ -298,25 +326,34 @@ let crash_resume ~address ~state_file () =
         and session = int_of_string session
         and asked = int_of_string asked in
         match resume_one ~address ~seed ~strategy ~session ~already:asked with
-        | Ok questions -> { seed; strategy; questions; ok = true; detail = "" }
-        | Error detail -> { seed; strategy; questions = 0; ok = false; detail })
+        | Ok questions -> report ~seed ~strategy ~questions (Ok ())
+        | Error e -> report ~seed ~strategy ~questions:0 (Error e))
       | _ ->
-        { seed = 0; strategy = ""; questions = 0; ok = false;
-          detail = "bad state line: " ^ line })
+        {
+          seed = 0;
+          strategy = "";
+          questions = 0;
+          ok = false;
+          dropped = false;
+          detail = "bad state line: " ^ line;
+        })
     lines
 
 let busy_check ~address ~fill =
   match Wire.connect ~retries:50 address with
   | Error msg -> Error ("connect: " ^ msg)
   | Ok conn ->
+    (* A server that neither accepts nor refuses the overflow session —
+       it just never replies — must fail the drill, not hang it. *)
+    Wire.set_timeout conn 30.;
     let start seed =
-      Wire.call conn
+      call conn
         (P.Start_session
            { source = P.Builtin "flights"; strategy = "random"; seed })
     in
     let finish r =
       Wire.close conn;
-      r
+      match r with Ok () -> Ok () | Error { msg; _ } -> Error msg
     in
     let rec open_all acc k =
       if k = 0 then Ok acc
@@ -335,7 +372,7 @@ let busy_check ~address ~fill =
            when active >= fill && max = fill -> Ok ()
          | P.Failed (P.Server_busy { active; max }) ->
            Error
-             (Printf.sprintf "Server_busy with odd counters: active=%d max=%d"
+             (diverged "Server_busy with odd counters: active=%d max=%d"
                 active max)
          | other ->
            (match unexpected "saturated Start_session" other with
@@ -343,7 +380,6 @@ let busy_check ~address ~fill =
            | Ok _ -> assert false)
        in
        List.iter
-         (fun session ->
-           ignore (Wire.call conn (P.End_session { session })))
+         (fun session -> ignore (call conn (P.End_session { session })))
          sessions;
        verdict)

@@ -9,6 +9,11 @@ type client_report = {
   strategy : string;
   questions : int;
   ok : bool;
+  dropped : bool;
+      (** the failure was transport-level — connect refused, clean EOF,
+          reset — rather than a protocol or outcome divergence.  Drops
+          are expected under a chaos proxy ([jim chaos]) and can be
+          tolerated; a divergence never is.  [false] when [ok]. *)
   detail : string;  (** empty when [ok]; the mismatch/failure otherwise *)
 }
 
@@ -50,8 +55,9 @@ val busy_check :
   address:Wire.address -> fill:int -> (unit, string) result
 (** Open [fill] sessions without ending them, then check that one more
     [Start_session] is refused with [Server_busy] (the server must reply,
-    not hang).  Ends every session before returning.  Call against a
-    server whose [max_sessions] equals [fill]. *)
+    not hang — a 30 s receive timeout turns a hang into an error).  Ends
+    every session before returning.  Call against a server whose
+    [max_sessions] equals [fill]. *)
 
 val outcome_equal : Jim_core.Session.outcome -> Jim_core.Session.outcome -> bool
 (** Structural equality, float fields compared exactly — both sides are

@@ -254,4 +254,8 @@ let call c req =
     | Ok resp -> Ok resp
     | Error e -> Error ("bad reply: " ^ P.error_to_string e))
 
+let set_timeout c seconds =
+  try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

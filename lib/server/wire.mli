@@ -16,6 +16,14 @@ val address_to_string : address -> string
 val address_of_string : string -> (address, string) result
 (** Inverse of {!address_to_string}: ["unix:PATH"] or ["HOST:PORT"]. *)
 
+val sockaddr_of : address -> Unix.sockaddr
+(** May raise [Failure] for an unresolvable host. *)
+
+val socket_for : address -> Unix.file_descr
+(** A fresh unconnected stream socket of the right family — for
+    components (e.g. {!Chaos}) that listen on an [address] without being
+    a {!server}. *)
+
 (** {1 Server} *)
 
 type server
@@ -46,6 +54,11 @@ type client
 val connect : ?retries:int -> address -> (client, string) result
 (** [retries] (default 0) extra attempts, 100 ms apart, while the server
     side is still coming up (connection refused / socket not yet bound). *)
+
+val set_timeout : client -> float -> unit
+(** Receive timeout in seconds: a reply overdue past it makes the next
+    {!call_line} fail instead of blocking forever.  Best-effort (ignored
+    where the socket option is unsupported). *)
 
 val call_line : client -> string -> (string, string) result
 (** Send one raw line, read one line back. *)

@@ -1,0 +1,92 @@
+type file = {
+  write : bytes -> int -> int -> int;
+  fsync : unit -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  create : string -> file;
+  open_append : string -> (file * int, string) result;
+  read_file : string -> (string, string) result;
+  truncate : string -> int -> (unit, string) result;
+  rename : string -> string -> unit;
+  exists : string -> bool;
+  readdir : string -> string array;
+  remove : string -> unit;
+  mkdir_p : string -> unit;
+  fsync_dir : string -> unit;
+}
+
+let of_fd fd =
+  {
+    write = (fun buf off len -> Unix.write fd buf off len);
+    fsync = (fun () -> Unix.fsync fd);
+    close = (fun () -> Unix.close fd);
+  }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()  (* best effort; not all FSes allow it *)
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let real =
+  {
+    create =
+      (fun path ->
+        of_fd (Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644));
+    open_append =
+      (fun path ->
+        match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+        | fd ->
+          let size = (Unix.fstat fd).Unix.st_size in
+          ignore (Unix.lseek fd 0 Unix.SEEK_END);
+          Ok (of_fd fd, size));
+    read_file =
+      (fun path ->
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | data -> Ok data
+        | exception Sys_error msg -> Error msg);
+    truncate =
+      (fun path offset ->
+        match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+        | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match
+                Unix.ftruncate fd offset;
+                Unix.fsync fd
+              with
+              | () -> Ok ()
+              | exception Unix.Unix_error (e, _, _) ->
+                Error
+                  (Printf.sprintf "%s: %s" path (Unix.error_message e))));
+    rename = Unix.rename;
+    exists = Sys.file_exists;
+    readdir =
+      (fun dir ->
+        match Sys.readdir dir with
+        | entries -> entries
+        | exception Sys_error _ -> [||]);
+    remove = (fun path -> try Sys.remove path with Sys_error _ -> ());
+    mkdir_p;
+    fsync_dir;
+  }

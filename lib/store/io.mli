@@ -1,0 +1,43 @@
+(** The store's pluggable I/O seam.
+
+    Every byte {!Journal}, {!Snapshot}, {!Store} and {!Recovery} move to
+    or from disk goes through a record of closures, so tests can swap the
+    real filesystem for a deterministic in-memory one (see [Jim_fault])
+    that injects short writes, failed fsyncs, ENOSPC and power cuts at
+    exact write boundaries.  Production code never notices: every entry
+    point defaults to {!real}, which is a thin passthrough to [Unix].
+
+    Error convention: injected and real failures alike surface as
+    [Unix.Unix_error] (or the documented [result]), so the store's
+    existing error handling works unchanged against a fault filesystem. *)
+
+type file = {
+  write : bytes -> int -> int -> int;
+      (** [write buf off len] appends up to [len] bytes at the handle's
+          position and returns how many were accepted — callers must
+          loop, which is exactly what makes short writes injectable. *)
+  fsync : unit -> unit;
+  close : unit -> unit;
+}
+(** An open, append-positioned file handle. *)
+
+type t = {
+  create : string -> file;  (** open for write, truncating; may raise *)
+  open_append : string -> (file * int, string) result;
+      (** open an existing file positioned at EOF; returns its size *)
+  read_file : string -> (string, string) result;
+      (** whole-file read (journal scans, snapshot loads) *)
+  truncate : string -> int -> (unit, string) result;
+      (** cut the file at a byte offset and fsync it *)
+  rename : string -> string -> unit;  (** atomic replace; may raise *)
+  exists : string -> bool;
+  readdir : string -> string array;  (** [||] if unreadable *)
+  remove : string -> unit;  (** best effort *)
+  mkdir_p : string -> unit;
+  fsync_dir : string -> unit;  (** best effort *)
+}
+(** The filesystem surface the store consumes. *)
+
+val real : t
+(** The passthrough implementation backed by [Unix] — the default for
+    every [?io] parameter in this library. *)

@@ -5,15 +5,26 @@ let record_version = '\001'
 let record_header_size = 4 + 1 + 4 + 4
 
 type t = {
-  fd : Unix.file_descr;
+  file : Io.file;
   fsync : bool;
   lock : Mutex.t;
   cond : Condition.t;
   mutable written : int;  (* bytes handed to [write] so far *)
   mutable synced : int;  (* bytes known covered by an fsync *)
   mutable syncing : bool;  (* a leader's fsync is in flight *)
+  mutable failed : bool;  (* poisoned by a write/fsync failure *)
   mutable closed : bool;
 }
+
+exception Poisoned
+
+let () =
+  Printexc.register_printer (function
+    | Poisoned ->
+      Some
+        "Jim_store.Journal.Poisoned (appends refused after an earlier \
+         write/fsync failure)"
+    | _ -> None)
 
 let put_le32 buf off v =
   Bytes.set buf off (Char.chr (v land 0xff));
@@ -27,53 +38,45 @@ let get_le32 buf off =
   lor (Char.code (Bytes.get buf (off + 2)) lsl 16)
   lor (Char.code (Bytes.get buf (off + 3)) lsl 24)
 
-let write_all fd buf =
+let write_all (file : Io.file) buf =
   let len = Bytes.length buf in
-  let rec go off =
-    if off < len then go (off + Unix.write fd buf off (len - off))
-  in
+  let rec go off = if off < len then go (off + file.Io.write buf off (len - off)) in
   go 0
 
-let of_fd ~fsync ~written fd =
+let of_file ~fsync ~written file =
   {
-    fd;
+    file;
     fsync;
     lock = Mutex.create ();
     cond = Condition.create ();
     written;
     synced = written;
     syncing = false;
+    failed = false;
     closed = false;
   }
 
-let create ?(fsync = true) path =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
-  write_all fd (Bytes.of_string file_magic);
-  if fsync then Unix.fsync fd;
-  of_fd ~fsync ~written:header_size fd
+let create ?(fsync = true) ?(io = Io.real) path =
+  let file = io.Io.create path in
+  write_all file (Bytes.of_string file_magic);
+  if fsync then file.Io.fsync ();
+  of_file ~fsync ~written:header_size file
 
-let open_append ?(fsync = true) path =
-  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
-  | fd ->
-    let size = (Unix.fstat fd).Unix.st_size in
-    if size < header_size then begin
-      Unix.close fd;
+let open_append ?(fsync = true) ?(io = Io.real) path =
+  (* Validate the header before taking an append handle; [Recovery.load]
+     has normally just scanned the file, so this re-read is cheap and
+     only happens at startup. *)
+  match io.Io.read_file path with
+  | Error m -> Error (Printf.sprintf "%s: %s" path m)
+  | Ok data ->
+    if String.length data < header_size then
       Error (Printf.sprintf "%s: too short for a journal file header" path)
-    end
-    else begin
-      let hdr = Bytes.create header_size in
-      ignore (Unix.read fd hdr 0 header_size);
-      if Bytes.to_string hdr <> file_magic then begin
-        Unix.close fd;
-        Error (Printf.sprintf "%s: bad journal file magic" path)
-      end
-      else begin
-        ignore (Unix.lseek fd 0 Unix.SEEK_END);
-        Ok (of_fd ~fsync ~written:size fd)
-      end
-    end
+    else if String.sub data 0 header_size <> file_magic then
+      Error (Printf.sprintf "%s: bad journal file magic" path)
+    else (
+      match io.Io.open_append path with
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Ok (file, size) -> Ok (of_file ~fsync ~written:size file))
 
 let record payload =
   let plen = String.length payload in
@@ -92,7 +95,16 @@ let record payload =
    fsync barrier covers our bytes.  The first waiter whose bytes are not
    yet durable becomes the leader, releases the lock for the (slow)
    fsync, and broadcasts the new high-water mark; appenders that wrote
-   while the leader was syncing ride the next round. *)
+   while the leader was syncing ride the next round.
+
+   Poisoning: a failed or short write can leave a partial record
+   mid-file, and a failed fsync leaves the kernel free to have dropped
+   dirty pages we can no longer re-sync (the PostgreSQL "fsyncgate"
+   lesson: retrying fsync after a failure is not safe).  Either way the
+   only safe continuation is none at all — the journal flips to [failed]
+   and every later append raises {!Poisoned}, so the damage stays
+   confined to the (unacknowledged) tail where recovery can cut it,
+   instead of becoming mid-log corruption under acknowledged records. *)
 let append t payload =
   let buf = record payload in
   Mutex.lock t.lock;
@@ -100,26 +112,39 @@ let append t payload =
     Mutex.unlock t.lock;
     invalid_arg "Journal.append: closed"
   end;
-  write_all t.fd buf;
+  if t.failed then begin
+    Mutex.unlock t.lock;
+    raise Poisoned
+  end;
+  (match write_all t.file buf with
+  | () -> ()
+  | exception exn ->
+    t.failed <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    raise exn);
   t.written <- t.written + Bytes.length buf;
   let ticket = t.written in
   if not t.fsync then Mutex.unlock t.lock
   else begin
     while t.synced < ticket do
+      if t.failed then begin
+        Mutex.unlock t.lock;
+        raise Poisoned
+      end;
       if t.syncing then Condition.wait t.cond t.lock
       else begin
         t.syncing <- true;
         let barrier = t.written in
         Mutex.unlock t.lock;
-        let result = try Ok (Unix.fsync t.fd) with exn -> Error exn in
+        let result = try Ok (t.file.Io.fsync ()) with exn -> Error exn in
         Mutex.lock t.lock;
         (* Reset + broadcast even on failure, or every waiting appender
-           blocks forever on a leader that will never report back; they
-           retake the leader role and surface their own error. *)
+           blocks forever on a leader that will never report back. *)
         t.syncing <- false;
         (match result with
         | Ok () -> t.synced <- max t.synced barrier
-        | Error _ -> ());
+        | Error _ -> t.failed <- true);
         Condition.broadcast t.cond;
         match result with
         | Ok () -> ()
@@ -133,31 +158,39 @@ let append t payload =
 
 let sync t =
   Mutex.lock t.lock;
-  if not t.closed then begin
-    let barrier = t.written in
-    if t.synced < barrier then begin
-      Unix.fsync t.fd;
-      t.synced <- max t.synced barrier
-    end
-  end;
-  Mutex.unlock t.lock
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.failed then raise Poisoned;
+      if not t.closed then begin
+        let barrier = t.written in
+        if t.synced < barrier then begin
+          (match t.file.Io.fsync () with
+          | () -> ()
+          | exception exn ->
+            t.failed <- true;
+            raise exn);
+          t.synced <- max t.synced barrier
+        end
+      end)
+
+let failed t =
+  Mutex.lock t.lock;
+  let f = t.failed in
+  Mutex.unlock t.lock;
+  f
 
 let close t =
   Mutex.lock t.lock;
   if not t.closed then begin
     t.closed <- true;
-    if t.fsync then Unix.fsync t.fd;
-    Unix.close t.fd
+    if t.fsync && not t.failed then
+      (try t.file.Io.fsync () with _ -> t.failed <- true);
+    (try t.file.Io.close () with _ -> ())
   end;
   Mutex.unlock t.lock
 
 type tail = Complete | Truncated of { offset : int; bytes : int }
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Is there a complete, CRC-valid record starting at [q]?  Used to tell
    a torn tail from a corrupted length field: a torn append is by
@@ -184,10 +217,10 @@ let record_follows data size pos =
   in
   go (pos + 1)
 
-let scan path =
-  match read_file path with
-  | exception Sys_error msg -> Error (`Corrupt (0, msg))
-  | data ->
+let scan ?(io = Io.real) path =
+  match io.Io.read_file path with
+  | Error msg -> Error (`Corrupt (0, msg))
+  | Ok data ->
     let size = String.length data in
     if size < header_size then
       (* A crash during [create] can leave a partial file header: torn,
@@ -232,9 +265,14 @@ let scan path =
             in
             let next = pos + record_header_size + plen in
             if actual <> crc then
-              if next = size then
+              if next = size && not (record_follows data size pos) then
                 (* Full-length final record with a bad CRC: the header
-                   block hit the disk but the payload did not — torn. *)
+                   block hit the disk but the payload did not — torn.
+                   The [record_follows] guard catches the one alias: a
+                   mid-log length field mutated to swallow every later
+                   record exactly up to EOF would otherwise masquerade
+                   as a torn tail and silently drop acknowledged
+                   history. *)
                 Ok (List.rev acc, Truncated { offset = pos; bytes = size - pos })
               else
                 Error
@@ -249,18 +287,4 @@ let scan path =
       go header_size []
     end
 
-let truncate path offset =
-  match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
-  | fd ->
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        match
-          Unix.ftruncate fd offset;
-          Unix.fsync fd
-        with
-        | () -> Ok ()
-        | exception Unix.Unix_error (e, _, _) ->
-          Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+let truncate ?(io = Io.real) path offset = io.Io.truncate path offset

@@ -46,25 +46,50 @@
     to need one becomes the leader and syncs every byte written so far;
     the rest wait on a condition variable and piggyback on the leader's
     barrier.  Under [n] concurrent sessions the hot path pays ~1/n of an
-    fsync each. *)
+    fsync each.
+
+    {1 Failure poisoning}
+
+    A failed or short [write] can leave a partial record mid-file, and a
+    failed [fsync] means dirty pages may already be gone (retrying fsync
+    after a failure is unsafe — the PostgreSQL "fsyncgate" lesson).
+    Either way the journal flips to a permanent failed state and every
+    later {!append}/{!sync} raises {!Poisoned}: the damage stays
+    confined to an unacknowledged tail that {!scan} classifies as torn,
+    instead of becoming mid-log corruption underneath acknowledged
+    records.  The owning store must be reopened (recovering from disk)
+    to resume.
+
+    All functions take the I/O through an {!Io.t} ([?io], default
+    {!Io.real}), so a fault filesystem can inject every failure above
+    deterministically. *)
 
 type t
 
-val create : ?fsync:bool -> string -> t
+exception Poisoned
+(** Raised by {!append}/{!sync} after an earlier write or fsync failure
+    has poisoned the journal. *)
+
+val create : ?fsync:bool -> ?io:Io.t -> string -> t
 (** Create (or truncate) a journal file and write the file header.
     [fsync false] (default [true]) turns the durability barrier off —
     for benchmarks and tests only. *)
 
-val open_append : ?fsync:bool -> string -> (t, string) result
+val open_append : ?fsync:bool -> ?io:Io.t -> string -> (t, string) result
 (** Open an existing journal for appending — after {!scan} has validated
     it and any torn tail has been cut with {!truncate}. *)
 
 val append : t -> string -> unit
 (** Append one payload as a record; returns after the record is fsynced
-    (group-committed).  Thread-safe. *)
+    (group-committed).  Thread-safe.  Raises the underlying I/O error on
+    failure (poisoning the journal), or {!Poisoned} if a previous append
+    already failed. *)
 
 val sync : t -> unit
 (** Force an fsync barrier over everything appended so far. *)
+
+val failed : t -> bool
+(** Has this journal been poisoned by a write/fsync failure? *)
 
 val close : t -> unit
 
@@ -77,6 +102,7 @@ type tail =
           [offset] are not a whole record and should be cut *)
 
 val scan :
+  ?io:Io.t ->
   string ->
   ((int * string) list * tail, [ `Corrupt of int * string ]) result
 (** [scan path] reads every complete record, returning
@@ -86,7 +112,7 @@ val scan :
     A file shorter than the file header — a crash during {!create} — is
     [Truncated] at offset 0, not corrupt. *)
 
-val truncate : string -> int -> (unit, string) result
+val truncate : ?io:Io.t -> string -> int -> (unit, string) result
 (** Cut the file at the given byte offset (recovery's response to a
     [Truncated] tail) and fsync it. *)
 

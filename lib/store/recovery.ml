@@ -35,20 +35,17 @@ let journal_path dir g =
 
 (* Parse "snapshot.<g>" / "journal.<g>.wal" names; anything else in the
    directory is not ours and is left alone. *)
-let generations dir =
+let generations ?(io = Io.real) dir =
   let snaps = ref [] and journals = ref [] in
-  (match Sys.readdir dir with
-  | exception Sys_error _ -> ()
-  | entries ->
-    Array.iter
-      (fun name ->
-        match String.split_on_char '.' name with
-        | [ "snapshot"; g ] ->
-          Option.iter (fun g -> snaps := g :: !snaps) (int_of_string_opt g)
-        | [ "journal"; g; "wal" ] ->
-          Option.iter (fun g -> journals := g :: !journals) (int_of_string_opt g)
-        | _ -> ())
-      entries);
+  Array.iter
+    (fun name ->
+      match String.split_on_char '.' name with
+      | [ "snapshot"; g ] ->
+        Option.iter (fun g -> snaps := g :: !snaps) (int_of_string_opt g)
+      | [ "journal"; g; "wal" ] ->
+        Option.iter (fun g -> journals := g :: !journals) (int_of_string_opt g)
+      | _ -> ())
+    (io.Io.readdir dir);
   (List.sort compare !snaps, List.sort compare !journals)
 
 let ( let* ) = Result.bind
@@ -147,17 +144,23 @@ let apply_events base_sessions ~next_id ~file events =
   in
   Ok (sessions, !next_id)
 
-let load dir =
-  let snaps, journals = generations dir in
+let load ?(io = Io.real) dir =
+  let snaps, journals = generations ~io dir in
   let generation =
-    match (List.rev snaps, List.rev journals) with
+    match (List.rev snaps, journals) with
     | g :: _, _ -> g  (* highest complete snapshot wins *)
-    | [], g :: _ -> g
+    | [], g :: _ ->
+      (* No snapshot anywhere: only the *lowest* journal can be a live
+         baseline.  A journal above it without its snapshot is the
+         orphan of a checkpoint that failed between creating the new
+         journal and removing it again — anchoring there would discard
+         (and then sweep) every acknowledged record below. *)
+      g
     | [], [] -> 0
   in
   let* base, next_id =
     if List.mem generation snaps then
-      let* snap = Snapshot.load (snapshot_path dir generation) in
+      let* snap = Snapshot.load ~io (snapshot_path dir generation) in
       Ok
         ( List.map
             (fun (s : Snapshot.session) ->
@@ -180,8 +183,8 @@ let load dir =
   in
   let jpath = journal_path dir generation in
   let* records, torn =
-    if Sys.file_exists jpath then
-      match Journal.scan jpath with
+    if io.Io.exists jpath then
+      match Journal.scan ~io jpath with
       | Ok (records, Journal.Complete) -> Ok (records, None)
       | Ok (records, Journal.Truncated { offset; bytes }) ->
         Ok (records, Some (offset, bytes))

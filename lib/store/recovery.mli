@@ -54,9 +54,9 @@ val snapshot_path : string -> int -> string
 val journal_path : string -> int -> string
 (** [journal_path dir g] is [DIR/journal.<g>.wal]. *)
 
-val load : string -> (t, string) result
+val load : ?io:Io.t -> string -> (t, string) result
 (** Read-only recovery of [dir].  A missing directory or an empty one is
     a valid fresh store (generation 0, no sessions).  Errors: a corrupt
     snapshot, a mid-log CRC/framing failure (the message names the file
     and byte offset), or a journal event that contradicts the state built
-    so far. *)
+    so far.  All reads go through [io] (default {!Io.real}). *)

@@ -110,46 +110,37 @@ let of_string text =
   let* sessions = sessions [] rest in
   Ok { next_id; sessions }
 
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()  (* best effort; not all FSes allow it *)
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-
-let write path t =
+(* Write-tmp / fsync / rename / fsync-dir, all through the pluggable
+   [Io.t] so a fault filesystem can cut power at any byte of the
+   snapshot protocol.  An injected power cut (a non-[Unix_error]
+   exception) propagates raw: it models the process dying, not an error
+   the checkpoint could handle. *)
+let write ?(io = Io.real) path t =
   let tmp = path ^ ".tmp" in
   match
-    let fd =
-      Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644
-    in
+    let file = io.Io.create tmp in
     Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      ~finally:(fun () -> try file.Io.close () with Unix.Unix_error _ -> ())
       (fun () ->
         let data = Bytes.of_string (to_string t) in
         let len = Bytes.length data in
         let rec go off =
-          if off < len then go (off + Unix.write fd data off (len - off))
+          if off < len then go (off + file.Io.write data off (len - off))
         in
         go 0;
-        Unix.fsync fd);
-    Unix.rename tmp path;
-    fsync_dir (Filename.dirname path)
+        file.Io.fsync ());
+    io.Io.rename tmp path;
+    io.Io.fsync_dir (Filename.dirname path)
   with
   | () -> Ok ()
   | exception Unix.Unix_error (e, op, _) ->
-    (try Sys.remove tmp with Sys_error _ -> ());
+    io.Io.remove tmp;
     Error (Printf.sprintf "snapshot %s: %s: %s" path op (Unix.error_message e))
 
-let load path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error msg -> Error msg
-  | text -> (
+let load ?(io = Io.real) path =
+  match io.Io.read_file path with
+  | Error msg -> Error msg
+  | Ok text -> (
     match of_string text with
     | Ok t -> Ok t
     | Error e -> Error (path ^ ": " ^ e))

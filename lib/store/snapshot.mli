@@ -51,7 +51,8 @@ type t = {
 val to_string : t -> string
 val of_string : string -> (t, string) result
 
-val write : string -> t -> (unit, string) result
-(** [write path t]: atomic create-and-rename with the fsync dance above. *)
+val write : ?io:Io.t -> string -> t -> (unit, string) result
+(** [write path t]: atomic create-and-rename with the fsync dance above,
+    through [io] (default {!Io.real}). *)
 
-val load : string -> (t, string) result
+val load : ?io:Io.t -> string -> (t, string) result

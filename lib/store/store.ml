@@ -12,6 +12,7 @@ type shadow = {
 
 type t = {
   dir : string;
+  io : Io.t;
   fsync : bool;
   snapshot_every : int;
   lock : Mutex.t;
@@ -104,20 +105,40 @@ let snapshot_of_shadow t =
 (* ------------------------------------------------------------------ *)
 (* Checkpoint: snapshot the shadow, rotate the journal, sweep.         *)
 
-let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+(* Caller holds [t.lock] and has quiesced appends ([t.inflight = 0]).
 
-(* Caller holds [t.lock] and has quiesced appends ([t.inflight = 0]). *)
+   Failure discipline: if the snapshot write fails, nothing changed —
+   the old generation stays live and the caller's exception leaves the
+   store usable (the checkpoint retries at the next due record).  If
+   the *new journal* creation fails after the snapshot landed, the
+   orphan snapshot must not survive: recovery picks the highest
+   complete snapshot, and generation g+1 with no journal would shadow
+   every event still being appended to generation g's journal.  *)
 let checkpoint_locked t =
   let g' = t.gen + 1 in
-  (match Snapshot.write (Recovery.snapshot_path t.dir g') (snapshot_of_shadow t) with
+  (match
+     Snapshot.write ~io:t.io (Recovery.snapshot_path t.dir g')
+       (snapshot_of_shadow t)
+   with
   | Ok () -> ()
   | Error m -> failwith m);
-  let journal' = Journal.create ~fsync:t.fsync (Recovery.journal_path t.dir g') in
+  let journal' =
+    try Journal.create ~fsync:t.fsync ~io:t.io (Recovery.journal_path t.dir g')
+    with exn ->
+      (* Unwind in the order that keeps every intermediate crash state
+         recoverable: the partial journal first (snapshot g' alone is a
+         complete baseline), then the snapshot.  The reverse order has a
+         window where journal g' exists without snapshot g' — an orphan
+         generation recovery must refuse to anchor on. *)
+      (try t.io.Io.remove (Recovery.journal_path t.dir g') with _ -> ());
+      (try t.io.Io.remove (Recovery.snapshot_path t.dir g') with _ -> ());
+      raise exn
+  in
   Journal.close t.journal;
   (* Everything up to here is durable in snapshot g'; the old generation
      is now redundant. *)
-  remove_if_exists (Recovery.journal_path t.dir t.gen);
-  remove_if_exists (Recovery.snapshot_path t.dir t.gen);
+  t.io.Io.remove (Recovery.journal_path t.dir t.gen);
+  t.io.Io.remove (Recovery.snapshot_path t.dir t.gen);
   t.journal <- journal';
   t.gen <- g';
   t.since_snapshot <- 0
@@ -127,18 +148,11 @@ let checkpoint_locked t =
 
 let ( let* ) = Result.bind
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let open_dir ?(fsync = true) ?(snapshot_every = 1024) dir =
+let open_dir ?(fsync = true) ?(snapshot_every = 1024) ?(io = Io.real) dir =
   if snapshot_every < 1 then invalid_arg "Store.open_dir: snapshot_every";
   match
-    mkdir_p dir;
-    Recovery.load dir
+    io.Io.mkdir_p dir;
+    Recovery.load ~io dir
   with
   | exception Sys_error m -> Error m
   | exception Unix.Unix_error (e, op, arg) ->
@@ -152,15 +166,16 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) dir =
       match recovered.Recovery.torn with
       | None | Some (0, _) -> Ok ()  (* 0: partial file header, recreate *)
       | Some (offset, _) ->
-        Journal.truncate recovered.Recovery.journal_path offset
+        Journal.truncate ~io recovered.Recovery.journal_path offset
     in
     let journal =
       match recovered.Recovery.torn with
-      | Some (0, _) -> Ok (Journal.create ~fsync recovered.Recovery.journal_path)
+      | Some (0, _) ->
+        Ok (Journal.create ~fsync ~io recovered.Recovery.journal_path)
       | _ ->
-        if Sys.file_exists recovered.Recovery.journal_path then
-          Journal.open_append ~fsync recovered.Recovery.journal_path
-        else Ok (Journal.create ~fsync recovered.Recovery.journal_path)
+        if io.Io.exists recovered.Recovery.journal_path then
+          Journal.open_append ~fsync ~io recovered.Recovery.journal_path
+        else Ok (Journal.create ~fsync ~io recovered.Recovery.journal_path)
     in
     match journal with
     | Error _ as e -> e
@@ -168,6 +183,7 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) dir =
       let t =
         {
           dir;
+          io;
           fsync;
           snapshot_every;
           lock = Mutex.create ();
@@ -206,8 +222,8 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) dir =
         recovered.Recovery.sessions;
       (* Stale lower generations (crash between rotate and sweep). *)
       for g = 0 to t.gen - 1 do
-        remove_if_exists (Recovery.journal_path dir g);
-        remove_if_exists (Recovery.snapshot_path dir g)
+        io.Io.remove (Recovery.journal_path dir g);
+        io.Io.remove (Recovery.snapshot_path dir g)
       done;
       Ok (t, recovered))
 

@@ -20,6 +20,7 @@ type t
 val open_dir :
   ?fsync:bool ->
   ?snapshot_every:int ->
+  ?io:Io.t ->
   string ->
   (t * Recovery.t, string) result
 (** Open (creating the directory if needed) and recover: load the latest
@@ -31,7 +32,8 @@ val open_dir :
     [fsync] (default [true]): turn off the durability barrier (benchmarks
     and tests only — acknowledged answers can then be lost to a crash).
     [snapshot_every] (default 1024): journal records between automatic
-    checkpoints. *)
+    checkpoints.  [io] (default {!Io.real}): the filesystem the store
+    runs against — a fault filesystem in tests. *)
 
 val record : t -> Event.t -> unit
 (** Journal one event; returns once it is durable.  May raise
