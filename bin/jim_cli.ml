@@ -386,7 +386,8 @@ let resolve_address socket tcp =
     | Error e -> Error e)
   | None, None -> Ok (Jim_server.Wire.Unix_path "/tmp/jim.sock")
 
-let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every =
+let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
+    stats_every =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim serve: %s\n" e;
@@ -436,7 +437,22 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every =
               (Jim_store.Store.generation st)
               restored)
           store;
+        Option.iter
+          (fun period ->
+            ignore
+              (Thread.create
+                 (fun () ->
+                   while true do
+                     Thread.delay period;
+                     Printf.printf "jim serve: wire: %s\n%!"
+                       (Jim_server.Netstats.to_string
+                          (Jim_server.Netstats.snapshot ()))
+                   done)
+                 ()))
+          stats_every;
         Jim_server.Wire.wait server;
+        Printf.printf "jim serve: wire: %s\n%!"
+          (Jim_server.Netstats.to_string (Jim_server.Netstats.snapshot ()));
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
         0))
 
@@ -486,7 +502,10 @@ let print_reports ?expected ~tolerate_drops verdict reports =
       else 0
 
 let run_client socket tcp batch smoke busy crash_start crash_resume state_file
-    tolerate_drops =
+    tolerate_drops binary =
+  let framing =
+    if binary then Jim_server.Wire.Binary else Jim_server.Wire.Line
+  in
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim client: %s\n" e;
@@ -496,7 +515,7 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file
     | Some clients, _, _, _ ->
       print_reports ~expected:clients ~tolerate_drops
         "bit-identical to the local run"
-        (Jim_server.Smoke.run ~clients ~address ())
+        (Jim_server.Smoke.run ~clients ~framing ~address ())
     | None, _, Some clients, _ ->
       print_reports ~expected:clients ~tolerate_drops
         "left half-answered for the crash drill"
@@ -521,7 +540,7 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file
         | None | Some "-" -> stdin
         | Some path -> open_in path
       in
-      match Jim_server.Wire.connect ~retries:50 address with
+      match Jim_server.Wire.connect ~retries:50 ~framing address with
       | Error e ->
         Printf.eprintf "jim client: connect: %s\n" e;
         1
@@ -838,16 +857,25 @@ let serve_cmd =
           ~doc:"Journal records between snapshot compactions (with \
                 $(b,--data-dir)).")
   in
+  let stats_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stats-every" ] ~docv:"SECONDS"
+          ~doc:"Print wire-layer counters (connections accepted / active / \
+                failed, malformed requests, bytes in/out) every $(docv) \
+                seconds.")
+  in
   let term =
     Term.(
-      const (fun () s t m i th d se -> run_serve s t m i th d se)
+      const (fun () s t m i th d se ste -> run_serve s t m i th d se ste)
       $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads
-      $ data_dir $ snapshot_every)
+      $ data_dir $ snapshot_every $ stats_every)
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve inference sessions: one JSON request per line, one JSON \
-             response per line.")
+       ~doc:"Serve inference sessions: JSON requests over line or \
+             negotiated binary framing.")
     term
 
 let client_cmd =
@@ -907,11 +935,20 @@ let client_cmd =
                 clean EOF) — for runs through a chaos proxy, where drops \
                 are the injected fault.  Divergent outcomes still fail.")
   in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Negotiate length-prefixed binary framing after connecting \
+                (smoke and batch modes).  Fails cleanly against a server \
+                that only speaks the line protocol.")
+  in
   let term =
     Term.(
-      const (fun s t b sm bu cs cr st td -> run_client s t b sm bu cs cr st td)
+      const (fun s t b sm bu cs cr st td bin ->
+          run_client s t b sm bu cs cr st td bin)
       $ socket_arg $ tcp_arg $ batch $ smoke $ busy $ crash_start
-      $ crash_resume $ state $ tolerate_drops)
+      $ crash_resume $ state $ tolerate_drops $ binary)
   in
   Cmd.v
     (Cmd.info "client"

@@ -121,13 +121,26 @@ let of_string s =
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
   in
+  (* Decode the digits by hand: [int_of_string "0x..."] accepts OCaml's
+     underscore-and-sign liberties, so "\u0_41" or "\u+041" would slip
+     through a parser built on it.  JSON allows exactly [0-9a-fA-F]. *)
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail (Printf.sprintf "bad \\u escape: %C is not a hex digit" c)
+  in
   let hex4 () =
     if !pos + 4 > n then fail "truncated \\u escape";
-    let h = String.sub s !pos 4 in
+    let c =
+      (hex_digit s.[!pos] lsl 12)
+      lor (hex_digit s.[!pos + 1] lsl 8)
+      lor (hex_digit s.[!pos + 2] lsl 4)
+      lor hex_digit s.[!pos + 3]
+    in
     pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some c -> c
-    | None -> fail "bad \\u escape"
+    c
   in
   let parse_string () =
     expect '"';

@@ -1,0 +1,90 @@
+(* Readiness polling for the wire event loop: epoll where the kernel has
+   it (Linux), a select fallback with the same interface elsewhere.
+
+   Interest and readiness are tiny int masks so no EPOLL* constants
+   cross the FFI; see epoll_stubs.c. *)
+
+external ep_create : unit -> Unix.file_descr = "jim_epoll_create"
+
+external ep_ctl : Unix.file_descr -> int -> Unix.file_descr -> int -> unit
+  = "jim_epoll_ctl"
+
+external ep_wait : Unix.file_descr -> int -> (Unix.file_descr * int) array
+  = "jim_epoll_wait"
+
+let in_bit = 1
+let out_bit = 2
+
+type t =
+  | Ep of Unix.file_descr
+  | Sel of (Unix.file_descr, int) Hashtbl.t
+      (* interest table for the fallback; wait () selects over it *)
+
+let create () =
+  match ep_create () with
+  | fd -> Ep fd
+  | exception Unix.Unix_error ((Unix.ENOSYS | Unix.EINVAL), _, _) ->
+    Sel (Hashtbl.create 64)
+
+let backed_by_epoll = function Ep _ -> true | Sel _ -> false
+
+let mask ~readable ~writable =
+  (if readable then in_bit else 0) lor if writable then out_bit else 0
+
+let add t fd ~readable ~writable =
+  match t with
+  | Ep ep -> ep_ctl ep 0 fd (mask ~readable ~writable)
+  | Sel tbl -> Hashtbl.replace tbl fd (mask ~readable ~writable)
+
+let modify t fd ~readable ~writable =
+  match t with
+  | Ep ep -> ep_ctl ep 1 fd (mask ~readable ~writable)
+  | Sel tbl -> Hashtbl.replace tbl fd (mask ~readable ~writable)
+
+let remove t fd =
+  match t with
+  | Ep ep -> (
+    (* Closing an fd deregisters it from epoll on its own, but the event
+       loop removes before closing; a second removal is benign. *)
+    try ep_ctl ep 2 fd 0 with Unix.Unix_error ((Unix.ENOENT | Unix.EBADF), _, _) -> ())
+  | Sel tbl -> Hashtbl.remove tbl fd
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool }
+
+let wait t ~timeout_ms =
+  match t with
+  | Ep ep ->
+    Array.to_list
+      (Array.map
+         (fun (fd, m) ->
+           { fd; readable = m land in_bit <> 0; writable = m land out_bit <> 0 })
+         (ep_wait ep timeout_ms))
+  | Sel tbl ->
+    let rs, ws =
+      Hashtbl.fold
+        (fun fd m (rs, ws) ->
+          ( (if m land in_bit <> 0 then fd :: rs else rs),
+            if m land out_bit <> 0 then fd :: ws else ws ))
+        tbl ([], [])
+    in
+    let timeout = float_of_int (max 0 timeout_ms) /. 1000. in
+    let rr, wr, _ =
+      try Unix.select rs ws [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let acc = Hashtbl.create 16 in
+    List.iter
+      (fun fd ->
+        Hashtbl.replace acc fd { fd; readable = true; writable = false })
+      rr;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt acc fd with
+        | Some e -> Hashtbl.replace acc fd { e with writable = true }
+        | None -> Hashtbl.replace acc fd { fd; readable = false; writable = true })
+      wr;
+    Hashtbl.fold (fun _ e acc -> e :: acc) acc []
+
+let close = function
+  | Ep ep -> ( try Unix.close ep with Unix.Unix_error _ -> ())
+  | Sel tbl -> Hashtbl.reset tbl

@@ -1,0 +1,30 @@
+(** Readiness polling for the event loop: epoll(7) on Linux, a
+    select-based fallback with identical semantics elsewhere (so the
+    loop's code is platform-independent and the fallback keeps CI honest
+    on other systems — at select's fd limits).
+
+    Level-triggered on both backends: a ready fd is reported on every
+    {!wait} until it is drained.  Hang-ups and socket errors surface as
+    readability — the next read returns EOF or the pending error. *)
+
+type t
+
+val create : unit -> t
+(** Prefers epoll; falls back to select where the stub raises
+    [ENOSYS]. *)
+
+val backed_by_epoll : t -> bool
+
+val add : t -> Unix.file_descr -> readable:bool -> writable:bool -> unit
+val modify : t -> Unix.file_descr -> readable:bool -> writable:bool -> unit
+
+val remove : t -> Unix.file_descr -> unit
+(** Forget the fd.  Call before closing it; removing an fd that is
+    already gone is benign. *)
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool }
+
+val wait : t -> timeout_ms:int -> event list
+(** Block up to [timeout_ms] for readiness; [[]] on timeout or EINTR. *)
+
+val close : t -> unit

@@ -1,0 +1,110 @@
+/* Minimal epoll binding for the wire event loop.
+
+   The OCaml Unix library stops at select/poll-era primitives; serving
+   thousands of mostly-idle connections from one thread wants epoll's
+   O(ready) wakeups.  Interest and readiness travel as small int masks
+   (1 = in, 2 = out) so the OCaml side never sees EPOLL* constants.
+
+   On non-Linux platforms every entry point raises ENOSYS and the OCaml
+   side falls back to a select-based poller with the same interface. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <string.h>
+
+#define JIM_POLL_IN 1
+#define JIM_POLL_OUT 2
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+CAMLprim value jim_epoll_create(value unit)
+{
+  int fd = epoll_create1(0);
+  if (fd == -1) caml_uerror("epoll_create1", Nothing);
+  return Val_int(fd);
+}
+
+/* op: 0 = add, 1 = mod, 2 = del */
+CAMLprim value jim_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  struct epoll_event ev;
+  int op;
+  memset(&ev, 0, sizeof ev);
+  if (Int_val(vmask) & JIM_POLL_IN) ev.events |= EPOLLIN;
+  if (Int_val(vmask) & JIM_POLL_OUT) ev.events |= EPOLLOUT;
+  ev.events |= EPOLLRDHUP;
+  ev.data.fd = Int_val(vfd);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev) == -1)
+    caml_uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define JIM_EPOLL_MAX_EVENTS 512
+
+CAMLprim value jim_epoll_wait(value vep, value vtimeout_ms)
+{
+  CAMLparam2(vep, vtimeout_ms);
+  CAMLlocal2(arr, pair);
+  struct epoll_event evs[JIM_EPOLL_MAX_EVENTS];
+  int n, i;
+
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(vep), evs, JIM_EPOLL_MAX_EVENTS, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+
+  if (n == -1) {
+    if (errno == EINTR) n = 0;
+    else caml_uerror("epoll_wait", Nothing);
+  }
+  arr = caml_alloc(n, 0);
+  for (i = 0; i < n; i++) {
+    int m = 0;
+    /* HUP/ERR surface as readability: the next read returns EOF or the
+       pending error, which is how the event loop learns of them. */
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR))
+      m |= JIM_POLL_IN;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR))
+      m |= JIM_POLL_OUT;
+    pair = caml_alloc_tuple(2);
+    Store_field(pair, 0, Val_int(evs[i].data.fd));
+    Store_field(pair, 1, Val_int(m));
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value jim_epoll_create(value unit)
+{
+  caml_unix_error(ENOSYS, "epoll_create1", Nothing);
+  return Val_unit;
+}
+
+CAMLprim value jim_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  caml_unix_error(ENOSYS, "epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+CAMLprim value jim_epoll_wait(value vep, value vtimeout_ms)
+{
+  caml_unix_error(ENOSYS, "epoll_wait", Nothing);
+  return Val_unit;
+}
+
+#endif

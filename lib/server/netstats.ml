@@ -1,0 +1,69 @@
+(* Process-wide wire-layer counters, the network-side sibling of
+   Jim_core.Metrics: every accept, close, failure, malformed request and
+   byte through the serve loop.  Atomic, so the event loop and the
+   worker pool update them without coordination. *)
+
+let accepted = Atomic.make 0
+let closed = Atomic.make 0
+let failed = Atomic.make 0
+let malformed = Atomic.make 0
+let bytes_in = Atomic.make 0
+let bytes_out = Atomic.make 0
+let binary_conns = Atomic.make 0
+let requests = Atomic.make 0
+
+let record_accept () = Atomic.incr accepted
+let record_close () = Atomic.incr closed
+let record_failure () = Atomic.incr failed
+let record_malformed () = Atomic.incr malformed
+let record_read n = ignore (Atomic.fetch_and_add bytes_in n)
+let record_write n = ignore (Atomic.fetch_and_add bytes_out n)
+let record_binary () = Atomic.incr binary_conns
+let record_request () = Atomic.incr requests
+
+type snapshot = {
+  accepted : int;
+  active : int;
+  closed : int;
+  failed : int;
+  malformed : int;
+  requests : int;
+  binary_conns : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
+let snapshot () =
+  let accepted = Atomic.get accepted and closed = Atomic.get closed in
+  {
+    accepted;
+    closed;
+    active = max 0 (accepted - closed);
+    failed = Atomic.get failed;
+    malformed = Atomic.get malformed;
+    requests = Atomic.get requests;
+    binary_conns = Atomic.get binary_conns;
+    bytes_in = Atomic.get bytes_in;
+    bytes_out = Atomic.get bytes_out;
+  }
+
+let reset () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ accepted; closed; failed; malformed; bytes_in; bytes_out;
+      binary_conns; requests ]
+
+let to_string s =
+  Printf.sprintf
+    "conns %d accepted / %d active / %d failed · %d requests (%d binary \
+     conns, %d malformed) · %d B in / %d B out"
+    s.accepted s.active s.failed s.requests s.binary_conns s.malformed
+    s.bytes_in s.bytes_out
+
+let to_json s =
+  Printf.sprintf
+    "{\"accepted\":%d,\"active\":%d,\"closed\":%d,\"failed\":%d,\
+     \"malformed\":%d,\"requests\":%d,\"binary_conns\":%d,\
+     \"bytes_in\":%d,\"bytes_out\":%d}"
+    s.accepted s.active s.closed s.failed s.malformed s.requests
+    s.binary_conns s.bytes_in s.bytes_out

@@ -1,0 +1,39 @@
+(** Process-wide wire-layer counters: connections accepted / active /
+    failed, malformed requests, requests served, negotiated-binary
+    connections, and bytes in / out of the serve loop.  The network-side
+    sibling of {!Jim_core.Metrics} — atomic, updated by the event loop
+    and the worker pool, read by [jim serve] stats reporting and the
+    wire bench. *)
+
+type snapshot = {
+  accepted : int;  (** connections ever accepted *)
+  active : int;    (** accepted - closed *)
+  closed : int;
+  failed : int;
+      (** connections torn down by an I/O error or a framing violation,
+          as opposed to a clean peer close *)
+  malformed : int;
+      (** request payloads the protocol layer could not parse, plus
+          binary-framing violations *)
+  requests : int;  (** request payloads dispatched to the service *)
+  binary_conns : int;  (** connections that negotiated binary framing *)
+  bytes_in : int;
+  bytes_out : int;
+}
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+val to_string : snapshot -> string
+val to_json : snapshot -> string
+
+(** {1 Recording (called by the wire loop)} *)
+
+val record_accept : unit -> unit
+val record_close : unit -> unit
+val record_failure : unit -> unit
+val record_malformed : unit -> unit
+val record_read : int -> unit
+val record_write : int -> unit
+val record_binary : unit -> unit
+val record_request : unit -> unit

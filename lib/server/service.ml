@@ -487,13 +487,15 @@ let handle t req =
   | P.Get_transcript { session } -> with_session t session do_transcript
   | P.End_session { session } -> end_session t session
 
-let handle_line t line =
-  let resp =
-    match P.request_of_string line with
-    | Error e -> P.Failed e
-    | Ok req -> (
+let handle_line_status t line =
+  match P.request_of_string line with
+  | Error e -> (P.response_to_string (P.Failed e), false)
+  | Ok req ->
+    let resp =
       try handle t req
       with exn ->
-        P.Failed (P.Bad_request ("internal error: " ^ Printexc.to_string exn)))
-  in
-  P.response_to_string resp
+        P.Failed (P.Bad_request ("internal error: " ^ Printexc.to_string exn))
+    in
+    (P.response_to_string resp, true)
+
+let handle_line t line = fst (handle_line_status t line)

@@ -53,9 +53,15 @@ val handle : t -> Jim_api.Protocol.request -> Jim_api.Protocol.response
     [Failed (Bad_request _)] reply. *)
 
 val handle_line : t -> string -> string
-(** The line-delimited wire entry point: parse (version check included),
-    {!handle}, print.  Always returns exactly one JSON line (without the
-    trailing newline). *)
+(** The wire entry point: parse one request payload (version check
+    included), {!handle}, print.  Always returns exactly one JSON
+    payload (without any trailing newline) — the transport framing
+    around it is the wire layer's business. *)
+
+val handle_line_status : t -> string -> string * bool
+(** Like {!handle_line}, also saying whether the request payload parsed
+    at all ([false] = malformed / wrong version — the wire layer counts
+    these in {!Netstats}-style metrics without re-parsing). *)
 
 val sweep : t -> int
 (** Evict sessions idle longer than the TTL; returns how many died. *)

@@ -125,8 +125,8 @@ let drive_over conn ~seed ~strategy =
          (Jim_partition.Partition.to_string expected.Session.query)
          expected.Session.interactions)
 
-let drive_one ~address ~seed ~strategy =
-  match Wire.connect ~retries:50 address with
+let drive_one ?(framing = Wire.Line) ~address ~seed ~strategy () =
+  match Wire.connect ~retries:50 ~framing address with
   | Error msg ->
     report ~seed ~strategy ~questions:0
       (Error { transport = true; msg = "connect: " ^ msg })
@@ -140,7 +140,7 @@ let drive_one ~address ~seed ~strategy =
     Wire.close conn;
     report ~seed ~strategy ~questions outcome
 
-let run ?(clients = 32) ~address () =
+let run ?(clients = 32) ?(framing = Wire.Line) ~address () =
   let reports = ref [] in
   let lock = Mutex.create () in
   let spawn i =
@@ -150,7 +150,7 @@ let run ?(clients = 32) ~address () =
         let strategy =
           if i mod 2 = 0 then "lookahead-entropy" else "random"
         in
-        let r = drive_one ~address ~seed ~strategy in
+        let r = drive_one ~framing ~address ~seed ~strategy () in
         Mutex.lock lock;
         reports := r :: !reports;
         Mutex.unlock lock)

@@ -18,13 +18,24 @@ type client_report = {
 }
 
 val drive_one :
-  address:Wire.address -> seed:int -> strategy:string -> client_report
+  ?framing:Wire.framing ->
+  address:Wire.address ->
+  seed:int ->
+  strategy:string ->
+  unit ->
+  client_report
 (** One client, one session: start a synthetic instance (deterministic in
     [seed], so the goal — and hence the oracle — is reconstructed
     locally), loop question/answer to completion, fetch the outcome and
-    compare with the local reference run. *)
+    compare with the local reference run.  [framing] (default [Line])
+    selects the wire framing — the outcome bar is identical under both. *)
 
-val run : ?clients:int -> address:Wire.address -> unit -> client_report list
+val run :
+  ?clients:int ->
+  ?framing:Wire.framing ->
+  address:Wire.address ->
+  unit ->
+  client_report list
 (** [clients] (default 32) threads, one {!drive_one} each, alternating
     strategies (lookahead-entropy / random) and distinct seeds.  Reports
     come back sorted by seed. *)

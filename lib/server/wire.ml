@@ -3,23 +3,47 @@ module P = Jim_api.Protocol
 type address = Tcp of string * int | Unix_path of string
 
 let address_to_string = function
-  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Tcp (host, port) ->
+    (* IPv6 literals go back out in the same bracket syntax
+       [address_of_string] accepts, so the two stay inverses. *)
+    if String.contains host ':' then Printf.sprintf "[%s]:%d" host port
+    else Printf.sprintf "%s:%d" host port
   | Unix_path path -> "unix:" ^ path
 
 let address_of_string s =
   let prefix = "unix:" in
   let plen = String.length prefix in
+  let parse_port host port =
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 ->
+      Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+    | _ -> Error (Printf.sprintf "bad port %S" port)
+  in
   if String.length s >= plen && String.sub s 0 plen = prefix then
     Ok (Unix_path (String.sub s plen (String.length s - plen)))
+  else if String.length s > 0 && s.[0] = '[' then
+    (* [v6-literal]:PORT — the only unambiguous way to write an IPv6
+       host, which contains colons itself. *)
+    match String.index_opt s ']' with
+    | None -> Error (Printf.sprintf "bad address %S (unclosed '[')" s)
+    | Some i ->
+      let host = String.sub s 1 (i - 1) in
+      if i + 1 >= String.length s || s.[i + 1] <> ':' then
+        Error (Printf.sprintf "bad address %S (want [HOST]:PORT)" s)
+      else if host = "" then Error (Printf.sprintf "bad address %S (empty host)" s)
+      else parse_port host (String.sub s (i + 2) (String.length s - i - 2))
   else
     match String.rindex_opt s ':' with
-    | Some i -> (
-      let host = String.sub s 0 i in
-      let port = String.sub s (i + 1) (String.length s - i - 1) in
-      match int_of_string_opt port with
-      | Some p when p >= 0 && p < 65536 ->
-        Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
-      | _ -> Error (Printf.sprintf "bad port %S" port))
+    | Some i when String.index s ':' <> i ->
+      (* Splitting a bare multi-colon spec on the last colon would
+         silently misread ::1:9090 as host "::1" — or worse; refuse. *)
+      Error
+        (Printf.sprintf
+           "ambiguous address %S: IPv6 literals need brackets, as in [::1]:9090"
+           s)
+    | Some i ->
+      parse_port (String.sub s 0 i)
+        (String.sub s (i + 1) (String.length s - i - 1))
     | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT or unix:PATH)" s)
 
 let inet_addr host =
@@ -35,9 +59,12 @@ let sockaddr_of = function
   | Unix_path path -> Unix.ADDR_UNIX path
   | Tcp (host, port) -> Unix.ADDR_INET (inet_addr host, port)
 
-let socket_for = function
-  | Unix_path _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
-  | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+let socket_for addr =
+  (* The socket family must match the resolved address: an AF_INET socket
+     cannot bind or connect ::1. *)
+  match sockaddr_of addr with
+  | Unix.ADDR_UNIX _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | sa -> Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0
 
 let ignore_sigpipe () =
   match Sys.signal Sys.sigpipe Sys.Signal_ignore with
@@ -45,92 +72,418 @@ let ignore_sigpipe () =
   | exception Invalid_argument _ -> ()  (* not a POSIX platform *)
 
 (* ------------------------------------------------------------------ *)
-(* Server                                                              *)
+(* Server: an epoll event loop                                         *)
+
+(* One event-loop thread owns every socket: non-blocking reads and
+   writes, per-connection buffers, framing negotiation.  Parsed request
+   payloads go to a worker pool (scoring is the expensive part and must
+   not stall the loop); completed responses come back over a queue plus
+   a wake pipe.  A thousand mostly-idle clients therefore cost a
+   thousand fds in one epoll set, not a thousand blocked threads. *)
+
+type framing = Line | Binary
+
+(* A growable byte queue: the per-connection read and write buffer.
+   Data lives in [buf.[off .. off+len-1]]; consumption slides [off],
+   [reserve] compacts or grows.  Reused across every read and every
+   response on the connection — no per-request allocation. *)
+module Bq = struct
+  type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+  let create n = { buf = Bytes.create (max 16 n); off = 0; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let reserve t extra =
+    if t.off + t.len + extra > Bytes.length t.buf then begin
+      if t.off > 0 then begin
+        Bytes.blit t.buf t.off t.buf 0 t.len;
+        t.off <- 0
+      end;
+      if t.len + extra > Bytes.length t.buf then begin
+        let cap = ref (max 64 (Bytes.length t.buf)) in
+        while t.len + extra > !cap do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit t.buf 0 nb 0 t.len;
+        t.buf <- nb
+      end
+    end
+
+  let add_string t s =
+    let n = String.length s in
+    reserve t n;
+    Bytes.blit_string s 0 t.buf (t.off + t.len) n;
+    t.len <- t.len + n
+
+  let add_frame t payload =
+    let n = String.length payload in
+    reserve t (Frame.header_size + n);
+    let base = t.off + t.len in
+    Bytes.set t.buf base (Char.chr (n land 0xff));
+    Bytes.set t.buf (base + 1) (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set t.buf (base + 2) (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set t.buf (base + 3) (Char.chr ((n lsr 24) land 0xff));
+    Bytes.blit_string payload 0 t.buf (base + Frame.header_size) n;
+    t.len <- t.len + Frame.header_size + n
+
+  let take_string t n =
+    let s = Bytes.sub_string t.buf t.off n in
+    t.off <- t.off + n;
+    t.len <- t.len - n;
+    if t.len = 0 then t.off <- 0;
+    s
+
+  let consume t n =
+    t.off <- t.off + n;
+    t.len <- t.len - n;
+    if t.len = 0 then t.off <- 0
+
+  let index_newline t =
+    let rec go i =
+      if i >= t.len then None
+      else if Bytes.get t.buf (t.off + i) = '\n' then Some i
+      else go (i + 1)
+    in
+    go 0
+end
+
+type conn = {
+  fd : Unix.file_descr;
+  token : int;
+      (* completions address connections by token, never by fd: the
+         kernel reuses fd numbers the moment one closes, a token is
+         never reused — a late response can only be dropped, not
+         delivered to the wrong peer *)
+  mutable mode : framing;
+  rbuf : Bq.t;
+  wbuf : Bq.t;
+  pending : string Queue.t;  (* parsed payloads not yet dispatched *)
+  mutable in_flight : bool;  (* a worker holds this conn's next reply *)
+  mutable rd_closed : bool;  (* peer EOF seen; flush replies, then close *)
+  mutable want_out : bool;   (* registered for writability *)
+  mutable dead : bool;
+}
 
 type server = {
   service : Service.t;
   listen_fd : Unix.file_descr;
   bound : address;
-  queue : Unix.file_descr Queue.t;
-  qlock : Mutex.t;
-  qcond : Condition.t;
+  jobs : (int * string) Queue.t;  (* token, request payload *)
+  jlock : Mutex.t;
+  jcond : Condition.t;
+  completions : (int * string) Queue.t;  (* token, response payload *)
+  clock : Mutex.t;
   mutable stopping : bool;
   mutable pool : Thread.t list;
-      (* workers + acceptor + sweeper; joined on shutdown *)
+      (* event loop + workers + sweeper; joined on shutdown *)
+  wake_r : Unix.file_descr;
+      (* self-pipe: workers wake the event loop out of epoll_wait when a
+         completion lands (and shutdown wakes it to exit) *)
+  wake_w : Unix.file_descr;
   stop_r : Unix.file_descr;
       (* self-pipe: the sweeper sleeps in [select] on this instead of
          [Thread.delay], so shutdown can wake it instantly and join it *)
   stop_w : Unix.file_descr;
 }
 
-let handle_conn service fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let rec loop () =
-       match input_line ic with
-       | exception End_of_file -> ()
-       | line ->
-         let line = String.trim line in
-         if line <> "" then begin
-           output_string oc (Service.handle_line service line);
-           output_char oc '\n';
-           flush oc
-         end;
-         loop ()
-     in
-     loop ()
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  (* ic and oc share [fd]; close it once, ignoring the inevitable
-     second-close complaints from channel finalisers. *)
-  try Unix.close fd with Unix.Unix_error _ -> ()
+let wake srv =
+  (* Nonblocking: a full pipe already holds a pending wake. *)
+  try ignore (Unix.write srv.wake_w (Bytes.of_string "w") 0 1)
+  with Unix.Unix_error _ -> ()
 
 let worker srv =
   let rec next () =
-    Mutex.lock srv.qlock;
-    while Queue.is_empty srv.queue && not srv.stopping do
-      Condition.wait srv.qcond srv.qlock
+    Mutex.lock srv.jlock;
+    while Queue.is_empty srv.jobs && not srv.stopping do
+      Condition.wait srv.jcond srv.jlock
     done;
     let job =
-      if Queue.is_empty srv.queue then None else Some (Queue.pop srv.queue)
+      if Queue.is_empty srv.jobs then None else Some (Queue.pop srv.jobs)
     in
-    Mutex.unlock srv.qlock;
+    Mutex.unlock srv.jlock;
     match job with
     | None -> ()
-    | Some fd ->
-      handle_conn srv.service fd;
+    | Some (token, payload) ->
+      let resp, parsed = Service.handle_line_status srv.service payload in
+      if not parsed then Netstats.record_malformed ();
+      Mutex.lock srv.clock;
+      Queue.push (token, resp) srv.completions;
+      Mutex.unlock srv.clock;
+      wake srv;
       next ()
   in
   next ()
 
-(* A blocked [accept] is NOT woken when another thread closes the listen
-   fd (Linux leaves it sleeping), so the acceptor polls with [select] and
-   re-checks [stopping] between waits — shutdown is then bounded by one
-   poll interval instead of hanging the join. *)
-let acceptor srv =
-  let rec loop () =
-    if srv.stopping then ()
-    else
-      match Unix.select [ srv.listen_fd ] [] [] 0.2 with
-      | [], _, _ -> loop ()
-      | _ :: _, _, _ -> (
-        match Unix.accept srv.listen_fd with
-        | fd, _ ->
-          Mutex.lock srv.qlock;
-          Queue.push fd srv.queue;
-          Condition.signal srv.qcond;
-          Mutex.unlock srv.qlock;
-          loop ()
-        | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
-          loop ()
-        | exception Unix.Unix_error _ -> ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error _ ->
-        (* listen fd closed by [shutdown] (or a fatal error: either way
-           the accept loop is over) *)
-        ()
+let event_loop srv =
+  let poller = Epoll.create () in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in
+  let by_fd : (Unix.file_descr, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_token = ref 0 in
+  Epoll.add poller srv.listen_fd ~readable:true ~writable:false;
+  Epoll.add poller srv.wake_r ~readable:true ~writable:false;
+
+  let close_conn ?(failed = false) conn =
+    if not conn.dead then begin
+      conn.dead <- true;
+      Hashtbl.remove conns conn.token;
+      Hashtbl.remove by_fd conn.fd;
+      Epoll.remove poller conn.fd;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      Netstats.record_close ();
+      if failed then Netstats.record_failure ()
+    end
   in
-  loop ()
+  let maybe_close conn =
+    if
+      (not conn.dead) && conn.rd_closed && (not conn.in_flight)
+      && Queue.is_empty conn.pending
+      && Bq.is_empty conn.wbuf
+    then close_conn conn
+  in
+  let update_interest conn =
+    let want = not (Bq.is_empty conn.wbuf) in
+    if want <> conn.want_out then begin
+      conn.want_out <- want;
+      Epoll.modify poller conn.fd ~readable:true ~writable:want
+    end
+  in
+  let rec try_write conn =
+    if (not conn.dead) && not (Bq.is_empty conn.wbuf) then begin
+      match Unix.write conn.fd conn.wbuf.Bq.buf conn.wbuf.Bq.off conn.wbuf.Bq.len with
+      | n ->
+        Netstats.record_write n;
+        Bq.consume conn.wbuf n;
+        if n > 0 then try_write conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_write conn
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        close_conn ~failed:true conn
+    end;
+    if not conn.dead then begin
+      update_interest conn;
+      maybe_close conn
+    end
+  in
+  let dispatch conn =
+    if (not conn.dead) && (not conn.in_flight)
+       && not (Queue.is_empty conn.pending)
+    then begin
+      let payload = Queue.pop conn.pending in
+      conn.in_flight <- true;
+      Netstats.record_request ();
+      Mutex.lock srv.jlock;
+      Queue.push (conn.token, payload) srv.jobs;
+      Condition.signal srv.jcond;
+      Mutex.unlock srv.jlock
+    end
+  in
+  let enqueue_response conn payload =
+    (match conn.mode with
+    | Line ->
+      Bq.add_string conn.wbuf payload;
+      Bq.add_string conn.wbuf "\n"
+    | Binary -> Bq.add_frame conn.wbuf payload);
+    try_write conn
+  in
+  (* Extract every complete request sitting in the read buffer.  The
+     handshake line is only honoured before any request is in flight —
+     so switching framings can never reorder or reframe an earlier
+     reply. *)
+  let parse_conn conn =
+    let progress = ref true in
+    while !progress && not conn.dead do
+      progress := false;
+      match conn.mode with
+      | Line -> (
+        match Bq.index_newline conn.rbuf with
+        | Some i ->
+          let raw = Bq.take_string conn.rbuf i in
+          Bq.consume conn.rbuf 1;
+          let line = String.trim raw in
+          progress := true;
+          if line = "" then ()
+          else if
+            line = Frame.handshake_request
+            && (not conn.in_flight)
+            && Queue.is_empty conn.pending
+          then begin
+            conn.mode <- Binary;
+            Netstats.record_binary ();
+            Bq.add_string conn.wbuf (Frame.handshake_ack ^ "\n");
+            try_write conn
+          end
+          else Queue.push line conn.pending
+        | None ->
+          if Bq.length conn.rbuf > Frame.max_payload then begin
+            (* an endless line is not a protocol we speak *)
+            Netstats.record_malformed ();
+            close_conn ~failed:true conn
+          end
+          else if conn.rd_closed && not (Bq.is_empty conn.rbuf) then begin
+            (* final unterminated line before EOF: the old input_line
+               loop served it, so keep doing that *)
+            let raw = Bq.take_string conn.rbuf (Bq.length conn.rbuf) in
+            let line = String.trim raw in
+            if line <> "" then Queue.push line conn.pending
+          end)
+      | Binary -> (
+        match
+          Frame.decode conn.rbuf.Bq.buf ~off:conn.rbuf.Bq.off
+            ~len:conn.rbuf.Bq.len
+        with
+        | Frame.Frame (payload, used) ->
+          Bq.consume conn.rbuf used;
+          Queue.push payload conn.pending;
+          progress := true
+        | Frame.Need_more -> ()
+        | Frame.Junk _ ->
+          Netstats.record_malformed ();
+          close_conn ~failed:true conn)
+    done;
+    if not conn.dead then begin
+      dispatch conn;
+      maybe_close conn
+    end
+  in
+  let read_conn conn =
+    let rec go () =
+      Bq.reserve conn.rbuf 65536;
+      let room = Bytes.length conn.rbuf.Bq.buf - conn.rbuf.Bq.off - conn.rbuf.Bq.len in
+      match
+        Unix.read conn.fd conn.rbuf.Bq.buf (conn.rbuf.Bq.off + conn.rbuf.Bq.len) room
+      with
+      | 0 -> conn.rd_closed <- true
+      | n ->
+        Netstats.record_read n;
+        conn.rbuf.Bq.len <- conn.rbuf.Bq.len + n
+        (* level-triggered: anything left is reported on the next wait,
+           so one read per event keeps connections fair *)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        close_conn ~failed:true conn
+    in
+    go ();
+    if not conn.dead then parse_conn conn
+  in
+  let rec accept_loop () =
+    match Unix.accept srv.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      incr next_token;
+      let conn =
+        {
+          fd;
+          token = !next_token;
+          mode = Line;
+          rbuf = Bq.create 4096;
+          wbuf = Bq.create 4096;
+          pending = Queue.create ();
+          in_flight = false;
+          rd_closed = false;
+          want_out = false;
+          dead = false;
+        }
+      in
+      Hashtbl.replace conns conn.token conn;
+      Hashtbl.replace by_fd fd conn.token;
+      Epoll.add poller fd ~readable:true ~writable:false;
+      Netstats.record_accept ();
+      accept_loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+      accept_loop ()
+    | exception Unix.Unix_error _ -> ()  (* listen fd closed: shutting down *)
+  in
+  let drain_wake () =
+    let scratch = Bytes.create 256 in
+    let rec go () =
+      match Unix.read srv.wake_r scratch 0 256 with
+      | 256 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  let handle_completions () =
+    Mutex.lock srv.clock;
+    let batch = Queue.create () in
+    Queue.transfer srv.completions batch;
+    Mutex.unlock srv.clock;
+    Queue.iter
+      (fun (token, resp) ->
+        match Hashtbl.find_opt conns token with
+        | None -> ()  (* connection died while the worker was busy *)
+        | Some conn ->
+          conn.in_flight <- false;
+          enqueue_response conn resp;
+          if not conn.dead then begin
+            dispatch conn;
+            maybe_close conn
+          end)
+      batch
+  in
+  (* After [stopping] flips, linger briefly so replies already being
+     computed still go out — the contract is that in-flight requests
+     finish; idle connections are simply dropped. *)
+  let draining () =
+    Hashtbl.fold (fun _ c acc -> acc || c.in_flight || not (Bq.is_empty c.wbuf))
+      conns false
+  in
+  let deadline = ref None in
+  let rec run () =
+    let stop =
+      if not srv.stopping then false
+      else begin
+        (match !deadline with
+        | None -> deadline := Some (Unix.gettimeofday () +. 2.0)
+        | Some _ -> ());
+        (not (draining ()))
+        || (match !deadline with
+           | Some d -> Unix.gettimeofday () > d
+           | None -> false)
+      end
+    in
+    if not stop then begin
+      let timeout_ms = if srv.stopping then 20 else 200 in
+      let evs = Epoll.wait poller ~timeout_ms in
+      List.iter
+        (fun { Epoll.fd; readable; writable } ->
+          if fd = srv.listen_fd then begin
+            if readable && not srv.stopping then accept_loop ()
+          end
+          else if fd = srv.wake_r then begin
+            if readable then drain_wake ()
+          end
+          else
+            match Hashtbl.find_opt by_fd fd with
+            | None -> ()
+            | Some token -> (
+              match Hashtbl.find_opt conns token with
+              | None -> ()
+              | Some conn ->
+                if writable && not conn.dead then try_write conn;
+                if readable && not conn.dead then read_conn conn))
+        evs;
+      handle_completions ();
+      run ()
+    end
+  in
+  run ();
+  Hashtbl.iter
+    (fun _ conn ->
+      conn.dead <- true;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    conns;
+  Hashtbl.reset conns;
+  Hashtbl.reset by_fd;
+  Epoll.close poller
 
 let sweeper srv interval =
   let rec loop () =
@@ -155,6 +508,7 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
   | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
   Unix.bind fd (sockaddr_of addr);
   Unix.listen fd backlog;
+  Unix.set_nonblock fd;
   let bound =
     match addr with
     | Tcp (host, 0) -> (
@@ -163,17 +517,24 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
       | _ -> addr)
     | a -> a
   in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let stop_r, stop_w = Unix.pipe () in
   let srv =
     {
       service;
       listen_fd = fd;
       bound;
-      queue = Queue.create ();
-      qlock = Mutex.create ();
-      qcond = Condition.create ();
+      jobs = Queue.create ();
+      jlock = Mutex.create ();
+      jcond = Condition.create ();
+      completions = Queue.create ();
+      clock = Mutex.create ();
       stopping = false;
       pool = [];
+      wake_r;
+      wake_w;
       stop_r;
       stop_w;
     }
@@ -181,10 +542,10 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
   let workers =
     List.init (max 1 threads) (fun _ -> Thread.create worker srv)
   in
-  let acc = Thread.create acceptor srv in
+  let loop = Thread.create event_loop srv in
   let interval = Float.max 0.5 (Service.idle_ttl service /. 4.) in
   let swp = Thread.create (fun () -> sweeper srv (Float.min interval 30.)) () in
-  srv.pool <- swp :: acc :: workers;
+  srv.pool <- swp :: loop :: workers;
   srv
 
 let bound_address srv = srv.bound
@@ -193,18 +554,25 @@ let wait srv = List.iter Thread.join srv.pool
 let shutdown srv =
   srv.stopping <- true;
   (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
-  (* Wake the sweeper out of its select sleep. *)
+  (* Wake the event loop out of epoll_wait and the sweeper out of its
+     select sleep. *)
+  wake srv;
   (try ignore (Unix.write srv.stop_w (Bytes.of_string "x") 0 1)
    with Unix.Unix_error _ -> ());
-  Mutex.lock srv.qlock;
-  Condition.broadcast srv.qcond;
-  Mutex.unlock srv.qlock;
+  Mutex.lock srv.jlock;
+  Condition.broadcast srv.jcond;
+  Mutex.unlock srv.jlock;
   List.iter Thread.join srv.pool;
+  (try Unix.close srv.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close srv.wake_w with Unix.Unix_error _ -> ());
   (try Unix.close srv.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close srv.stop_w with Unix.Unix_error _ -> ());
-  (* drain connections that were queued but never picked up *)
-  Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) srv.queue;
-  Queue.clear srv.queue;
+  Mutex.lock srv.jlock;
+  Queue.clear srv.jobs;
+  Mutex.unlock srv.jlock;
+  Mutex.lock srv.clock;
+  Queue.clear srv.completions;
+  Mutex.unlock srv.clock;
   match srv.bound with
   | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ()
@@ -212,15 +580,49 @@ let shutdown srv =
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)
 
-type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type client = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  framing : framing;
+}
 
-let connect ?(retries = 0) addr =
+let client_framing c = c.framing
+
+let negotiate_binary fd ic oc =
+  match
+    output_string oc Frame.handshake_request;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  with
+  | ack when ack = Frame.handshake_ack -> Ok { fd; ic; oc; framing = Binary }
+  | ack ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error ("server refused binary framing: " ^ ack)
+  | exception End_of_file ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error "server closed the connection during framing negotiation"
+  | exception Sys_error msg ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error msg
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let connect ?(retries = 0) ?(framing = Line) addr =
   ignore_sigpipe ();
   let rec attempt k =
     let fd = socket_for addr in
     match Unix.connect fd (sockaddr_of addr) with
-    | () ->
-      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | () -> (
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      match framing with
+      | Line -> Ok { fd; ic; oc; framing = Line }
+      | Binary -> negotiate_binary fd ic oc)
     | exception Unix.Unix_error ((ECONNREFUSED | ENOENT) as e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       if k < retries then begin
@@ -235,16 +637,44 @@ let connect ?(retries = 0) addr =
   attempt 0
 
 let call_line c line =
-  match
-    output_string c.oc line;
-    output_char c.oc '\n';
-    flush c.oc;
-    input_line c.ic
-  with
-  | reply -> Ok reply
-  | exception End_of_file -> Error "server closed the connection"
-  | exception Sys_error msg -> Error msg
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  match c.framing with
+  | Line -> (
+    match
+      output_string c.oc line;
+      output_char c.oc '\n';
+      flush c.oc;
+      input_line c.ic
+    with
+    | reply -> Ok reply
+    | exception End_of_file -> Error "server closed the connection"
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  | Binary -> (
+    match
+      let n = String.length line in
+      if n > Frame.max_payload then failwith "request too large to frame";
+      output_char c.oc (Char.chr (n land 0xff));
+      output_char c.oc (Char.chr ((n lsr 8) land 0xff));
+      output_char c.oc (Char.chr ((n lsr 16) land 0xff));
+      output_char c.oc (Char.chr ((n lsr 24) land 0xff));
+      output_string c.oc line;
+      flush c.oc;
+      let hdr = really_input_string c.ic Frame.header_size in
+      let len =
+        Char.code hdr.[0]
+        lor (Char.code hdr.[1] lsl 8)
+        lor (Char.code hdr.[2] lsl 16)
+        lor (Char.code hdr.[3] lsl 24)
+      in
+      if len < 0 || len > Frame.max_payload then
+        failwith (Printf.sprintf "bad reply frame length %d" len);
+      really_input_string c.ic len
+    with
+    | reply -> Ok reply
+    | exception End_of_file -> Error "server closed the connection"
+    | exception Failure msg -> Error msg
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
 
 let call c req =
   match call_line c (P.request_to_string req) with

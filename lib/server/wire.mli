@@ -1,20 +1,39 @@
-(** Line-delimited JSON over a socket: the transport under {!Service}.
+(** The transport under {!Service}: JSON payloads over a socket, in
+    either of two framings.
 
-    One request line in, one response line out, connections multiplexed
-    over a fixed thread pool (a worker owns a connection until the peer
-    closes it — size the pool for the expected concurrent clients).  A
-    housekeeping thread runs {!Service.sweep} periodically so idle
-    sessions die even when no one is connecting. *)
+    Every connection starts in {e line} framing — one request payload
+    per line in, one response payload per line out, byte-compatible with
+    every earlier version of this protocol.  A client may send the
+    handshake line [Frame.handshake_request] before its first request;
+    the server acks with the same line and both sides switch to {e
+    binary} framing — a 4-byte little-endian length prefix before each
+    payload (see {!Frame}).  Old servers reply to the handshake with a
+    JSON parse error, which a new client reports cleanly — negotiation
+    never breaks a line-only peer.
+
+    The serve loop is a single epoll event-loop thread owning every
+    socket (non-blocking, per-connection reuseable read/write buffers)
+    plus a worker pool that only runs {!Service.handle_line_status} —
+    so thousands of mostly-idle connections cost file descriptors, not
+    threads.  Falls back to a [select]-backed poller on systems without
+    epoll (see {!Epoll}).  A housekeeping thread runs {!Service.sweep}
+    periodically so idle sessions die even when no one is connecting.
+    Wire-level counters (accepted / active / failed connections,
+    malformed payloads, bytes in/out) are recorded in {!Netstats}. *)
 
 type address =
   | Tcp of string * int  (** host, port (port 0 lets the kernel pick) *)
   | Unix_path of string
 
 val address_to_string : address -> string
-(** ["host:port"] or ["unix:/path"]. *)
+(** ["host:port"], ["[v6host]:port"] for hosts containing [':'], or
+    ["unix:/path"]. *)
 
 val address_of_string : string -> (address, string) result
-(** Inverse of {!address_to_string}: ["unix:PATH"] or ["HOST:PORT"]. *)
+(** Inverse of {!address_to_string}: ["unix:PATH"], ["HOST:PORT"] or
+    ["[HOST]:PORT"].  IPv6 literals must be bracketed — a bare
+    multi-colon spec like ["::1:9090"] is rejected as ambiguous rather
+    than silently split at the last colon. *)
 
 val sockaddr_of : address -> Unix.sockaddr
 (** May raise [Failure] for an unresolvable host. *)
@@ -24,36 +43,49 @@ val socket_for : address -> Unix.file_descr
     components (e.g. {!Chaos}) that listen on an [address] without being
     a {!server}. *)
 
+(** {1 Framing} *)
+
+type framing =
+  | Line    (** newline-delimited JSON; the universal default *)
+  | Binary  (** length-prefixed JSON, negotiated via {!Frame} handshake *)
+
 (** {1 Server} *)
 
 type server
 
 val serve : ?threads:int -> ?backlog:int -> Service.t -> address -> server
-(** Bind, listen and start the pool ([threads] workers, default 16); the
-    call returns immediately.  For [Tcp (_, 0)] the kernel-chosen port is
-    reflected in {!bound_address}.  Raises [Unix.Unix_error] if the bind
-    fails.  Ignores [SIGPIPE] process-wide (abandoned connections must
-    not kill the server). *)
+(** Bind, listen and start the event loop plus [threads] workers
+    (default 16); the call returns immediately.  For [Tcp (_, 0)] the
+    kernel-chosen port is reflected in {!bound_address}.  Raises
+    [Unix.Unix_error] if the bind fails.  Ignores [SIGPIPE]
+    process-wide (abandoned connections must not kill the server). *)
 
 val bound_address : server -> address
 
 val wait : server -> unit
-(** Block until the server is shut down (joins the acceptor). *)
+(** Block until the server is shut down (joins the pool). *)
 
 val shutdown : server -> unit
-(** Stop accepting, wake the pool — including the idle-session sweeper,
-    which sleeps on a self-pipe so it can be interrupted instantly — join
-    every thread, and unlink a Unix-domain socket path.  Connections
-    currently being served finish their in-flight line.  No thread
-    outlives this call. *)
+(** Stop accepting, wake the event loop and the idle-session sweeper
+    (both sleep on self-pipes so they can be interrupted instantly),
+    join every thread, and unlink a Unix-domain socket path.  Replies
+    already being computed are flushed (bounded by a short drain
+    deadline); idle connections are dropped.  No thread outlives this
+    call. *)
 
 (** {1 Client} *)
 
 type client
 
-val connect : ?retries:int -> address -> (client, string) result
+val connect :
+  ?retries:int -> ?framing:framing -> address -> (client, string) result
 (** [retries] (default 0) extra attempts, 100 ms apart, while the server
-    side is still coming up (connection refused / socket not yet bound). *)
+    side is still coming up (connection refused / socket not yet bound).
+    [framing = Binary] (default [Line]) performs the handshake right
+    after connecting and fails with a clear error if the server does not
+    speak it. *)
+
+val client_framing : client -> framing
 
 val set_timeout : client -> float -> unit
 (** Receive timeout in seconds: a reply overdue past it makes the next
@@ -61,7 +93,8 @@ val set_timeout : client -> float -> unit
     where the socket option is unsupported). *)
 
 val call_line : client -> string -> (string, string) result
-(** Send one raw line, read one line back. *)
+(** Send one request payload, read one response payload back — framed
+    per the connection's negotiated framing. *)
 
 val call :
   client -> Jim_api.Protocol.request ->

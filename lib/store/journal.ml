@@ -14,6 +14,10 @@ type t = {
   mutable syncing : bool;  (* a leader's fsync is in flight *)
   mutable failed : bool;  (* poisoned by a write/fsync failure *)
   mutable closed : bool;
+  mutable scratch : Bytes.t;
+      (* record assembly buffer, reused across appends; only touched
+         under [lock] and only before the bytes reach [write], so a
+         leader releasing the lock for its fsync cannot race it *)
 }
 
 exception Poisoned
@@ -38,10 +42,10 @@ let get_le32 buf off =
   lor (Char.code (Bytes.get buf (off + 2)) lsl 16)
   lor (Char.code (Bytes.get buf (off + 3)) lsl 24)
 
-let write_all (file : Io.file) buf =
-  let len = Bytes.length buf in
-  let rec go off = if off < len then go (off + file.Io.write buf off (len - off)) in
-  go 0
+let write_all (file : Io.file) buf off len =
+  let stop = off + len in
+  let rec go off = if off < stop then go (off + file.Io.write buf off (stop - off)) in
+  go off
 
 let of_file ~fsync ~written file =
   {
@@ -54,11 +58,12 @@ let of_file ~fsync ~written file =
     syncing = false;
     failed = false;
     closed = false;
+    scratch = Bytes.create 512;
   }
 
 let create ?(fsync = true) ?(io = Io.real) path =
   let file = io.Io.create path in
-  write_all file (Bytes.of_string file_magic);
+  write_all file (Bytes.of_string file_magic) 0 header_size;
   if fsync then file.Io.fsync ();
   of_file ~fsync ~written:header_size file
 
@@ -78,9 +83,15 @@ let open_append ?(fsync = true) ?(io = Io.real) path =
       | Error m -> Error (Printf.sprintf "%s: %s" path m)
       | Ok (file, size) -> Ok (of_file ~fsync ~written:size file))
 
-let record payload =
+(* Assemble the record into [t.scratch] (growing it if the payload needs
+   more room); returns the record's total length.  Caller holds the
+   lock. *)
+let record_into t payload =
   let plen = String.length payload in
-  let buf = Bytes.create (record_header_size + plen) in
+  let total = record_header_size + plen in
+  if Bytes.length t.scratch < total then
+    t.scratch <- Bytes.create (max total (2 * Bytes.length t.scratch));
+  let buf = t.scratch in
   Bytes.blit_string record_magic 0 buf 0 4;
   Bytes.set buf 4 record_version;
   put_le32 buf 5 plen;
@@ -89,7 +100,7 @@ let record payload =
        (Int32.logand (Crc32.digest_string payload) 0xffffffffl)
     land 0xffffffff);
   Bytes.blit_string payload 0 buf record_header_size plen;
-  buf
+  total
 
 (* Group commit: write under the lock, then wait until some leader's
    fsync barrier covers our bytes.  The first waiter whose bytes are not
@@ -106,7 +117,6 @@ let record payload =
    confined to the (unacknowledged) tail where recovery can cut it,
    instead of becoming mid-log corruption under acknowledged records. *)
 let append t payload =
-  let buf = record payload in
   Mutex.lock t.lock;
   if t.closed then begin
     Mutex.unlock t.lock;
@@ -116,14 +126,15 @@ let append t payload =
     Mutex.unlock t.lock;
     raise Poisoned
   end;
-  (match write_all t.file buf with
+  let total = record_into t payload in
+  (match write_all t.file t.scratch 0 total with
   | () -> ()
   | exception exn ->
     t.failed <- true;
     Condition.broadcast t.cond;
     Mutex.unlock t.lock;
     raise exn);
-  t.written <- t.written + Bytes.length buf;
+  t.written <- t.written + total;
   let ticket = t.written in
   if not t.fsync then Mutex.unlock t.lock
   else begin

@@ -419,6 +419,34 @@ let test_json_trailing_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing garbage accepted"
 
+let test_unicode_escapes () =
+  (* \u escapes take exactly four hex digits from [0-9a-fA-F].
+     [int_of_string "0x..."] would also accept underscores and sign
+     characters ("0_41", "+041"), so the digits are decoded by hand —
+     pin both the accepts and the rejects. *)
+  (match Json.of_string {|"\u0041"|} with
+  | Ok (Json.String "A") -> ()
+  | Ok v -> Alcotest.fail ("\\u0041 decoded to " ^ Json.to_string v)
+  | Error e -> Alcotest.fail ("\\u0041 rejected: " ^ e));
+  (match Json.of_string {|"\uD83D\uDE00"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "surrogate pair decodes to UTF-8"
+      "\xf0\x9f\x98\x80" s
+  | Error e -> Alcotest.fail ("surrogate pair rejected: " ^ e)
+  | Ok v -> Alcotest.fail ("surrogate pair decoded to " ^ Json.to_string v));
+  let reject s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok v ->
+      Alcotest.fail (Printf.sprintf "%s accepted as %s" s (Json.to_string v))
+  in
+  reject {|"\u0_41"|};
+  reject {|"\u+041"|};
+  reject {|"\u-041"|};
+  reject {|"\u00G1"|};
+  reject {|"\u 041"|};
+  reject {|"\u004"|}
+
 (* ------------------------------------------------------------------ *)
 (* Strategy name table                                                 *)
 
@@ -468,6 +496,7 @@ let () =
           Alcotest.test_case "malformed input" `Quick test_malformed;
           Alcotest.test_case "label encoding" `Quick test_label_encoding;
           Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
+          Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
         ] );
       ( "strategy names",
         [ Alcotest.test_case "of_string/to_string" `Quick test_strategy_roundtrip ] );

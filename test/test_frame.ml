@@ -1,0 +1,177 @@
+(* The binary frame codec, held to the standard a network parser needs:
+   encode/decode round-trips for arbitrary payloads (newlines, NULs,
+   large blobs — bytes the line framing could never carry), and total
+   decoding — every prefix of a valid stream yields the decoded frames
+   then [Need_more], never an exception; garbage yields [Junk] with a
+   reason, never a hang-sized length to wait on. *)
+
+module Frame = Jim_server.Frame
+
+(* Decode every complete frame from [s] starting at [off]; returns the
+   payloads and the verdict on the remainder. *)
+let drain s =
+  let rec go off acc =
+    match Frame.decode_string s ~off with
+    | Frame.Frame (payload, used) -> go (off + used) (payload :: acc)
+    | Frame.Need_more -> (List.rev acc, `Need_more (String.length s - off))
+    | Frame.Junk msg -> (List.rev acc, `Junk msg)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+
+let test_roundtrip_simple () =
+  let payload = {|{"v":1,"op":"get_question","session":3}|} in
+  let s = Frame.to_string payload in
+  Alcotest.(check int) "frame size" (Frame.header_size + String.length payload)
+    (String.length s);
+  match drain s with
+  | [ got ], `Need_more 0 -> Alcotest.(check string) "payload" payload got
+  | _ -> Alcotest.fail "expected exactly one frame"
+
+let test_roundtrip_hostile_bytes () =
+  (* The whole point of binary framing: payloads the line protocol
+     cannot carry. *)
+  [ ""; "\n"; "a\nb"; String.make 3 '\000'; "JIMBIN 1"; String.make 100_000 'x' ]
+  |> List.iter (fun payload ->
+         match drain (Frame.to_string payload) with
+         | [ got ], `Need_more 0 ->
+           Alcotest.(check string) "payload survives" payload got
+         | _ -> Alcotest.fail "expected exactly one frame")
+
+let test_concatenated_frames () =
+  let payloads = [ "alpha"; ""; "gamma\n"; "{\"k\":0}" ] in
+  let s = String.concat "" (List.map Frame.to_string payloads) in
+  match drain s with
+  | got, `Need_more 0 ->
+    Alcotest.(check (list string)) "all frames decoded" payloads got
+  | _ -> Alcotest.fail "stream ended badly"
+
+let test_length_bomb () =
+  (* A length field past max_payload must be Junk immediately — a parser
+     that waits for 2^31 bytes is a resource-exhaustion bug. *)
+  let bomb = "\xff\xff\xff\x7f" in
+  (match Frame.decode_string bomb ~off:0 with
+  | Frame.Junk _ -> ()
+  | Frame.Frame _ -> Alcotest.fail "decoded a 2 GiB length as a frame"
+  | Frame.Need_more -> Alcotest.fail "waiting on a 2 GiB frame");
+  (* Negative when read as a signed 32-bit value. *)
+  match Frame.decode_string "\x00\x00\x00\x80" ~off:0 with
+  | Frame.Junk _ -> ()
+  | _ -> Alcotest.fail "negative length accepted"
+
+let test_encode_refuses_oversize () =
+  match Frame.to_string (String.make (Frame.max_payload + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoded a payload past max_payload"
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+
+let payload_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, string_size (int_range 0 64));
+        (2, string_size ~gen:(return '\n') (int_range 1 4));
+        (2, string_size ~gen:(char_range '\000' '\255') (int_range 0 256));
+        (1, string_size (int_range 4000 70_000));
+      ])
+
+let payloads_arb =
+  QCheck.make
+    ~print:(fun ps ->
+      String.concat "," (List.map (Printf.sprintf "%S") ps))
+    QCheck.Gen.(list_size (int_range 1 5) payload_gen)
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"encode/decode round-trips any payloads"
+    payloads_arb (fun payloads ->
+      let s = String.concat "" (List.map Frame.to_string payloads) in
+      match drain s with
+      | got, `Need_more 0 -> got = payloads
+      | _, `Need_more n ->
+        QCheck.Test.fail_reportf "%d undecoded trailing bytes" n
+      | _, `Junk msg -> QCheck.Test.fail_reportf "valid stream judged junk: %s" msg)
+
+(* Every prefix of a valid stream: the decoder must return exactly the
+   frames wholly inside the prefix, then Need_more — never Junk, never
+   an exception, never a frame it invented. *)
+let prefix_prop =
+  QCheck.Test.make ~count:100 ~name:"every truncation decodes cleanly"
+    payloads_arb (fun payloads ->
+      let s = String.concat "" (List.map Frame.to_string payloads) in
+      let whole, _ = drain s in
+      let n = String.length s in
+      (* every prefix for short streams; sampled stride for large ones *)
+      let stride = max 1 (n / 512) in
+      let rec check cut =
+        if cut >= n then true
+        else begin
+          let got, verdict = drain (String.sub s 0 cut) in
+          (match verdict with
+          | `Junk msg ->
+            QCheck.Test.fail_reportf "prefix %d/%d judged junk: %s" cut n msg
+          | `Need_more _ -> ());
+          let expected_complete =
+            (* frames whose encoding ends at or before [cut] *)
+            let rec take acc consumed = function
+              | [] -> List.rev acc
+              | p :: rest ->
+                let stop = consumed + Frame.header_size + String.length p in
+                if stop <= cut then take (p :: acc) stop rest
+                else List.rev acc
+            in
+            take [] 0 whole
+          in
+          if got <> expected_complete then
+            QCheck.Test.fail_reportf
+              "prefix %d/%d: decoded %d frames, expected %d" cut n
+              (List.length got)
+              (List.length expected_complete)
+          else check (cut + stride)
+        end
+      in
+      check 0)
+
+let garbage_gen =
+  (* Strings that are overwhelmingly not valid frames — decode must
+     classify (Junk or Need_more or short Frame), never raise. *)
+  QCheck.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 64))
+
+let garbage_prop =
+  QCheck.Test.make ~count:500 ~name:"arbitrary bytes never crash the decoder"
+    (QCheck.make ~print:(Printf.sprintf "%S") garbage_gen)
+    (fun s ->
+      let rec go off guard =
+        if guard = 0 then
+          QCheck.Test.fail_report "decoder loops without consuming"
+        else
+          match Frame.decode_string s ~off with
+          | Frame.Frame (_, used) ->
+            if used <= 0 then
+              QCheck.Test.fail_report "frame consumed nothing"
+            else if off + used > String.length s then
+              QCheck.Test.fail_report "frame consumed past the end"
+            else go (off + used) (guard - 1)
+          | Frame.Need_more | Frame.Junk _ -> true
+      in
+      go 0 (String.length s + 1))
+
+let () =
+  Alcotest.run "frame"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip_simple;
+          Alcotest.test_case "hostile bytes" `Quick test_roundtrip_hostile_bytes;
+          Alcotest.test_case "concatenated frames" `Quick test_concatenated_frames;
+          Alcotest.test_case "length bomb is junk" `Quick test_length_bomb;
+          Alcotest.test_case "oversize encode refused" `Quick
+            test_encode_refuses_oversize;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ roundtrip_prop; prefix_prop; garbage_prop ] );
+    ]

@@ -13,6 +13,7 @@ module Pr = Jim_api.Protocol
 module Service = Jim_server.Service
 module Wire = Jim_server.Wire
 module Smoke = Jim_server.Smoke
+module Netstats = Jim_server.Netstats
 open Jim_core
 
 let fresh_socket =
@@ -32,21 +33,185 @@ let with_server ?max_sessions ?idle_ttl ?(threads = 40) f =
     (fun () -> f (Wire.Unix_path path) service)
 
 (* ------------------------------------------------------------------ *)
+(* Address syntax                                                      *)
+
+let test_address_parsing () =
+  let ok s expected =
+    match Wire.address_of_string s with
+    | Ok a ->
+      Alcotest.(check string) (s ^ " parses") expected (Wire.address_to_string a)
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  let reject s =
+    match Wire.address_of_string s with
+    | Error _ -> ()
+    | Ok a ->
+      Alcotest.failf "%s accepted as %s" s (Wire.address_to_string a)
+  in
+  ok "127.0.0.1:9090" "127.0.0.1:9090";
+  ok "localhost:80" "localhost:80";
+  ok ":9090" "127.0.0.1:9090";
+  ok "[::1]:9090" "[::1]:9090";
+  ok "[fe80::1%eth0]:443" "[fe80::1%eth0]:443";
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  (* a bare IPv6 literal split at the last colon would silently read
+     ::1:9090 as host "::1" — it must be refused, not guessed at *)
+  reject "::1:9090";
+  reject "2001:db8::1:80";
+  reject "[::1]9090";
+  reject "[::1]:";
+  reject "[]:9090";
+  reject "[::1:9090";
+  reject "host:";
+  reject "host:notaport";
+  reject "host:70000";
+  reject "nocolon";
+  (* round-trip: to_string ∘ of_string = id on the printed form *)
+  List.iter
+    (fun a ->
+      match Wire.address_of_string (Wire.address_to_string a) with
+      | Ok a' ->
+        Alcotest.(check string) "round-trip" (Wire.address_to_string a)
+          (Wire.address_to_string a')
+      | Error e -> Alcotest.failf "round-trip rejected: %s" e)
+    [ Wire.Tcp ("::1", 9090); Wire.Tcp ("127.0.0.1", 0); Wire.Unix_path "/s" ]
+
+(* ------------------------------------------------------------------ *)
 (* Concurrency: the acceptance bar                                     *)
+
+let check_reports reports n =
+  Alcotest.(check int) "all clients reported" n (List.length reports);
+  List.iter
+    (fun r ->
+      if not r.Smoke.ok then
+        Alcotest.failf "seed %d (%s): %s" r.Smoke.seed r.Smoke.strategy
+          r.Smoke.detail;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d asked questions" r.Smoke.seed)
+        true (r.Smoke.questions > 0))
+    reports
 
 let test_smoke_32_clients () =
   with_server (fun address _ ->
-      let reports = Smoke.run ~clients:32 ~address () in
-      Alcotest.(check int) "all clients reported" 32 (List.length reports);
-      List.iter
-        (fun r ->
-          if not r.Smoke.ok then
-            Alcotest.failf "seed %d (%s): %s" r.Smoke.seed r.Smoke.strategy
-              r.Smoke.detail;
-          Alcotest.(check bool)
-            (Printf.sprintf "seed %d asked questions" r.Smoke.seed)
-            true (r.Smoke.questions > 0))
-        reports)
+      check_reports (Smoke.run ~clients:32 ~address ()) 32)
+
+let test_smoke_32_clients_binary () =
+  with_server (fun address _ ->
+      check_reports (Smoke.run ~clients:32 ~framing:Wire.Binary ~address ()) 32)
+
+(* The same request stream must produce byte-identical reply payloads
+   under both framings — binary changes the delimiting, never the
+   bytes.  One fresh server per framing, so session ids line up. *)
+let test_framings_bit_identical () =
+  let requests =
+    [
+      Pr.request_to_string
+        (Pr.Start_session
+           { source = Pr.Builtin "flights"; strategy = "random"; seed = 1 });
+      Pr.request_to_string (Pr.Get_question { session = 1 });
+      Pr.request_to_string (Pr.Undo { session = 1 });
+      "garbage that is not json";
+      Pr.request_to_string (Pr.Get_question { session = 999 });
+      Pr.request_to_string (Pr.End_session { session = 1 });
+      Pr.request_to_string (Pr.Get_question { session = 1 });
+    ]
+  in
+  let replies framing =
+    with_server (fun address _ ->
+        match Wire.connect ~retries:50 ~framing address with
+        | Error e -> Alcotest.failf "connect: %s" e
+        | Ok c ->
+          let rs =
+            List.map
+              (fun req ->
+                match Wire.call_line c req with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "call: %s" e)
+              requests
+          in
+          Wire.close c;
+          rs)
+  in
+  let line_replies = replies Wire.Line in
+  let binary_replies = replies Wire.Binary in
+  List.iteri
+    (fun i (l, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "reply %d identical across framings" i)
+        l b)
+    (List.combine line_replies binary_replies)
+
+(* A thousand parked connections must not starve active ones: park
+   1000 idle clients, then run the full 32-client smoke through the
+   same event loop. *)
+let test_thousand_idle_connections () =
+  with_server (fun address _ ->
+      let before = Netstats.snapshot () in
+      let idle =
+        List.init 1000 (fun _ ->
+            match Wire.connect ~retries:50 address with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "idle connect: %s" e)
+      in
+      check_reports (Smoke.run ~clients:32 ~address ()) 32;
+      (* the idle conns are still alive: ping one *)
+      (match Wire.call_line (List.nth idle 500) "{}" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "idle conn died: %s" e);
+      List.iter Wire.close idle;
+      let after = Netstats.snapshot () in
+      Alcotest.(check bool) "accepted >= 1032 more" true
+        (after.Netstats.accepted - before.Netstats.accepted >= 1032))
+
+(* ------------------------------------------------------------------ *)
+(* Wire counters                                                       *)
+
+let test_netstats_counters () =
+  with_server (fun address _ ->
+      let before = Netstats.snapshot () in
+      (match Wire.connect ~retries:50 ~framing:Wire.Binary address with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok c ->
+        (match Wire.call_line c "not json" with
+        | Ok reply ->
+          Alcotest.(check bool) "malformed payload still answered" true
+            (String.length reply > 0)
+        | Error e -> Alcotest.failf "call: %s" e);
+        Wire.close c);
+      (* close is asynchronous on the server side; poll briefly *)
+      let rec settle tries =
+        let s = Netstats.snapshot () in
+        if s.Netstats.closed > before.Netstats.closed || tries = 0 then s
+        else begin
+          Thread.delay 0.05;
+          settle (tries - 1)
+        end
+      in
+      let after = settle 40 in
+      Alcotest.(check bool) "accept counted" true
+        (after.Netstats.accepted > before.Netstats.accepted);
+      Alcotest.(check bool) "close counted" true
+        (after.Netstats.closed > before.Netstats.closed);
+      Alcotest.(check bool) "binary negotiation counted" true
+        (after.Netstats.binary_conns > before.Netstats.binary_conns);
+      Alcotest.(check bool) "malformed counted" true
+        (after.Netstats.malformed > before.Netstats.malformed);
+      Alcotest.(check bool) "request counted" true
+        (after.Netstats.requests > before.Netstats.requests);
+      Alcotest.(check bool) "bytes flowed" true
+        (after.Netstats.bytes_in > before.Netstats.bytes_in
+        && after.Netstats.bytes_out > before.Netstats.bytes_out))
+
+(* On Linux the event loop must actually be on epoll, not the select
+   fallback — the fallback exists for other platforms, and silently
+   landing on it here would invalidate the 1k-connection claim. *)
+let test_epoll_backend () =
+  if Sys.file_exists "/proc/version" then begin
+    let p = Jim_server.Epoll.create () in
+    let backed = Jim_server.Epoll.backed_by_epoll p in
+    Jim_server.Epoll.close p;
+    Alcotest.(check bool) "epoll backend selected on Linux" true backed
+  end
 
 let test_server_busy () =
   with_server ~max_sessions:2 (fun address service ->
@@ -275,12 +440,26 @@ let test_csv_inline_source () =
 let () =
   Alcotest.run "server"
     [
+      ( "addresses",
+        [ Alcotest.test_case "parse and round-trip" `Quick test_address_parsing ] );
       ( "concurrency",
         [
           Alcotest.test_case "32 concurrent clients, bit-identical" `Slow
             test_smoke_32_clients;
+          Alcotest.test_case "32 clients over binary framing" `Slow
+            test_smoke_32_clients_binary;
+          Alcotest.test_case "framings are byte-identical" `Quick
+            test_framings_bit_identical;
+          Alcotest.test_case "1000 idle connections don't starve the loop" `Slow
+            test_thousand_idle_connections;
           Alcotest.test_case "saturated server answers Server_busy" `Quick
             test_server_busy;
+        ] );
+      ( "wire counters",
+        [
+          Alcotest.test_case "netstats record the loop's work" `Quick
+            test_netstats_counters;
+          Alcotest.test_case "epoll backend on Linux" `Quick test_epoll_backend;
         ] );
       ( "sessions",
         [
