@@ -12,6 +12,7 @@
      jim bench store    -> results[].ops_per_s            (higher better)
      jim bench wire     -> results[].rps (higher better)
                            + results[].p50_us (lower better)
+     jim bench catalog  -> results[].starts_per_s         (higher better)
 
    --skip excludes rows whose name contains the substring — for rows
    that measure the machine rather than the code (e.g. fsync-bound
@@ -53,7 +54,8 @@ let rows_of kind v =
   in
   match kind with
   | "jim bench compare" -> list_field "strategies"
-  | "jim bench store" | "jim bench wire" -> list_field "results"
+  | "jim bench store" | "jim bench wire" | "jim bench catalog" ->
+    list_field "results"
   | k -> die "unknown generated_by %S" k
 
 (* (metric name, value extractor, direction): [`Higher] = bigger is
@@ -62,6 +64,7 @@ let metrics_of = function
   | "jim bench compare" -> [ ("per_question_ms", `Lower) ]
   | "jim bench store" -> [ ("ops_per_s", `Higher) ]
   | "jim bench wire" -> [ ("rps", `Higher); ("p50_us", `Lower) ]
+  | "jim bench catalog" -> [ ("starts_per_s", `Higher) ]
   | k -> die "unknown generated_by %S" k
 
 let () =

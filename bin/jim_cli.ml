@@ -8,6 +8,7 @@
      tpch      crowd-style join tasks over the TPC-H-lite database
      serve     the session server (line-delimited JSON over a socket)
      client    talk to a running server (batch / smoke / busy-check / crash drill)
+     instance  register CSVs into a running server's catalog
      journal   inspect, verify or export from a durable data directory *)
 
 module Partition = Jim_partition.Partition
@@ -386,8 +387,17 @@ let resolve_address socket tcp =
     | Error e -> Error e)
   | None, None -> Ok (Jim_server.Wire.Unix_path "/tmp/jim.sock")
 
+let catalog_stats_line (s : Jim_api.Protocol.catalog_stats) =
+  Printf.sprintf
+    "catalog: %d entries (%d pinned, %d bytes), %d hits / %d misses, %d \
+     evictions, %d fingerprints, %d derivations"
+    s.Jim_api.Protocol.entries s.Jim_api.Protocol.pinned
+    s.Jim_api.Protocol.bytes s.Jim_api.Protocol.hits s.Jim_api.Protocol.misses
+    s.Jim_api.Protocol.evictions s.Jim_api.Protocol.fingerprints
+    s.Jim_api.Protocol.derivations
+
 let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
-    stats_every =
+    stats_every catalog_max_entries =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim serve: %s\n" e;
@@ -409,8 +419,11 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
       let persist =
         Option.map (fun (st, _) ev -> Jim_store.Store.record st ev) store
       in
+      let catalog =
+        Jim_catalog.Catalog.create ~max_entries:catalog_max_entries ()
+      in
       let service =
-        Jim_server.Service.create ~max_sessions ~idle_ttl ?persist ()
+        Jim_server.Service.create ~max_sessions ~idle_ttl ~catalog ?persist ()
       in
       let restored =
         match store with
@@ -444,15 +457,17 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
                  (fun () ->
                    while true do
                      Thread.delay period;
-                     Printf.printf "jim serve: wire: %s\n%!"
+                     Printf.printf "jim serve: wire: %s; %s\n%!"
                        (Jim_server.Netstats.to_string
                           (Jim_server.Netstats.snapshot ()))
+                       (catalog_stats_line (Jim_catalog.Catalog.stats catalog))
                    done)
                  ()))
           stats_every;
         Jim_server.Wire.wait server;
-        Printf.printf "jim serve: wire: %s\n%!"
-          (Jim_server.Netstats.to_string (Jim_server.Netstats.snapshot ()));
+        Printf.printf "jim serve: wire: %s; %s\n%!"
+          (Jim_server.Netstats.to_string (Jim_server.Netstats.snapshot ()))
+          (catalog_stats_line (Jim_catalog.Catalog.stats catalog));
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
         0))
 
@@ -501,8 +516,85 @@ let print_reports ?expected ~tolerate_drops verdict reports =
       else if dropped <> [] && not tolerate_drops then 1
       else 0
 
+(* An interactive session on an already-cataloged instance, over the
+   wire: the client ships no data (just the fingerprint) and holds no
+   relation, so questions are shown as the representative row index plus
+   the signature partition the server sent. *)
+let run_client_instance ~address ~framing ~fp ~strategy ~seed =
+  let module P = Jim_api.Protocol in
+  let module Wire = Jim_server.Wire in
+  match Wire.connect ~retries:50 ~framing address with
+  | Error e ->
+    Printf.eprintf "jim client: connect: %s\n" e;
+    1
+  | Ok conn ->
+    let finish rc =
+      Wire.close conn;
+      rc
+    in
+    let fail what e =
+      Printf.eprintf "jim client: %s: %s\n" what e;
+      finish 1
+    in
+    let call what req k =
+      match Wire.call conn req with
+      | Error e -> fail what e
+      | Ok (P.Failed err) -> fail what (P.error_to_string err)
+      | Ok reply -> k reply
+    in
+    call "start"
+      (P.Start_session { source = P.Catalog fp; strategy; seed })
+    @@ function
+    | P.Started { session; arity; classes; tuples; strategy } ->
+      Printf.printf
+        "Session %d on instance %s: arity %d, %d classes, %d tuples, %s\n"
+        session fp arity classes tuples strategy;
+      let src = Jim_tui.Prompt.stdin_source in
+      let rec loop () =
+        call "question" (P.Get_question { session }) @@ function
+        | P.Question None ->
+          (call "result" (P.Result { session }) @@ function
+           | P.Outcome o ->
+             Printf.printf "\nInferred join predicate: %s\n"
+               (Partition.to_string o.Session.query);
+             call "end" (P.End_session { session }) @@ fun _ -> finish 0
+           | other -> fail "result" (P.response_to_string other))
+        | P.Question (Some q) ->
+          let question =
+            Printf.sprintf
+              "Should this tuple be in the join result?\n\
+              \  row (%d), signature %s\n"
+              (q.P.row + 1)
+              (Partition.to_string q.P.sg)
+          in
+          (match Jim_tui.Prompt.ask_label src question with
+          | Jim_tui.Prompt.Quit ->
+            print_endline "Session aborted.";
+            call "end" (P.End_session { session }) @@ fun _ -> finish 0
+          | Jim_tui.Prompt.Help ->
+            print_endline
+              "Answer y if the shown tuple belongs to the join result you \
+               have in mind, n otherwise; u retracts, q aborts.  The \
+               signature partition groups the attributes whose values \
+               coincide on that row.";
+            loop ()
+          | Jim_tui.Prompt.Undo ->
+            (call "undo" (P.Undo { session }) @@ fun _ ->
+             print_endline "Last answer retracted.";
+             loop ())
+          | (Jim_tui.Prompt.Yes | Jim_tui.Prompt.No) as a ->
+            let label =
+              if a = Jim_tui.Prompt.Yes then State.Pos else State.Neg
+            in
+            call "answer" (P.Answer { session; cls = q.P.cls; label })
+            @@ fun _ -> loop ())
+        | other -> fail "question" (P.response_to_string other)
+      in
+      loop ()
+    | other -> fail "start" (P.response_to_string other)
+
 let run_client socket tcp batch smoke busy crash_start crash_resume state_file
-    tolerate_drops binary =
+    tolerate_drops binary instance catalog_smoke strategy_name seed =
   let framing =
     if binary then Jim_server.Wire.Binary else Jim_server.Wire.Line
   in
@@ -511,6 +603,27 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file
     Printf.eprintf "jim client: %s\n" e;
     2
   | Ok address -> (
+    match (catalog_smoke, instance) with
+    | Some clients, _ -> (
+      match Jim_server.Smoke.catalog_smoke ~clients ~framing ~address () with
+      | Error e ->
+        Printf.eprintf "jim client: catalog smoke: %s\n" e;
+        1
+      | Ok (reports, stats) ->
+        let rc =
+          print_reports ~expected:clients ~tolerate_drops
+            "bit-identical through the shared catalog entry" reports
+        in
+        print_endline (catalog_stats_line stats);
+        if stats.Jim_api.Protocol.hits <= 0 then begin
+          Printf.eprintf
+            "jim client: catalog smoke: sessions never hit the catalog\n";
+          1
+        end
+        else rc)
+    | None, Some fp ->
+      run_client_instance ~address ~framing ~fp ~strategy:strategy_name ~seed
+    | None, None -> (
     match (smoke, busy, crash_start, crash_resume) with
     | Some clients, _, _, _ ->
       print_reports ~expected:clients ~tolerate_drops
@@ -560,7 +673,70 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file
          with End_of_file | Exit -> ());
         Jim_server.Wire.close conn;
         if ic != stdin then close_in ic;
-        !rc))
+        !rc)))
+
+(* ------------------------------------------------------------------ *)
+(* instance: the catalog surface of a running server                   *)
+
+let with_server_call ~what socket tcp binary req k =
+  let framing =
+    if binary then Jim_server.Wire.Binary else Jim_server.Wire.Line
+  in
+  match resolve_address socket tcp with
+  | Error e ->
+    Printf.eprintf "jim instance %s: %s\n" what e;
+    2
+  | Ok address -> (
+    match Jim_server.Wire.connect ~retries:50 ~framing address with
+    | Error e ->
+      Printf.eprintf "jim instance %s: connect: %s\n" what e;
+      1
+    | Ok conn ->
+      let reply = Jim_server.Wire.call conn req in
+      Jim_server.Wire.close conn;
+      (match reply with
+      | Error e ->
+        Printf.eprintf "jim instance %s: %s\n" what e;
+        1
+      | Ok (Jim_api.Protocol.Failed err) ->
+        Printf.eprintf "jim instance %s: %s\n" what
+          (Jim_api.Protocol.error_to_string err);
+        1
+      | Ok reply -> k reply))
+
+let run_instance_register socket tcp binary path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  with_server_call ~what:"register" socket tcp binary
+    (Jim_api.Protocol.Register_instance
+       { source = Jim_api.Protocol.Csv_inline text })
+    (function
+      | Jim_api.Protocol.Registered { fingerprint; arity; classes; tuples } ->
+        Printf.printf "%s\n" fingerprint;
+        Printf.printf
+          "registered %s: arity %d, %d classes, %d tuples\n\
+           start sessions with:  jim client --instance %s\n"
+          path arity classes tuples fingerprint;
+        0
+      | other ->
+        Printf.eprintf "jim instance register: unexpected reply: %s\n"
+          (Jim_api.Protocol.response_to_string other);
+        1)
+
+let run_instance_stats socket tcp binary =
+  with_server_call ~what:"stats" socket tcp binary Jim_api.Protocol.Catalog_stats
+    (function
+      | Jim_api.Protocol.Catalog_info stats ->
+        print_endline (catalog_stats_line stats);
+        0
+      | other ->
+        Printf.eprintf "jim instance stats: unexpected reply: %s\n"
+          (Jim_api.Protocol.response_to_string other);
+        1)
 
 (* ------------------------------------------------------------------ *)
 (* chaos: the wire fault-injection proxy                               *)
@@ -863,14 +1039,24 @@ let serve_cmd =
       & opt (some float) None
       & info [ "stats-every" ] ~docv:"SECONDS"
           ~doc:"Print wire-layer counters (connections accepted / active / \
-                failed, malformed requests, bytes in/out) every $(docv) \
+                failed, malformed requests, bytes in/out) and catalog \
+                counters (entries, hits/misses, evictions) every $(docv) \
                 seconds.")
+  in
+  let catalog_max_entries =
+    Arg.(
+      value & opt int 64
+      & info [ "catalog-max-entries" ] ~docv:"N"
+          ~doc:"Instance catalog capacity: beyond $(docv) entries the \
+                least-recently-used entry with no live sessions is \
+                evicted (entries pinned by live sessions never are).")
   in
   let term =
     Term.(
-      const (fun () s t m i th d se ste -> run_serve s t m i th d se ste)
+      const (fun () s t m i th d se ste cme ->
+          run_serve s t m i th d se ste cme)
       $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads
-      $ data_dir $ snapshot_every $ stats_every)
+      $ data_dir $ snapshot_every $ stats_every $ catalog_max_entries)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -943,12 +1129,38 @@ let client_cmd =
                 (smoke and batch modes).  Fails cleanly against a server \
                 that only speaks the line protocol.")
   in
+  let instance =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"FINGERPRINT"
+          ~doc:"Start an interactive session on the already-cataloged \
+                instance with this fingerprint (see $(b,jim instance \
+                register)) — no instance data crosses the wire.")
+  in
+  let catalog_smoke =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "catalog-smoke" ] ~docv:"N"
+          ~doc:"Register one synthetic instance, run $(docv) concurrent \
+                sessions against it by fingerprint, check each outcome \
+                bit-identical to the in-process engine and that the \
+                server's catalog counters show shared hits.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Session seed for $(b,--instance) mode.")
+  in
   let term =
     Term.(
-      const (fun s t b sm bu cs cr st td bin ->
-          run_client s t b sm bu cs cr st td bin)
+      const (fun s t b sm bu cs cr st td bin inst csm strat seed ->
+          run_client s t b sm bu cs cr st td bin inst csm strat seed)
       $ socket_arg $ tcp_arg $ batch $ smoke $ busy $ crash_start
-      $ crash_resume $ state $ tolerate_drops $ binary)
+      $ crash_resume $ state $ tolerate_drops $ binary $ instance
+      $ catalog_smoke $ strategy_arg $ seed)
   in
   Cmd.v
     (Cmd.info "client"
@@ -986,6 +1198,46 @@ let chaos_cmd =
              deterministic connection drops, partial lines, slow-loris \
              trickle and stalled streams.  SIGINT prints stats and exits.")
     term
+
+let instance_cmd =
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Negotiate length-prefixed binary framing after connecting.")
+  in
+  let register =
+    let path =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"CSV"
+            ~doc:"Instance to upload (CSV with header).")
+    in
+    Cmd.v
+      (Cmd.info "register"
+         ~doc:"Upload a CSV instance into the server's catalog once and \
+               print its fingerprint handle; sessions then start by \
+               fingerprint ($(b,jim client --instance)) without re-sending \
+               or re-deriving the instance.")
+      Term.(
+        const (fun s t b p -> run_instance_register s t b p)
+        $ socket_arg $ tcp_arg $ binary $ path)
+  in
+  let stats =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Print the server's catalog counters: entries, bytes, pinned \
+               sessions, hits/misses, evictions, fingerprints, derivations.")
+      Term.(
+        const (fun s t b -> run_instance_stats s t b)
+        $ socket_arg $ tcp_arg $ binary)
+  in
+  Cmd.group
+    (Cmd.info "instance"
+       ~doc:"The catalog surface of a running jim server: register \
+             instances once, inspect the shared-entry counters.")
+    [ register; stats ]
 
 let journal_cmd =
   let dir =
@@ -1048,6 +1300,7 @@ let () =
             tpch_cmd;
             serve_cmd;
             client_cmd;
+            instance_cmd;
             chaos_cmd;
             journal_cmd;
           ]))

@@ -13,6 +13,7 @@ type instance_source =
       seed : int;
     }
   | Csv_inline of string
+  | Catalog of string
 
 type question = { cls : int; row : int; sg : Partition.t }
 
@@ -27,15 +28,29 @@ type request =
   | Stats of { session : int }
   | Get_transcript of { session : int }
   | End_session of { session : int }
+  | Register_instance of { source : instance_source }
+  | Catalog_stats
 
 type error =
   | Bad_request of string
   | Unknown_session of int
   | Unknown_strategy of string
   | Bad_source of string
+  | Unknown_instance of string
   | Engine of Session.error
   | Server_busy of { active : int; max : int }
   | Unsupported_version of int
+
+type catalog_stats = {
+  entries : int;
+  bytes : int;
+  pinned : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  fingerprints : int;
+  derivations : int;
+}
 
 type session_stats = {
   labeled : int;
@@ -67,6 +82,13 @@ type response =
   | Outcome of Session.outcome
   | Session_stats of session_stats
   | Transcript_text of { text : string }
+  | Registered of {
+      fingerprint : string;
+      arity : int;
+      classes : int;
+      tuples : int;
+    }
+  | Catalog_info of catalog_stats
   | Ended
   | Failed of error
 
@@ -75,6 +97,7 @@ let error_to_string = function
   | Unknown_session id -> Printf.sprintf "unknown session %d" id
   | Unknown_strategy m -> m
   | Bad_source m -> "bad instance source: " ^ m
+  | Unknown_instance fp -> Printf.sprintf "unknown instance %s" fp
   | Engine e -> Session.error_to_string e
   | Server_busy { active; max } ->
     Printf.sprintf "server busy: %d/%d sessions active" active max
@@ -225,6 +248,12 @@ let source_to_json = function
       ]
   | Csv_inline text ->
     Json.Obj [ ("kind", Json.String "csv"); ("text", Json.String text) ]
+  | Catalog fingerprint ->
+    Json.Obj
+      [
+        ("kind", Json.String "catalog");
+        ("fingerprint", Json.String fingerprint);
+      ]
 
 let source_of_json v =
   let* kind = string_field "kind" v in
@@ -242,6 +271,9 @@ let source_of_json v =
   | "csv" ->
     let* text = string_field "text" v in
     Ok (Csv_inline text)
+  | "catalog" ->
+    let* fingerprint = string_field "fingerprint" v in
+    Ok (Catalog fingerprint)
   | k -> Error (Printf.sprintf "unknown instance source kind %S" k)
 
 let question_to_json q =
@@ -264,6 +296,22 @@ let question_of_json v =
 let envelope tag_key tag fields =
   Json.Obj ((("jim", Json.Int version) :: (tag_key, Json.String tag) :: fields))
 
+(* Six requests carry nothing but the session id; their encoders and
+   decoders are the same shape, factored here once (the tag is the only
+   difference).  [session_only_tags] is the single list both directions
+   share, so adding such a request is one line. *)
+let session_only_tags : (string * (int -> request)) list =
+  [
+    ("get_question", fun session -> Get_question { session });
+    ("undo", fun session -> Undo { session });
+    ("result", fun session -> Result { session });
+    ("stats", fun session -> Stats { session });
+    ("get_transcript", fun session -> Get_transcript { session });
+    ("end_session", fun session -> End_session { session });
+  ]
+
+let session_req tag session = envelope "req" tag [ ("session", Json.Int session) ]
+
 let request_to_json = function
   | Start_session { source; strategy; seed } ->
     envelope "req" "start_session"
@@ -272,8 +320,7 @@ let request_to_json = function
         ("strategy", Json.String strategy);
         ("seed", Json.Int seed);
       ]
-  | Get_question { session } ->
-    envelope "req" "get_question" [ ("session", Json.Int session) ]
+  | Get_question { session } -> session_req "get_question" session
   | Top_questions { session; k } ->
     envelope "req" "top_questions"
       [ ("session", Json.Int session); ("k", Json.Int k) ]
@@ -284,18 +331,17 @@ let request_to_json = function
         ("cls", Json.Int cls);
         ("label", label_to_json label);
       ]
-  | Undo { session } -> envelope "req" "undo" [ ("session", Json.Int session) ]
+  | Undo { session } -> session_req "undo" session
   | Explain { session; cls } ->
     envelope "req" "explain"
       [ ("session", Json.Int session); ("cls", Json.Int cls) ]
-  | Result { session } ->
-    envelope "req" "result" [ ("session", Json.Int session) ]
-  | Stats { session } ->
-    envelope "req" "stats" [ ("session", Json.Int session) ]
-  | Get_transcript { session } ->
-    envelope "req" "get_transcript" [ ("session", Json.Int session) ]
-  | End_session { session } ->
-    envelope "req" "end_session" [ ("session", Json.Int session) ]
+  | Result { session } -> session_req "result" session
+  | Stats { session } -> session_req "stats" session
+  | Get_transcript { session } -> session_req "get_transcript" session
+  | End_session { session } -> session_req "end_session" session
+  | Register_instance { source } ->
+    envelope "req" "register_instance" [ ("source", source_to_json source) ]
+  | Catalog_stats -> envelope "req" "catalog_stats" []
 
 let check_version v k =
   match int_field "jim" v with
@@ -309,46 +355,38 @@ let request_of_json v =
   check_version v @@ fun () ->
   let* tag = bad (string_field "req" v) in
   let session () = bad (int_field "session" v) in
-  match tag with
-  | "start_session" ->
-    bad
-      (let* source = Result.bind (Json.field "source" v) source_of_json in
-       let* strategy = string_field "strategy" v in
-       let* seed = int_field "seed" v in
-       Ok (Start_session { source; strategy; seed }))
-  | "get_question" ->
+  match List.assoc_opt tag session_only_tags with
+  | Some make ->
     let* session = session () in
-    Ok (Get_question { session })
-  | "top_questions" ->
-    let* session = session () in
-    let* k = bad (int_field "k" v) in
-    Ok (Top_questions { session; k })
-  | "answer" ->
-    let* session = session () in
-    bad
-      (let* cls = int_field "cls" v in
-       let* label = Result.bind (Json.field "label" v) label_of_json in
-       Ok (Answer { session; cls; label }))
-  | "undo" ->
-    let* session = session () in
-    Ok (Undo { session })
-  | "explain" ->
-    let* session = session () in
-    let* cls = bad (int_field "cls" v) in
-    Ok (Explain { session; cls })
-  | "result" ->
-    let* session = session () in
-    Ok (Result { session })
-  | "stats" ->
-    let* session = session () in
-    Ok (Stats { session })
-  | "get_transcript" ->
-    let* session = session () in
-    Ok (Get_transcript { session })
-  | "end_session" ->
-    let* session = session () in
-    Ok (End_session { session })
-  | tag -> Error (Bad_request (Printf.sprintf "unknown request %S" tag))
+    Ok (make session)
+  | None -> (
+    match tag with
+    | "start_session" ->
+      bad
+        (let* source = Result.bind (Json.field "source" v) source_of_json in
+         let* strategy = string_field "strategy" v in
+         let* seed = int_field "seed" v in
+         Ok (Start_session { source; strategy; seed }))
+    | "top_questions" ->
+      let* session = session () in
+      let* k = bad (int_field "k" v) in
+      Ok (Top_questions { session; k })
+    | "answer" ->
+      let* session = session () in
+      bad
+        (let* cls = int_field "cls" v in
+         let* label = Result.bind (Json.field "label" v) label_of_json in
+         Ok (Answer { session; cls; label }))
+    | "explain" ->
+      let* session = session () in
+      let* cls = bad (int_field "cls" v) in
+      Ok (Explain { session; cls })
+    | "register_instance" ->
+      bad
+        (let* source = Result.bind (Json.field "source" v) source_of_json in
+         Ok (Register_instance { source }))
+    | "catalog_stats" -> Ok Catalog_stats
+    | tag -> Error (Bad_request (Printf.sprintf "unknown request %S" tag)))
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -372,6 +410,11 @@ let error_to_json e =
       [ ("kind", Json.String "unknown_strategy"); ("message", Json.String m) ]
     | Bad_source m ->
       [ ("kind", Json.String "bad_source"); ("message", Json.String m) ]
+    | Unknown_instance fp ->
+      [
+        ("kind", Json.String "unknown_instance");
+        ("fingerprint", Json.String fp);
+      ]
     | Engine err ->
       [
         ("kind", Json.String "engine");
@@ -404,6 +447,9 @@ let error_of_json v =
   | "bad_source" ->
     let* m = string_field "message" v in
     Ok (Bad_source m)
+  | "unknown_instance" ->
+    let* fp = string_field "fingerprint" v in
+    Ok (Unknown_instance fp)
   | "engine" ->
     let* err = Result.bind (Json.field "error" v) session_error_of_json in
     Ok (Engine err)
@@ -464,6 +510,26 @@ let response_to_json = function
       ]
   | Transcript_text { text } ->
     envelope "resp" "transcript" [ ("text", Json.String text) ]
+  | Registered { fingerprint; arity; classes; tuples } ->
+    envelope "resp" "registered"
+      [
+        ("fingerprint", Json.String fingerprint);
+        ("arity", Json.Int arity);
+        ("classes", Json.Int classes);
+        ("tuples", Json.Int tuples);
+      ]
+  | Catalog_info c ->
+    envelope "resp" "catalog_stats"
+      [
+        ("entries", Json.Int c.entries);
+        ("bytes", Json.Int c.bytes);
+        ("pinned", Json.Int c.pinned);
+        ("hits", Json.Int c.hits);
+        ("misses", Json.Int c.misses);
+        ("evictions", Json.Int c.evictions);
+        ("fingerprints", Json.Int c.fingerprints);
+        ("derivations", Json.Int c.derivations);
+      ]
   | Ended -> envelope "resp" "ended" []
   | Failed e -> envelope "resp" "error" [ ("error", error_to_json e) ]
 
@@ -544,6 +610,35 @@ let response_of_json v =
     bad
       (let* text = string_field "text" v in
        Ok (Transcript_text { text }))
+  | "registered" ->
+    bad
+      (let* fingerprint = string_field "fingerprint" v in
+       let* arity = int_field "arity" v in
+       let* classes = int_field "classes" v in
+       let* tuples = int_field "tuples" v in
+       Ok (Registered { fingerprint; arity; classes; tuples }))
+  | "catalog_stats" ->
+    bad
+      (let* entries = int_field "entries" v in
+       let* bytes = int_field "bytes" v in
+       let* pinned = int_field "pinned" v in
+       let* hits = int_field "hits" v in
+       let* misses = int_field "misses" v in
+       let* evictions = int_field "evictions" v in
+       let* fingerprints = int_field "fingerprints" v in
+       let* derivations = int_field "derivations" v in
+       Ok
+         (Catalog_info
+            {
+              entries;
+              bytes;
+              pinned;
+              hits;
+              misses;
+              evictions;
+              fingerprints;
+              derivations;
+            }))
   | "ended" -> Ok Ended
   | "error" ->
     bad

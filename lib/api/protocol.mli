@@ -33,6 +33,12 @@ type instance_source =
           the instance — and its planted goal — locally). *)
   | Csv_inline of string
       (** CSV text shipped in the request (header row, types inferred). *)
+  | Catalog of string
+      (** An instance already in the server's catalog, named by the
+          canonical CSV fingerprint a {!Register_instance} (or an
+          earlier {!Started} on the same data) returned.  Starting from
+          a fingerprint ships no data and re-derives nothing; a miss
+          answers {!Unknown_instance}. *)
 
 type question = {
   cls : int;  (** class index — what {!Answer} echoes back *)
@@ -59,16 +65,43 @@ type request =
           text format — the same record of labels the durable store
           persists, so a client can archive or later [--resume] it. *)
   | End_session of { session : int }
+  | Register_instance of { source : instance_source }
+      (** Resolve [source] into the server-wide instance catalog without
+          starting a session and answer {!Registered} with its handle.
+          Idempotent: re-registering the same data (under any source
+          that renders to the same canonical CSV) returns the same
+          fingerprint and derives nothing.  Registering [Catalog fp]
+          just looks [fp] up. *)
+  | Catalog_stats
+      (** Ask for the server's {!Catalog_info} counters (entries, bytes,
+          pinned refcounts, hit/miss/eviction/derivation totals). *)
 
 type error =
   | Bad_request of string  (** malformed JSON, bad shape, bad arguments *)
   | Unknown_session of int  (** never existed, ended, or evicted by TTL *)
   | Unknown_strategy of string
   | Bad_source of string  (** unknown builtin / CSV that fails to parse *)
+  | Unknown_instance of string
+      (** a [Catalog fp] source named a fingerprint the catalog does not
+          hold (never registered, or evicted) — re-register the data *)
   | Engine of Jim_core.Session.error
   | Server_busy of { active : int; max : int }
       (** the max-sessions backpressure reply *)
   | Unsupported_version of int
+
+type catalog_stats = {
+  entries : int;  (** instances currently cataloged *)
+  bytes : int;  (** canonical-CSV bytes those entries pin *)
+  pinned : int;  (** live session references across all entries *)
+  hits : int;  (** resolves served off an existing entry *)
+  misses : int;  (** resolves that had to intern a new entry *)
+  evictions : int;  (** refcount-zero entries dropped by the LRU cap *)
+  fingerprints : int;  (** canonical-CSV fingerprint computations *)
+  derivations : int;
+      (** full instance derivations (sigclass grouping + round-0
+          statuses); [misses >= derivations]: a new source naming
+          already-cataloged data fingerprints but does not re-derive *)
+}
 
 type session_stats = {
   labeled : int;
@@ -104,6 +137,15 @@ type response =
   | Transcript_text of { text : string }
       (** reply to {!Get_transcript}: [Jim_core.Transcript.to_string]
           output for the live engine *)
+  | Registered of {
+      fingerprint : string;
+      arity : int;
+      classes : int;
+      tuples : int;
+    }
+      (** reply to {!Register_instance}: the catalog handle.  Pass the
+          fingerprint as [Start_session]'s [Catalog] source. *)
+  | Catalog_info of catalog_stats  (** reply to {!Catalog_stats} *)
   | Ended
   | Failed of error
 
@@ -112,6 +154,19 @@ val version : int
     message; a mismatch decodes to {!Unsupported_version}. *)
 
 val error_to_string : error -> string
+(** One-line rendering of an {!error}.  The strings are stable — scripts
+    and tests may match on them — and are, per constructor:
+    - [Bad_request m] → ["bad request: <m>"]
+    - [Unknown_session id] → ["unknown session <id>"]
+    - [Unknown_strategy m] → [m] (already a full sentence listing the
+      known strategy names)
+    - [Bad_source m] → ["bad instance source: <m>"]
+    - [Unknown_instance fp] → ["unknown instance <fp>"]
+    - [Engine e] → [Jim_core.Session.error_to_string e]
+    - [Server_busy {active; max}] →
+      ["server busy: <active>/<max> sessions active"]
+    - [Unsupported_version v] →
+      ["unsupported protocol version <v> (this server speaks <version>)"] *)
 
 (** {1 Codec}
 

@@ -22,9 +22,54 @@ module Partition = Jim_partition.Partition
      lowest-index-wins argmax, making parallel and sequential picks
      bit-identical. *)
 
-type cache = (string, State.status option array) Hashtbl.t
+(* The cross-round memo.  Since the instance catalog (lib/catalog) one
+   cache can be shared by every session on the same instance, so rows are
+   interned in a striped structure:
 
-let new_cache () : cache = Hashtbl.create 64
+   - a [row] (one status slot per class, keyed by [State.key]) and a
+     [meet] row (one meet slot per class, keyed by the canonical
+     predicate [s]) hold values that are pure functions of their key, so
+     slot reads and writes need no synchronisation — a racing reader
+     either sees [None] (recomputes the identical value) or the value;
+   - interning the row itself is the only write that touches shared
+     bookkeeping, so it takes a per-stripe mutex.  Lookups try a dirty
+     [Hashtbl.find_opt] first; a miss falls into the locked find-or-add,
+     which re-checks — a reader racing a rehash can only miss, never
+     see a wrong row.
+
+   All shared-cache traffic comes from sys-threads of one domain (the
+   scoring domains spawned by [best] use private clones), so the dirty
+   read is over memory the runtime lock already keeps coherent. *)
+
+type 'v stripe = { lock : Mutex.t; tbl : (string, 'v) Hashtbl.t }
+
+type cache = {
+  row_stripes : State.status option array stripe array;
+  meet_stripes : Partition.t option array stripe array;
+}
+
+let stripes () =
+  Array.init 16 (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 16 })
+
+let new_cache () : cache =
+  { row_stripes = stripes (); meet_stripes = stripes () }
+
+let find_or_add stripes key fresh =
+  let s = stripes.(Hashtbl.hash key land (Array.length stripes - 1)) in
+  match Hashtbl.find_opt s.tbl key with
+  | Some v -> v
+  | None ->
+    Mutex.lock s.lock;
+    let v =
+      match Hashtbl.find_opt s.tbl key with
+      | Some v -> v
+      | None ->
+        let v = fresh () in
+        Hashtbl.add s.tbl key v;
+        v
+    in
+    Mutex.unlock s.lock;
+    v
 
 type t = {
   st : State.t;
@@ -61,16 +106,37 @@ let informative_of st classes =
       Metrics.record_classify ();
       State.classify st classes.(i).Sigclass.sg)
 
+(* The per-round meet table only depends on the round's canonical
+   predicate [s], so with a shared cache it is interned under
+   [Partition.to_string s]: every session on the instance that reaches a
+   state with the same [s] (most obviously round 0) reuses the same
+   row. *)
+let meets_row cache classes st =
+  find_or_add cache.meet_stripes
+    (Partition.to_string st.State.s)
+    (fun () -> Array.make (Array.length classes) None)
+
 let create ?cache st classes informative =
-  let cache = match cache with Some c -> c | None -> new_cache () in
-  {
-    st;
-    classes;
-    informative;
-    meets = Array.make (Array.length classes) None;
-    hyps = Array.make (Array.length classes) None;
-    cache;
-  }
+  match cache with
+  | None ->
+    let cache = new_cache () in
+    {
+      st;
+      classes;
+      informative;
+      meets = Array.make (Array.length classes) None;
+      hyps = Array.make (Array.length classes) None;
+      cache;
+    }
+  | Some cache ->
+    {
+      st;
+      classes;
+      informative;
+      meets = meets_row cache classes st;
+      hyps = Array.make (Array.length classes) None;
+      cache;
+    }
 
 let state sc = sc.st
 let informative sc = sc.informative
@@ -104,13 +170,8 @@ let hypothetical sc c =
 
 (* The memo row of a (hypothetical) state: one status slot per class. *)
 let row_of cache classes st' =
-  let key = State.key st' in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-    let r = Array.make (Array.length classes) None in
-    Hashtbl.add cache key r;
-    r
+  find_or_add cache.row_stripes (State.key st') (fun () ->
+      Array.make (Array.length classes) None)
 
 (* [State.classify st' sig_i], but reusing the shared per-round meets when
    [st'] kept the round's canonical predicate (every negative branch

@@ -20,7 +20,14 @@ type t
 type cache
 (** The cross-round classification memo.  A {!Session} keeps one per
     engine so the work done evaluating a candidate is reused when its
-    answer arrives (and by {!Session.top_questions}'s repeated picks). *)
+    answer arrives (and by {!Session.top_questions}'s repeated picks).
+
+    A cache may also be shared by every session on one instance (the
+    server's catalog does this): rows are interned in a striped
+    structure whose reads are lock-free — only interning a new row
+    takes a per-stripe mutex — and every memoised value is a pure
+    function of its key, so sharing changes hit/miss counts but never a
+    status, score, or pick. *)
 
 val new_cache : unit -> cache
 

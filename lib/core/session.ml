@@ -44,31 +44,47 @@ let refresh_statuses_incremental eng =
         eng.statuses.(i) <- Scorer.class_status eng.cache eng.classes eng.st i)
     eng.statuses
 
-let of_classes ~n classes =
-  let total = Sigclass.total_rows classes in
-  let row_class = Array.make total 0 in
-  Array.iteri
-    (fun ci (c : Sigclass.cls) ->
-      List.iter (fun r -> row_class.(r) <- ci) c.rows)
-    classes;
+(* [?cache], [?statuses] and [?row_class] let a caller that already
+   derived the instance (the server's catalog) warm-start the engine:
+   classes and row_class are read-only and shared as-is, the round-0
+   statuses are copied (the incremental refresh mutates them in place),
+   and the scorer memo is the shared one.  Without them the engine
+   derives everything itself, exactly as before. *)
+let of_classes ?cache ?statuses ?row_class ~n classes =
+  let row_class =
+    match row_class with
+    | Some rc -> rc
+    | None ->
+      let total = Sigclass.total_rows classes in
+      let rc = Array.make total 0 in
+      Array.iteri
+        (fun ci (c : Sigclass.cls) ->
+          List.iter (fun r -> rc.(r) <- ci) c.rows)
+        classes;
+      rc
+  in
+  let cache =
+    match cache with Some c -> c | None -> Scorer.new_cache ()
+  in
   let eng =
     {
       n;
       classes;
       row_class;
-      cache = Scorer.new_cache ();
+      cache;
       st = State.create n;
-      statuses = [||];
+      statuses = (match statuses with Some s -> Array.copy s | None -> [||]);
       asked = 0;
       positives = [];
       history = [];
       snapshots = [];
     }
   in
-  refresh_statuses eng;
+  (match statuses with None -> refresh_statuses eng | Some _ -> ());
   eng
 
-let create rel = of_classes ~n:(Relation.arity rel) (Sigclass.classes rel)
+let create ?cache rel =
+  of_classes ?cache ~n:(Relation.arity rel) (Sigclass.classes rel)
 
 let state eng = eng.st
 let classes eng = eng.classes

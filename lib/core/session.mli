@@ -16,12 +16,24 @@ type error = Contradiction | Nothing_to_undo
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
-val create : Jim_relational.Relation.t -> t
-(** Precomputes the signature classes of the instance. *)
+val create : ?cache:Scorer.cache -> Jim_relational.Relation.t -> t
+(** Precomputes the signature classes of the instance.  [?cache]
+    supplies a shared scorer memo (see {!Scorer.cache}); by default the
+    engine gets a fresh private one. *)
 
-val of_classes : n:int -> Sigclass.cls array -> t
+val of_classes :
+  ?cache:Scorer.cache ->
+  ?statuses:State.status array ->
+  ?row_class:int array ->
+  n:int ->
+  Sigclass.cls array ->
+  t
 (** Engine over pre-built classes ([n] = attribute count); for synthetic
-    workloads. *)
+    workloads, and for warm starts off a catalog entry: [?statuses]
+    supplies the round-0 class statuses (copied — the engine mutates its
+    own) and [?row_class] the row → class map, skipping both
+    derivations; [?cache] as in {!create}.  The optional arguments must
+    describe exactly these [classes]. *)
 
 val state : t -> State.t
 val classes : t -> Sigclass.cls array
@@ -103,3 +115,9 @@ val run :
 val run_classes :
   ?seed:int -> strategy:Strategy.t -> oracle:Oracle.t ->
   n:int -> Sigclass.cls array -> outcome
+
+val run_engine :
+  ?seed:int -> strategy:Strategy.t -> oracle:Oracle.t -> t -> outcome
+(** Drive an already-built engine to completion — the building block of
+    {!run} and {!run_classes}, exposed so warm-started engines (see
+    {!of_classes}) can be driven the same way. *)

@@ -62,9 +62,14 @@ type env = {
   spec : spec;
   oracles : Oracle.t array;
   expected : Session.outcome array;
+  catalog : Jim_catalog.Catalog.t option;
+      (* when set, every service of the sweep — the faulted runs and the
+         recovery verifications — resolves instances through this one
+         shared catalog, so recovery replays warm-start off shared
+         entries exactly as a long-lived server would *)
 }
 
-let env_of spec =
+let env_of ?catalog spec =
   if spec.sessions < 1 then invalid_arg "Sweep: sessions";
   if spec.strategies = [] then invalid_arg "Sweep: strategies";
   let oracle i =
@@ -86,6 +91,7 @@ let env_of spec =
     spec;
     oracles = Array.init spec.sessions oracle;
     expected = Array.init spec.sessions expected;
+    catalog;
   }
 
 (* What the (simulated) client knows was acknowledged before the fault —
@@ -189,7 +195,9 @@ let drive env fs progress =
     (match open_on env fs with
     | Error m -> div "open_dir (fresh): %s" m
     | Ok (store, _) ->
-      let service = Service.create ~persist:(Store.record store) () in
+      let service =
+        Service.create ?catalog:env.catalog ~persist:(Store.record store) ()
+      in
       run_workload env service progress;
       Store.close store);
     `Completed
@@ -200,7 +208,9 @@ let verify_image env progress fs =
   match open_on ~fsync:false env fs with
   | Error m -> div "recovery refused: %s" m
   | Ok (store, recovered) ->
-    let service = Service.create ~persist:(Store.record store) () in
+    let service =
+      Service.create ?catalog:env.catalog ~persist:(Store.record store) ()
+    in
     (match Service.restore service recovered with
     | Ok _ -> ()
     | Error m -> div "restore refused: %s" m);
@@ -265,7 +275,9 @@ let reference env base =
   (match open_on env fs with
   | Error m -> div "reference open_dir: %s" m
   | Ok (store, _) ->
-    let service = Service.create ~persist:(Store.record store) () in
+    let service =
+      Service.create ?catalog:env.catalog ~persist:(Store.record store) ()
+    in
     run_workload env service progress;
     Array.iteri
       (fun i id ->
@@ -293,9 +305,9 @@ let sweep_ordinals env ~total ~stride ~plans_of =
 let stats_of progress (points, runs, images) =
   { events = events_of progress; points; runs; images }
 
-let crash_sweep ?chunk ?(stride = 1) ?(applied = [ 0; 3 ]) spec =
+let crash_sweep ?catalog ?chunk ?(stride = 1) ?(applied = [ 0; 3 ]) spec =
   if stride < 1 then invalid_arg "Sweep.crash_sweep: stride";
-  let env = env_of spec in
+  let env = env_of ?catalog spec in
   let base = { Plan.none with write_chunk = chunk } in
   let fs, progress = reference env base in
   let counters =
@@ -305,9 +317,9 @@ let crash_sweep ?chunk ?(stride = 1) ?(applied = [ 0; 3 ]) spec =
   in
   stats_of progress counters
 
-let fsync_sweep ?(stride = 1) spec =
+let fsync_sweep ?catalog ?(stride = 1) spec =
   if stride < 1 then invalid_arg "Sweep.fsync_sweep: stride";
-  let env = env_of spec in
+  let env = env_of ?catalog spec in
   let fs, progress = reference env Plan.none in
   let counters =
     sweep_ordinals env ~total:(Memfs.fsyncs fs) ~stride
@@ -315,9 +327,9 @@ let fsync_sweep ?(stride = 1) spec =
   in
   stats_of progress counters
 
-let write_error_sweep ?(stride = 1) spec =
+let write_error_sweep ?catalog ?(stride = 1) spec =
   if stride < 1 then invalid_arg "Sweep.write_error_sweep: stride";
-  let env = env_of spec in
+  let env = env_of ?catalog spec in
   let fs, progress = reference env Plan.none in
   let counters =
     sweep_ordinals env ~total:(Memfs.writes fs) ~stride
@@ -325,9 +337,9 @@ let write_error_sweep ?(stride = 1) spec =
   in
   stats_of progress counters
 
-let enospc_sweep ?(points = 8) spec =
+let enospc_sweep ?catalog ?(points = 8) spec =
   if points < 1 then invalid_arg "Sweep.enospc_sweep: points";
-  let env = env_of spec in
+  let env = env_of ?catalog spec in
   let fs, progress = reference env Plan.none in
   let total = Memfs.bytes_accepted fs in
   let runs = ref 0 and images = ref 0 in
@@ -341,9 +353,9 @@ let enospc_sweep ?(points = 8) spec =
   done;
   stats_of progress (points, !runs, !images)
 
-let chunk_run ~chunk spec =
+let chunk_run ?catalog ~chunk spec =
   if chunk < 1 then invalid_arg "Sweep.chunk_run: chunk";
-  let env = env_of spec in
+  let env = env_of ?catalog spec in
   let plan = { Plan.none with write_chunk = Some chunk } in
   (* [reference] both drives it and checks live outcomes; the images must
      then recover the completed sessions verbatim. *)

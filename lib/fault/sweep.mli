@@ -44,29 +44,43 @@ type stats = {
 }
 
 val crash_sweep :
-  ?chunk:int -> ?stride:int -> ?applied:int list -> spec -> stats
+  ?catalog:Jim_catalog.Catalog.t ->
+  ?chunk:int ->
+  ?stride:int ->
+  ?applied:int list ->
+  spec ->
+  stats
 (** Power cut at every write ordinal of the reference run (or every
     [stride]th, default 1), each with every partial-application count in
     [applied] (default [[0; 3]]: a clean cut at the boundary and a torn
     tail 3 bytes in).  [chunk] caps bytes-per-write for the whole family
     ({!Plan.t.write_chunk}), multiplying the boundaries swept.  Raises
-    {!Divergence} on any contract violation. *)
+    {!Divergence} on any contract violation.
 
-val fsync_sweep : ?stride:int -> spec -> stats
+    [catalog] (here and in every sweep below): when given, {e all}
+    services of the sweep — the faulted runs and every recovery
+    verification — resolve instances through this one shared catalog, so
+    recoveries warm-start off shared entries exactly as a long-lived
+    server would.  The recovery contract must hold identically. *)
+
+val fsync_sweep :
+  ?catalog:Jim_catalog.Catalog.t -> ?stride:int -> spec -> stats
 (** Fail every fsync ordinal (EIO, fsyncgate semantics: the journal
     poisons itself and refuses further appends); both images must still
     recover every previously acknowledged answer. *)
 
-val write_error_sweep : ?stride:int -> spec -> stats
+val write_error_sweep :
+  ?catalog:Jim_catalog.Catalog.t -> ?stride:int -> spec -> stats
 (** Fail every write ordinal with EIO (transient disk error — the
     filesystem survives, the journal poisons itself). *)
 
-val enospc_sweep : ?points:int -> spec -> stats
+val enospc_sweep :
+  ?catalog:Jim_catalog.Catalog.t -> ?points:int -> spec -> stats
 (** Run the workload under [points] (default 8) byte budgets spread over
     the reference run's total accepted bytes; the disk filling mid-record
     must still leave every acked answer recoverable. *)
 
-val chunk_run : chunk:int -> spec -> stats
+val chunk_run : ?catalog:Jim_catalog.Catalog.t -> chunk:int -> spec -> stats
 (** No faults, but every write accepts at most [chunk] bytes: the
     short-write retry loops must reassemble bit-identical journals and
     the workload must complete exactly like the reference run. *)

@@ -1,4 +1,5 @@
 module P = Jim_api.Protocol
+module Catalog = Jim_catalog.Catalog
 open Jim_core
 
 let with_lock m f =
@@ -10,6 +11,9 @@ type session = {
   strategy : Strategy.t;
   strategy_name : string;
   eng : Session.t;
+  entry : Catalog.entry;
+      (* the catalog entry the engine was warm-started from; holds this
+         session's pin — released when the session ends or is swept *)
   schema : Jim_relational.Schema.t;
   rng : Random.State.t;
   lock : Mutex.t;
@@ -36,14 +40,16 @@ type t = {
   max_sessions : int;
   idle_ttl : float;
   now : unit -> float;
+  catalog : Catalog.t;
+      (* instance catalog every session of this service resolves through
+         (shareable across services — the fault sweeps do) *)
   persist_hook : (Jim_store.Event.t -> unit) option;
       (* called with every state-mutating event *before* its reply is
-         built; [None] in the default in-memory mode, which therefore
-         pays nothing (not even instance fingerprinting) *)
+         built; [None] in the default in-memory mode *)
 }
 
 let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
-    ?persist () =
+    ?catalog ?persist () =
   {
     lock = Mutex.create ();
     sessions = Hashtbl.create 16;
@@ -51,8 +57,11 @@ let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
     max_sessions;
     idle_ttl;
     now;
+    catalog = (match catalog with Some c -> c | None -> Catalog.create ());
     persist_hook = persist;
   }
+
+let catalog t = t.catalog
 
 let persist t ev =
   match t.persist_hook with None -> () | Some f -> f ev
@@ -81,43 +90,10 @@ let sweep t =
     (fun (s : session) ->
       with_lock s.lock (fun () ->
           s.ended <- true;
-          persist t (Jim_store.Event.Ended { session = s.id })))
+          persist t (Jim_store.Event.Ended { session = s.id }));
+      Catalog.release t.catalog s.entry)
     stale;
   List.length stale
-
-(* ------------------------------------------------------------------ *)
-(* Instance sources                                                    *)
-
-let resolve_source :
-    P.instance_source ->
-    (Jim_relational.Relation.t * Jim_relational.Schema.t, P.error) result =
-  function
-  | P.Builtin name -> (
-    match String.lowercase_ascii name with
-    | "flights" ->
-      Ok (Jim_workloads.Flights.instance, Jim_workloads.Flights.schema)
-    | "setcards" ->
-      Ok
-        ( Jim_workloads.Setcards.pair_instance (),
-          Jim_workloads.Setcards.pair_schema )
-    | other ->
-      Error
-        (P.Bad_source
-           (Printf.sprintf "unknown builtin %S (try: flights, setcards)" other)))
-  | P.Synthetic { n_attrs; n_tuples; domain; goal_rank; seed } -> (
-    let params =
-      { Jim_workloads.Synthetic.n_attrs; n_tuples; domain; goal_rank; seed }
-    in
-    match Jim_workloads.Synthetic.generate params with
-    | inst ->
-      Ok
-        ( inst.Jim_workloads.Synthetic.relation,
-          inst.Jim_workloads.Synthetic.schema )
-    | exception Invalid_argument msg -> Error (P.Bad_source msg))
-  | P.Csv_inline text -> (
-    match Jim_relational.Csv.load_string ~name:"inline" text with
-    | Ok rel -> Ok (rel, Jim_relational.Relation.schema rel)
-    | Error msg -> Error (P.Bad_source msg))
 
 (* ------------------------------------------------------------------ *)
 (* Per-session helpers                                                 *)
@@ -169,69 +145,75 @@ let check_cls s c =
 
 let start_session t source strategy_name seed =
   ignore (sweep t);
-  match resolve_source source with
+  match Catalog.resolve t.catalog source with
   | Error e -> P.Failed e
-  | Ok (rel, schema) -> (
+  | Ok entry -> (
     match Strategy.of_string strategy_name with
-    | Error msg -> P.Failed (P.Unknown_strategy msg)
+    | Error msg ->
+      Catalog.release t.catalog entry;
+      P.Failed (P.Unknown_strategy msg)
     | Ok strategy ->
-      (* Build the engine outside the table lock: class computation can be
-         expensive and must not stall other sessions. *)
-      let eng = Session.create rel in
-      let fingerprint =
-        (* Only worth rendering when a store is listening. *)
-        match t.persist_hook with
-        | None -> ""
-        | Some _ -> Jim_store.Store.fingerprint rel
+      (* Warm-start the engine off the catalog entry outside the table
+         lock.  Cold derivation happened (once) inside the catalog;
+         this is an array copy. *)
+      let eng = Catalog.engine entry in
+      let reply =
+        with_lock t.lock (fun () ->
+            let active = Hashtbl.length t.sessions in
+            if active >= t.max_sessions then
+              P.Failed (P.Server_busy { active; max = t.max_sessions })
+            else begin
+              let id = t.next_id in
+              t.next_id <- id + 1;
+              let s =
+                {
+                  id;
+                  strategy;
+                  strategy_name = Strategy.to_string strategy;
+                  eng;
+                  entry;
+                  schema = entry.Catalog.schema;
+                  rng = Random.State.make [| seed |];
+                  lock = Mutex.create ();
+                  pending = None;
+                  events_rev = [];
+                  contradiction = false;
+                  metrics = Metrics.zero;
+                  last_used = t.now ();
+                  ended = false;
+                }
+              in
+              Hashtbl.replace t.sessions id s;
+              (* Journal the start while still holding the table lock so
+                 no later event of this (or any newer) session can
+                 precede it in the log.  The journaled source is the
+                 entry's concrete origin, never [Catalog fp]: after a
+                 restart the catalog is empty, and recovery must be able
+                 to re-resolve from the journal alone. *)
+              persist t
+                (Jim_store.Event.Started
+                   {
+                     session = id;
+                     arity = entry.Catalog.arity;
+                     source = entry.Catalog.origin;
+                     strategy = s.strategy_name;
+                     seed;
+                     fingerprint = entry.Catalog.fingerprint;
+                   });
+              P.Started
+                {
+                  session = id;
+                  arity = entry.Catalog.arity;
+                  classes = Array.length entry.Catalog.classes;
+                  tuples = entry.Catalog.tuples;
+                  strategy = s.strategy_name;
+                }
+            end)
       in
-      let arity = Jim_relational.Relation.arity rel in
-      with_lock t.lock (fun () ->
-          let active = Hashtbl.length t.sessions in
-          if active >= t.max_sessions then
-            P.Failed (P.Server_busy { active; max = t.max_sessions })
-          else begin
-            let id = t.next_id in
-            t.next_id <- id + 1;
-            let s =
-              {
-                id;
-                strategy;
-                strategy_name = Strategy.to_string strategy;
-                eng;
-                schema;
-                rng = Random.State.make [| seed |];
-                lock = Mutex.create ();
-                pending = None;
-                events_rev = [];
-                contradiction = false;
-                metrics = Metrics.zero;
-                last_used = t.now ();
-                ended = false;
-              }
-            in
-            Hashtbl.replace t.sessions id s;
-            (* Journal the start while still holding the table lock so no
-               later event of this (or any newer) session can precede it
-               in the log. *)
-            persist t
-              (Jim_store.Event.Started
-                 {
-                   session = id;
-                   arity;
-                   source;
-                   strategy = s.strategy_name;
-                   seed;
-                   fingerprint;
-                 });
-            P.Started
-              {
-                session = id;
-                arity;
-                classes = Array.length (Session.classes eng);
-                tuples = Jim_relational.Relation.cardinality rel;
-                strategy = s.strategy_name;
-              }
-          end))
+      (match reply with
+      | P.Failed _ -> Catalog.release t.catalog entry
+      | _ -> ());
+      reply)
 
 let with_session t id f =
   let found =
@@ -376,7 +358,23 @@ let end_session t id =
     with_lock s.lock (fun () ->
         s.ended <- true;
         persist t (Jim_store.Event.Ended { session = id }));
+    Catalog.release t.catalog s.entry;
     P.Ended
+
+let register_instance t source =
+  match Catalog.resolve t.catalog source with
+  | Error e -> P.Failed e
+  | Ok entry ->
+    (* Registration pins nothing: the entry stays warm in the catalog
+       until the LRU cap wants the slot back. *)
+    Catalog.release t.catalog entry;
+    P.Registered
+      {
+        fingerprint = entry.Catalog.fingerprint;
+        arity = entry.Catalog.arity;
+        classes = Array.length entry.Catalog.classes;
+        tuples = entry.Catalog.tuples;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                      *)
@@ -392,29 +390,44 @@ let restore_session t (rs : Jim_store.Recovery.session) =
   let fail fmt =
     Printf.ksprintf (fun m -> Error (Printf.sprintf "session %d: %s" rs.id m)) fmt
   in
-  let* rel, schema =
-    match resolve_source rs.source with
-    | Ok x -> Ok x
+  (* Resolve through the catalog: restored sessions on one instance share
+     (and warm) the same entry live sessions will use.  The journaled
+     source is always concrete (see [start_session]), and its entry's
+     fingerprint was computed once at interning — compare it against the
+     journaled one to refuse drifted instances, exactly as before. *)
+  let* entry =
+    match Catalog.resolve t.catalog rs.source with
+    | Ok e -> Ok e
     | Error e -> fail "cannot re-resolve source: %s" (P.error_to_string e)
   in
-  let fp = Jim_store.Store.fingerprint rel in
-  if fp <> rs.fingerprint then
-    fail "instance drifted since the journal was written (fingerprint %s, expected %s)"
-      fp rs.fingerprint
+  let abort r =
+    Catalog.release t.catalog entry;
+    r
+  in
+  if entry.Catalog.fingerprint <> rs.fingerprint then
+    abort
+      (fail
+         "instance drifted since the journal was written (fingerprint %s, \
+          expected %s)"
+         entry.Catalog.fingerprint rs.fingerprint)
   else
-    let* strategy =
+    let strategy_or_err =
       match Strategy.of_string rs.strategy with
       | Ok s -> Ok s
       | Error m -> fail "%s" m
     in
-    let eng = Session.create rel in
+    match strategy_or_err with
+    | Error e -> abort (Error e)
+    | Ok strategy -> (
+    let eng = Catalog.engine entry in
     let s =
       {
         id = rs.id;
         strategy;
         strategy_name = Strategy.to_string strategy;
         eng;
-        schema;
+        entry;
+        schema = entry.Catalog.schema;
         rng = Random.State.make [| rs.seed |];
         lock = Mutex.create ();
         pending = None;
@@ -436,7 +449,7 @@ let restore_session t (rs : Jim_store.Recovery.session) =
       in
       go 0
     in
-    let* () =
+    let replay =
       List.fold_left
         (fun acc step ->
           let* () = acc in
@@ -454,17 +467,21 @@ let restore_session t (rs : Jim_store.Recovery.session) =
             | _ -> fail "replay undo: unexpected reply"))
         (Ok ()) rs.steps
     in
-    Ok s
+    match replay with Error e -> abort (Error e) | Ok () -> Ok s)
 
 let restore t (r : Jim_store.Recovery.t) =
-  let* restored =
-    List.fold_left
-      (fun acc rs ->
-        let* acc = acc in
-        let* s = restore_session t rs in
-        Ok (s :: acc))
-      (Ok []) r.sessions
+  let rec go acc = function
+    | [] -> Ok acc
+    | rs :: rest -> (
+      match restore_session t rs with
+      | Ok s -> go (s :: acc) rest
+      | Error e ->
+        (* All-or-nothing: drop the pins the already-restored sessions
+           took before this failure aborted the restore. *)
+        List.iter (fun s -> Catalog.release t.catalog s.entry) acc;
+        Error e)
   in
+  let* restored = go [] r.sessions in
   with_lock t.lock (fun () ->
       List.iter (fun s -> Hashtbl.replace t.sessions s.id s) restored;
       t.next_id <- max t.next_id r.next_id);
@@ -486,6 +503,8 @@ let handle t req =
   | P.Stats { session } -> with_session t session do_stats
   | P.Get_transcript { session } -> with_session t session do_transcript
   | P.End_session { session } -> end_session t session
+  | P.Register_instance { source } -> register_instance t source
+  | P.Catalog_stats -> P.Catalog_info (Catalog.stats t.catalog)
 
 let handle_line_status t line =
   match P.request_of_string line with

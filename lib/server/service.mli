@@ -24,19 +24,33 @@ val create :
   ?max_sessions:int ->
   ?idle_ttl:float ->
   ?now:(unit -> float) ->
+  ?catalog:Jim_catalog.Catalog.t ->
   ?persist:(Jim_store.Event.t -> unit) ->
   unit ->
   t
 (** Defaults: 64 sessions, 600 s TTL, [Unix.gettimeofday].  [now] is
     injectable so tests can drive the TTL clock by hand.
 
+    [catalog] is the instance catalog sessions resolve their sources
+    through (each session pins its entry for its lifetime; starts on an
+    already-cataloged instance are warm: no re-derivation, shared scorer
+    memo).  A fresh private catalog is made when omitted; pass one to
+    share instances across services (e.g. across restarts in the fault
+    sweeps).
+
     [persist] is the durability hook: it is called with every
     state-mutating event (session start, acknowledged answer, undo, end —
     including idle evictions) {e before} the reply is built, so wiring in
     {!Jim_store.Store.record} gives write-ahead semantics: an answer is
     never acknowledged before it is on disk.  When omitted the service is
-    purely in-memory and behaves bit-identically to a service that never
-    heard of persistence (no fingerprinting, no extra work). *)
+    purely in-memory.  Session-start events journal the catalog entry's
+    concrete origin source (never [Catalog fp] — a restart empties the
+    catalog) plus its fingerprint, which the catalog computed exactly
+    once per entry. *)
+
+val catalog : t -> Jim_catalog.Catalog.t
+(** The catalog this service resolves through ([Catalog_stats] reads its
+    {!Jim_catalog.Catalog.stats}). *)
 
 val restore : t -> Jim_store.Recovery.t -> (int, string) result
 (** Rebuild sessions from recovered state: re-resolve each source, verify

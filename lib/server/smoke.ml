@@ -61,8 +61,24 @@ let unexpected what resp =
   Error
     (diverged "unexpected reply to %s: %s" what (P.response_to_string resp))
 
-let drive_over conn ~seed ~strategy =
-  let inst = Jim_workloads.Synthetic.generate (params seed) in
+let synthetic_source (p : Jim_workloads.Synthetic.params) =
+  P.Synthetic
+    {
+      n_attrs = p.Jim_workloads.Synthetic.n_attrs;
+      n_tuples = p.Jim_workloads.Synthetic.n_tuples;
+      domain = p.Jim_workloads.Synthetic.domain;
+      goal_rank = p.Jim_workloads.Synthetic.goal_rank;
+      seed = p.Jim_workloads.Synthetic.seed;
+    }
+
+(* Drive one wire session over [source] to completion and hold it to the
+   in-process reference: the instance (and its oracle) is the synthetic
+   one seeded [instance_seed] — which the caller must know [source]
+   resolves to — while [seed] seeds the session's strategy RNG.  The two
+   seeds are decoupled so many sessions (distinct RNG streams) can share
+   one instance, as catalog clients do. *)
+let drive_session conn ~source ~instance_seed ~seed ~strategy =
+  let inst = Jim_workloads.Synthetic.generate (params instance_seed) in
   let oracle = Oracle.of_goal inst.Jim_workloads.Synthetic.goal in
   let strat =
     match Strategy.of_string strategy with
@@ -73,24 +89,7 @@ let drive_over conn ~seed ~strategy =
     Session.run ~seed ~strategy:strat ~oracle
       inst.Jim_workloads.Synthetic.relation
   in
-  let p = params seed in
-  let* resp =
-    call conn
-      (P.Start_session
-         {
-           source =
-             P.Synthetic
-               {
-                 n_attrs = p.Jim_workloads.Synthetic.n_attrs;
-                 n_tuples = p.Jim_workloads.Synthetic.n_tuples;
-                 domain = p.Jim_workloads.Synthetic.domain;
-                 goal_rank = p.Jim_workloads.Synthetic.goal_rank;
-                 seed = p.Jim_workloads.Synthetic.seed;
-               };
-           strategy;
-           seed;
-         })
-  in
+  let* resp = call conn (P.Start_session { source; strategy; seed }) in
   let* session =
     match resp with
     | P.Started { session; _ } -> Ok session
@@ -125,14 +124,26 @@ let drive_over conn ~seed ~strategy =
          (Jim_partition.Partition.to_string expected.Session.query)
          expected.Session.interactions)
 
-let drive_one ?(framing = Wire.Line) ~address ~seed ~strategy () =
+let drive_over conn ~seed ~strategy =
+  drive_session conn
+    ~source:(synthetic_source (params seed))
+    ~instance_seed:seed ~seed ~strategy
+
+let drive_one ?(framing = Wire.Line) ?instance ~address ~seed ~strategy () =
   match Wire.connect ~retries:50 ~framing address with
   | Error msg ->
     report ~seed ~strategy ~questions:0
       (Error { transport = true; msg = "connect: " ^ msg })
   | Ok conn ->
     let questions, outcome =
-      match drive_over conn ~seed ~strategy with
+      match
+        match instance with
+        | None -> drive_over conn ~seed ~strategy
+        | Some instance_seed ->
+          drive_session conn
+            ~source:(synthetic_source (params instance_seed))
+            ~instance_seed ~seed ~strategy
+      with
       | Ok asked -> (asked, Ok ())
       | Error e -> (0, Error e)
       | exception exn -> (0, Error (diverged "%s" (Printexc.to_string exn)))
@@ -140,17 +151,17 @@ let drive_one ?(framing = Wire.Line) ~address ~seed ~strategy () =
     Wire.close conn;
     report ~seed ~strategy ~questions outcome
 
-let run ?(clients = 32) ?(framing = Wire.Line) ~address () =
+let strategy_for i = if i mod 2 = 0 then "lookahead-entropy" else "random"
+
+let run ?(clients = 32) ?(framing = Wire.Line) ?instance ~address () =
   let reports = ref [] in
   let lock = Mutex.create () in
   let spawn i =
     Thread.create
       (fun () ->
         let seed = 100 + i in
-        let strategy =
-          if i mod 2 = 0 then "lookahead-entropy" else "random"
-        in
-        let r = drive_one ~framing ~address ~seed ~strategy () in
+        let strategy = strategy_for i in
+        let r = drive_one ~framing ?instance ~address ~seed ~strategy () in
         Mutex.lock lock;
         reports := r :: !reports;
         Mutex.unlock lock)
@@ -161,11 +172,84 @@ let run ?(clients = 32) ?(framing = Wire.Line) ~address () =
   List.sort (fun a b -> compare a.seed b.seed) !reports
 
 (* ------------------------------------------------------------------ *)
+(* Catalog drill: register once, start every client by fingerprint, and
+   hold each session to the same bit-identity bar as [run] — plus the
+   server's catalog counters for the caller to assert on (hits > 0,
+   exactly one derivation). *)
+
+let catalog_smoke ?(clients = 2) ?(instance = 7) ?(framing = Wire.Line)
+    ~address () =
+  match Wire.connect ~retries:50 ~framing address with
+  | Error msg -> Error ("connect: " ^ msg)
+  | Ok conn -> (
+    let fp =
+      match
+        call conn
+          (P.Register_instance { source = synthetic_source (params instance) })
+      with
+      | Ok (P.Registered { fingerprint; _ }) -> Ok fingerprint
+      | Ok other ->
+        Error
+          ("unexpected reply to Register_instance: "
+          ^ P.response_to_string other)
+      | Error { msg; _ } -> Error msg
+    in
+    match fp with
+    | Error e ->
+      Wire.close conn;
+      Error e
+    | Ok fp -> (
+      let reports = ref [] in
+      let lock = Mutex.create () in
+      let spawn i =
+        Thread.create
+          (fun () ->
+            let seed = 500 + i in
+            let strategy = strategy_for i in
+            let r =
+              match Wire.connect ~retries:50 ~framing address with
+              | Error msg ->
+                report ~seed ~strategy ~questions:0
+                  (Error { transport = true; msg = "connect: " ^ msg })
+              | Ok c ->
+                let questions, outcome =
+                  match
+                    drive_session c ~source:(P.Catalog fp)
+                      ~instance_seed:instance ~seed ~strategy
+                  with
+                  | Ok asked -> (asked, Ok ())
+                  | Error e -> (0, Error e)
+                  | exception exn ->
+                    (0, Error (diverged "%s" (Printexc.to_string exn)))
+                in
+                Wire.close c;
+                report ~seed ~strategy ~questions outcome
+            in
+            Mutex.lock lock;
+            reports := r :: !reports;
+            Mutex.unlock lock)
+          ()
+      in
+      let threads = List.init clients spawn in
+      List.iter Thread.join threads;
+      let stats =
+        match call conn P.Catalog_stats with
+        | Ok (P.Catalog_info c) -> Ok c
+        | Ok other ->
+          Error
+            ("unexpected reply to Catalog_stats: " ^ P.response_to_string other)
+        | Error { msg; _ } -> Error msg
+      in
+      Wire.close conn;
+      match stats with
+      | Error e -> Error e
+      | Ok stats ->
+        Ok (List.sort (fun a b -> compare a.seed b.seed) !reports, stats)))
+
+(* ------------------------------------------------------------------ *)
 (* Crash drill: leave sessions half-answered, let the caller SIGKILL the
    server, then resume against the restarted one and hold it to the same
    bit-identical bar as an uninterrupted run. *)
-
-let strategy_for i = if i mod 2 = 0 then "lookahead-entropy" else "random"
 
 let expected_outcome ~seed ~strategy =
   let inst = Jim_workloads.Synthetic.generate (params seed) in

@@ -19,26 +19,50 @@ type client_report = {
 
 val drive_one :
   ?framing:Wire.framing ->
+  ?instance:int ->
   address:Wire.address ->
   seed:int ->
   strategy:string ->
   unit ->
   client_report
 (** One client, one session: start a synthetic instance (deterministic in
-    [seed], so the goal — and hence the oracle — is reconstructed
+    its seed, so the goal — and hence the oracle — is reconstructed
     locally), loop question/answer to completion, fetch the outcome and
     compare with the local reference run.  [framing] (default [Line])
-    selects the wire framing — the outcome bar is identical under both. *)
+    selects the wire framing — the outcome bar is identical under both.
+    [instance] decouples the instance seed from the session seed: when
+    given, every client drives the synthetic instance seeded [instance]
+    (so they all resolve to one catalog entry) while [seed] still seeds
+    the strategy RNG; by default the instance seed is [seed]. *)
 
 val run :
   ?clients:int ->
   ?framing:Wire.framing ->
+  ?instance:int ->
   address:Wire.address ->
   unit ->
   client_report list
 (** [clients] (default 32) threads, one {!drive_one} each, alternating
     strategies (lookahead-entropy / random) and distinct seeds.  Reports
-    come back sorted by seed. *)
+    come back sorted by seed.  [instance] as in {!drive_one}: all
+    clients share one instance (one catalog entry) instead of each
+    generating their own. *)
+
+val catalog_smoke :
+  ?clients:int ->
+  ?instance:int ->
+  ?framing:Wire.framing ->
+  address:Wire.address ->
+  unit ->
+  (client_report list * Jim_api.Protocol.catalog_stats, string) result
+(** The catalog drill: [Register_instance] the synthetic instance seeded
+    [instance] (default 7) once, then [clients] (default 2) concurrent
+    sessions each start by [Catalog fingerprint] — shipping no data —
+    and are held to the usual bit-identity bar.  Returns the reports
+    plus the server's catalog counters (callers assert [hits > 0] and
+    [derivations = 1]).  [Error] only for the drill's own plumbing
+    (connect/register/stats failures); per-client failures are in the
+    reports. *)
 
 val crash_start :
   address:Wire.address ->

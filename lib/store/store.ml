@@ -34,7 +34,7 @@ let record_count t = t.since_snapshot
 (* ------------------------------------------------------------------ *)
 (* Fingerprint                                                         *)
 
-let fingerprint rel =
+let canonical_csv rel =
   let module Relation = Jim_relational.Relation in
   let module Schema = Jim_relational.Schema in
   let header =
@@ -48,8 +48,10 @@ let fingerprint rel =
         List.map Jim_relational.Value.to_string (Array.to_list tup))
       (Relation.tuples rel)
   in
-  Crc32.to_hex
-    (Crc32.digest_string (Jim_relational.Csv.print_string (header :: rows)))
+  Jim_relational.Csv.print_string (header :: rows)
+
+let fingerprint_of_csv csv = Crc32.to_hex (Crc32.digest_string csv)
+let fingerprint rel = fingerprint_of_csv (canonical_csv rel)
 
 (* ------------------------------------------------------------------ *)
 (* Shadow maintenance                                                  *)

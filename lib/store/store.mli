@@ -54,8 +54,18 @@ val record_count : t -> int
 (** Records appended to the current journal generation (resets on
     checkpoint). *)
 
+val canonical_csv : Jim_relational.Relation.t -> string
+(** The instance's canonical CSV rendering — schema header (names then
+    type names) plus every tuple, order-sensitive.  The catalog keys
+    entries by its fingerprint and accounts their size in its bytes. *)
+
+val fingerprint_of_csv : string -> string
+(** CRC-32 (hex) of an already-rendered canonical CSV — lets a caller
+    that needs both the rendering and the fingerprint (the catalog)
+    render once. *)
+
 val fingerprint : Jim_relational.Relation.t -> string
-(** CRC-32 (hex) over the instance's canonical CSV rendering — schema
-    header plus every tuple, order-sensitive.  Journaled at session
-    start; {!Jim_server.Service.restore} recomputes it from the re-resolved
-    source and refuses to replay onto a drifted instance. *)
+(** [fingerprint_of_csv (canonical_csv rel)].  Journaled at session
+    start; {!Jim_server.Service.restore} resolves the journaled source
+    through the catalog and refuses to replay onto a drifted instance.
+    Also the key of the server-wide instance catalog ([Jim_catalog]). *)

@@ -65,6 +65,8 @@ let gen_source =
          return (Pr.Synthetic { n_attrs; n_tuples; domain; goal_rank; seed }));
         (let* text = gen_string in
          return (Pr.Csv_inline text));
+        (let* fp = string_size ~gen:(oneofl [ '0'; '7'; 'a'; 'f' ]) (return 8) in
+         return (Pr.Catalog fp));
       ])
 
 let gen_request =
@@ -100,6 +102,9 @@ let gen_request =
          return (Pr.Get_transcript { session }));
         (let* session = id in
          return (Pr.End_session { session }));
+        (let* source = gen_source in
+         return (Pr.Register_instance { source }));
+        return Pr.Catalog_stats;
       ])
 
 let gen_question =
@@ -128,6 +133,8 @@ let gen_error =
          return (Pr.Server_busy { active; max = active + extra }));
         (let* v = int_range 0 20 in
          return (Pr.Unsupported_version v));
+        (let* fp = gen_string in
+         return (Pr.Unknown_instance fp));
       ])
 
 let gen_metrics =
@@ -199,6 +206,29 @@ let gen_stats =
         scoring;
       })
 
+let gen_catalog_stats =
+  QCheck.Gen.(
+    let nat = int_bound 100000 in
+    let* entries = nat in
+    let* bytes = nat in
+    let* pinned = nat in
+    let* hits = nat in
+    let* misses = nat in
+    let* evictions = nat in
+    let* fingerprints = nat in
+    let* derivations = nat in
+    return
+      {
+        Pr.entries;
+        bytes;
+        pinned;
+        hits;
+        misses;
+        evictions;
+        fingerprints;
+        derivations;
+      })
+
 let gen_response =
   QCheck.Gen.(
     oneof
@@ -233,6 +263,15 @@ let gen_response =
         return Pr.Ended;
         (let* e = gen_error in
          return (Pr.Failed e));
+        (let* fingerprint =
+           string_size ~gen:(oneofl [ '0'; '7'; 'a'; 'f' ]) (return 8)
+         in
+         let* arity = int_range 1 10 in
+         let* classes = int_range 1 100 in
+         let* tuples = int_range 1 1000 in
+         return (Pr.Registered { fingerprint; arity; classes; tuples }));
+        (let* s = gen_catalog_stats in
+         return (Pr.Catalog_info s));
       ])
 
 (* ------------------------------------------------------------------ *)
@@ -254,6 +293,7 @@ let source_eq a b =
     n_attrs = n_attrs' && n_tuples = n_tuples' && domain = domain'
     && goal_rank = goal_rank' && seed = seed'
   | Pr.Csv_inline x, Pr.Csv_inline y -> x = y
+  | Pr.Catalog x, Pr.Catalog y -> x = y
   | _ -> false
 
 let question_eq (a : Pr.question) (b : Pr.question) =
@@ -280,6 +320,10 @@ let request_eq a b =
   | Pr.Get_transcript { session = s1 }, Pr.Get_transcript { session = s2 }
   | Pr.End_session { session = s1 }, Pr.End_session { session = s2 } ->
     s1 = s2
+  | ( Pr.Register_instance { source = s1 },
+      Pr.Register_instance { source = s2 } ) ->
+    source_eq s1 s2
+  | Pr.Catalog_stats, Pr.Catalog_stats -> true
   | _ -> false
 
 let event_eq (a : Session.event) (b : Session.event) =
@@ -326,6 +370,11 @@ let response_eq a b =
     t1 = t2
   | Pr.Ended, Pr.Ended -> true
   | Pr.Failed x, Pr.Failed y -> x = y
+  | ( Pr.Registered { fingerprint = f1; arity = a1; classes = c1; tuples = t1 },
+      Pr.Registered { fingerprint = f2; arity = a2; classes = c2; tuples = t2 }
+    ) ->
+    f1 = f2 && a1 = a2 && c1 = c2 && t1 = t2
+  | Pr.Catalog_info x, Pr.Catalog_info y -> x = y
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -353,6 +402,19 @@ let prop_encoding_stable =
       let s = Pr.response_to_string resp in
       match Pr.response_of_string s with
       | Ok resp' -> Pr.response_to_string resp' = s
+      | Error _ -> false)
+
+let prop_source_roundtrip =
+  (* exhaustive over all four instance_source constructors, Catalog
+     included — the sub-encoding Start_session, Register_instance and
+     the journal's Started events all ride on *)
+  qtest "instance_source sub-encoding round-trips"
+    (QCheck.make
+       ~print:(fun s -> Json.to_string (Pr.source_to_json s))
+       gen_source)
+    (fun s ->
+      match Pr.source_of_json (Pr.source_to_json s) with
+      | Ok s' -> source_eq s s'
       | Error _ -> false)
 
 let prop_partition_roundtrip =
@@ -447,6 +509,27 @@ let test_unicode_escapes () =
   reject {|"\u 041"|};
   reject {|"\u004"|}
 
+let test_error_strings () =
+  (* error_to_string is documented stable, one shape per constructor —
+     clients grep logs for these.  Pin every one. *)
+  List.iter
+    (fun (err, expected) ->
+      Alcotest.(check string) expected expected (Pr.error_to_string err))
+    [
+      (Pr.Bad_request "no tag", "bad request: no tag");
+      (Pr.Unknown_session 42, "unknown session 42");
+      (Pr.Unknown_strategy "no such strategy", "no such strategy");
+      (Pr.Bad_source "bad csv", "bad instance source: bad csv");
+      (Pr.Unknown_instance "deadbeef", "unknown instance deadbeef");
+      ( Pr.Engine Session.Contradiction,
+        Session.error_to_string Session.Contradiction );
+      ( Pr.Server_busy { active = 64; max = 64 },
+        "server busy: 64/64 sessions active" );
+      ( Pr.Unsupported_version 9,
+        Printf.sprintf "unsupported protocol version 9 (this server speaks %d)"
+          Pr.version );
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Strategy name table                                                 *)
 
@@ -485,6 +568,7 @@ let () =
           prop_request_roundtrip;
           prop_response_roundtrip;
           prop_encoding_stable;
+          prop_source_roundtrip;
           prop_partition_roundtrip;
           prop_outcome_roundtrip;
           prop_json_float_roundtrip;
@@ -497,6 +581,7 @@ let () =
           Alcotest.test_case "label encoding" `Quick test_label_encoding;
           Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
           Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
+          Alcotest.test_case "stable error strings" `Quick test_error_strings;
         ] );
       ( "strategy names",
         [ Alcotest.test_case "of_string/to_string" `Quick test_strategy_roundtrip ] );

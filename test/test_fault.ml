@@ -213,6 +213,23 @@ let test_chunk_run () =
      must reassemble a bit-identical journal. *)
   check_stats "chunk run" (Sweep.chunk_run ~chunk:3 Sweep.default)
 
+let test_crash_sweep_shared_catalog () =
+  (* The same crash sweep, but every service — faulted runs and recovery
+     verifications alike — resolves through one long-lived shared
+     catalog: recoveries warm-start off shared entries (and shared
+     scorer memos) and the bit-identity contract must hold unchanged.
+     The whole sweep derives each of the 7 instances exactly once. *)
+  let catalog = Jim_catalog.Catalog.create () in
+  let st = Sweep.crash_sweep ~catalog ~stride:7 Sweep.default in
+  check_stats "crash sweep (shared catalog)" st;
+  let s = Jim_catalog.Catalog.stats catalog in
+  Alcotest.(check int) "one entry per instance across the whole sweep"
+    Sweep.default.Sweep.sessions s.Jim_api.Protocol.entries;
+  Alcotest.(check int) "derived once per instance"
+    Sweep.default.Sweep.sessions s.Jim_api.Protocol.derivations;
+  Alcotest.(check bool) "hundreds of warm restarts" true
+    (s.Jim_api.Protocol.hits > s.Jim_api.Protocol.misses)
+
 (* Slow variants: no strides, plus crashes inside chunked writes. *)
 
 let test_fsync_sweep_full () =
@@ -535,6 +552,8 @@ let () =
            Alcotest.test_case "disk full mid-record" `Quick test_enospc_sweep;
            Alcotest.test_case "short-write retries reassemble" `Quick
              test_chunk_run;
+           Alcotest.test_case "crash sweep through a shared catalog" `Quick
+             test_crash_sweep_shared_catalog;
          ]
          @ if_slow
              [

@@ -99,6 +99,33 @@ let test_smoke_32_clients_binary () =
   with_server (fun address _ ->
       check_reports (Smoke.run ~clients:32 ~framing:Wire.Binary ~address ()) 32)
 
+(* The catalog acceptance bar: the same 32 concurrent clients, but all
+   on ONE instance — a single shared catalog entry, one derivation, one
+   scorer memo — must stay bit-identical to isolated in-process runs. *)
+let test_smoke_32_clients_shared_entry () =
+  with_server (fun address service ->
+      check_reports (Smoke.run ~clients:32 ~instance:7 ~address ()) 32;
+      let s = Jim_catalog.Catalog.stats (Service.catalog service) in
+      Alcotest.(check int) "one shared entry" 1 s.Pr.entries;
+      Alcotest.(check int) "derived once for 32 clients" 1 s.Pr.derivations;
+      Alcotest.(check int) "fingerprinted once" 1 s.Pr.fingerprints;
+      Alcotest.(check bool) "the other 31 starts were warm" true
+        (s.Pr.hits >= 31);
+      Alcotest.(check int) "ended sessions left nothing pinned" 0 s.Pr.pinned)
+
+(* The register → start-by-fingerprint flow over the wire: no instance
+   data on the session starts, counters prove the sharing. *)
+let test_catalog_smoke_drill () =
+  with_server (fun address _ ->
+      match Smoke.catalog_smoke ~clients:4 ~address () with
+      | Error e -> Alcotest.failf "catalog smoke: %s" e
+      | Ok (reports, stats) ->
+        check_reports reports 4;
+        Alcotest.(check int) "one derivation" 1 stats.Pr.derivations;
+        Alcotest.(check int) "one fingerprint" 1 stats.Pr.fingerprints;
+        Alcotest.(check bool) "fingerprint starts hit the catalog" true
+          (stats.Pr.hits >= 4))
+
 (* The same request stream must produce byte-identical reply payloads
    under both framings — binary changes the delimiting, never the
    bytes.  One fresh server per framing, so session ids line up. *)
@@ -446,6 +473,10 @@ let () =
         [
           Alcotest.test_case "32 concurrent clients, bit-identical" `Slow
             test_smoke_32_clients;
+          Alcotest.test_case "32 clients sharing one catalog entry" `Slow
+            test_smoke_32_clients_shared_entry;
+          Alcotest.test_case "register/start-by-fingerprint drill" `Quick
+            test_catalog_smoke_drill;
           Alcotest.test_case "32 clients over binary framing" `Slow
             test_smoke_32_clients_binary;
           Alcotest.test_case "framings are byte-identical" `Quick
