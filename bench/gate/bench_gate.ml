@@ -13,6 +13,8 @@
      jim bench wire     -> results[].rps (higher better)
                            + results[].p50_us (lower better)
      jim bench catalog  -> results[].starts_per_s         (higher better)
+     jim bench shard    -> results[].rps (higher better)
+                           + results[].p99_us (lower better)
 
    --skip excludes rows whose name contains the substring — for rows
    that measure the machine rather than the code (e.g. fsync-bound
@@ -54,7 +56,8 @@ let rows_of kind v =
   in
   match kind with
   | "jim bench compare" -> list_field "strategies"
-  | "jim bench store" | "jim bench wire" | "jim bench catalog" ->
+  | "jim bench store" | "jim bench wire" | "jim bench catalog"
+  | "jim bench shard" ->
     list_field "results"
   | k -> die "unknown generated_by %S" k
 
@@ -65,6 +68,7 @@ let metrics_of = function
   | "jim bench store" -> [ ("ops_per_s", `Higher) ]
   | "jim bench wire" -> [ ("rps", `Higher); ("p50_us", `Lower) ]
   | "jim bench catalog" -> [ ("starts_per_s", `Higher) ]
+  | "jim bench shard" -> [ ("rps", `Higher); ("p99_us", `Lower) ]
   | k -> die "unknown generated_by %S" k
 
 let () =

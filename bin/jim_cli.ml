@@ -7,6 +7,8 @@
      setcards  the joining-sets-of-pictures scenario (Fig. 5)
      tpch      crowd-style join tasks over the TPC-H-lite database
      serve     the session server (line-delimited JSON over a socket)
+     standby   warm replica of a --replicate-to server; serves on promote
+     router    consistent-hash front over several shards, with failover
      client    talk to a running server (batch / smoke / busy-check / crash drill)
      instance  register CSVs into a running server's catalog
      journal   inspect, verify or export from a durable data directory *)
@@ -397,7 +399,7 @@ let catalog_stats_line (s : Jim_api.Protocol.catalog_stats) =
     s.Jim_api.Protocol.derivations
 
 let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
-    stats_every catalog_max_entries =
+    stats_every catalog_max_entries drain_timeout replicate_to =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim serve: %s\n" e;
@@ -416,8 +418,37 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
       Printf.eprintf "jim serve: %s\n" e;
       1
     | Ok store -> (
+      (* Replication attaches before any traffic: the standby receives
+         the current snapshot + journal baseline, then every event rides
+         the persist hook — journal locally, stream, only then ack. *)
+      let repl =
+        match (replicate_to, store) with
+        | None, _ -> Ok None
+        | Some _, None ->
+          Error "--replicate-to needs --data-dir (nothing durable to ship)"
+        | Some spec, Some (st, _) -> (
+          match Jim_server.Wire.address_of_string spec with
+          | Error e -> Error e
+          | Ok standby_addr -> (
+            let target =
+              Jim_shard.Front.wire_target ~name:"replica" standby_addr
+            in
+            match Jim_shard.Repl.attach st target with
+            | Error e -> Error ("replication attach failed: " ^ e)
+            | Ok r -> Ok (Some r)))
+      in
+      match repl with
+      | Error e ->
+        Printf.eprintf "jim serve: %s\n" e;
+        Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
+        1
+      | Ok repl -> (
       let persist =
-        Option.map (fun (st, _) ev -> Jim_store.Store.record st ev) store
+        Option.map
+          (fun (st, _) ev ->
+            Jim_store.Store.record st ev;
+            Option.iter (fun r -> Jim_shard.Repl.send r ev) repl)
+          store
       in
       let catalog =
         Jim_catalog.Catalog.create ~max_entries:catalog_max_entries ()
@@ -436,12 +467,22 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
         1
       | Ok restored ->
-        let server = Jim_server.Wire.serve ~threads service addr in
+        let server =
+          Jim_server.Wire.serve ~threads ~drain_timeout service addr
+        in
         Printf.printf
           "jim serve: listening on %s (max %d sessions, %d threads)\n%!"
           (Jim_server.Wire.address_to_string
              (Jim_server.Wire.bound_address server))
           max_sessions threads;
+        Option.iter
+          (fun r ->
+            let gen, records = Jim_shard.Repl.position r in
+            Printf.printf
+              "jim serve: replicating to %s (generation %d, %d records \
+               shipped)\n%!"
+              (Jim_shard.Repl.describe r) gen records)
+          repl;
         Option.iter
           (fun (st, _) ->
             Printf.printf
@@ -468,8 +509,116 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
         Printf.printf "jim serve: wire: %s; %s\n%!"
           (Jim_server.Netstats.to_string (Jim_server.Netstats.snapshot ()))
           (catalog_stats_line (Jim_catalog.Catalog.stats catalog));
+        Option.iter Jim_shard.Repl.close repl;
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
-        0))
+        0)))
+
+(* standby: the receiving half of the replication stream               *)
+
+let run_standby socket tcp data_dir snapshot_every threads drain_timeout =
+  match resolve_address socket tcp with
+  | Error e ->
+    Printf.eprintf "jim standby: %s\n" e;
+    2
+  | Ok addr ->
+    let stb = Jim_shard.Standby.create ~dir:data_dir () in
+    let node = Jim_shard.Front.standby_node ~snapshot_every stb in
+    let config =
+      { Jim_server.Wire.default_config with threads; drain_timeout }
+    in
+    let server =
+      Jim_server.Wire.serve_handler ~config
+        ~sweep:(fun () -> Jim_shard.Front.sweep node)
+        (Jim_shard.Front.handle_line node)
+        addr
+    in
+    Printf.printf
+      "jim standby: listening on %s, accumulating in %s (serves after \
+       Promote)\n%!"
+      (Jim_server.Wire.address_to_string (Jim_server.Wire.bound_address server))
+      data_dir;
+    Jim_server.Wire.wait server;
+    Jim_shard.Standby.close stb;
+    0
+
+(* router: the consistent-hash front over the shards                   *)
+
+(* --shard/--standby take NAME=ADDR; the names key the hash ring, so
+   they must be stable across restarts for placements to replay. *)
+let parse_named what spec =
+  match String.index_opt spec '=' with
+  | None | Some 0 ->
+    Error (Printf.sprintf "--%s wants NAME=ADDR, got %S" what spec)
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let addr = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match Jim_server.Wire.address_of_string addr with
+    | Ok a -> Ok (name, a)
+    | Error e -> Error (Printf.sprintf "--%s %s: %s" what name e))
+
+let run_router socket tcp shard_specs standby_specs data_dir vnodes threads
+    drain_timeout =
+  let ( let* ) r k =
+    match r with
+    | Error e ->
+      Printf.eprintf "jim router: %s\n" e;
+      2
+    | Ok v -> k v
+  in
+  let rec parse_all what = function
+    | [] -> Ok []
+    | spec :: rest -> (
+      match parse_named what spec with
+      | Error e -> Error e
+      | Ok p -> Result.map (fun ps -> p :: ps) (parse_all what rest))
+  in
+  let* listen = resolve_address socket tcp in
+  let* shards = parse_all "shard" shard_specs in
+  let* standbys = parse_all "standby" standby_specs in
+  let* () =
+    if shards = [] then Error "at least one --shard NAME=ADDR is required"
+    else Ok ()
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun (n, _) -> not (List.mem_assoc n shards))
+        standbys
+    with
+    | Some (n, _) ->
+      Error (Printf.sprintf "--standby %s names no --shard" n)
+    | None -> Ok ()
+  in
+  let upstreams =
+    List.map
+      (fun (name, primary) ->
+        let standby = List.assoc_opt name standbys in
+        Jim_shard.Front.wire_upstream ~name ~primary ?standby ())
+      shards
+  in
+  let* router =
+    Jim_shard.Router.create ?dir:data_dir ~vnodes ~shards:upstreams ()
+  in
+  let config =
+    { Jim_server.Wire.default_config with threads; drain_timeout }
+  in
+  let server =
+    Jim_server.Wire.serve_handler ~config
+      (Jim_shard.Router.handle_line router)
+      listen
+  in
+  Printf.printf
+    "jim router: listening on %s, %d shards (%d with standbys), %d live \
+     placements\n%!"
+    (Jim_server.Wire.address_to_string (Jim_server.Wire.bound_address server))
+    (List.length shards) (List.length standbys)
+    (Jim_shard.Router.session_count router);
+  Option.iter
+    (fun dir -> Printf.printf "jim router: placements durable in %s\n%!" dir)
+    data_dir;
+  Jim_server.Wire.wait server;
+  Jim_shard.Router.close router;
+  0
 
 (* Exit-code policy: a drill passes only when every expected report came
    back and none of them diverged.  An empty (or short) report list is a
@@ -996,7 +1145,25 @@ let tcp_arg =
     & info [ "tcp" ] ~docv:"HOST:PORT"
         ~doc:"Listen on / connect to TCP instead of a Unix socket.")
 
+let drain_timeout_arg =
+  Arg.(
+    value
+    & opt float Jim_server.Wire.default_config.Jim_server.Wire.drain_timeout
+    & info [ "drain-timeout" ] ~docv:"SECONDS"
+        ~doc:"How long shutdown lingers for in-flight replies to flush \
+              before closing connections.")
+
 let serve_cmd =
+  let replicate_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replicate-to" ] ~docv:"ADDR"
+          ~doc:"Stream every journal record to a $(b,jim standby) at \
+                $(docv) (HOST:PORT or unix:PATH) before acknowledging; \
+                needs $(b,--data-dir).  The standby is sent the current \
+                snapshot and journal on attach, so it can start empty.")
+  in
   let max_sessions =
     Arg.(
       value & opt int 64
@@ -1053,15 +1220,101 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const (fun () s t m i th d se ste cme ->
-          run_serve s t m i th d se ste cme)
+      const (fun () s t m i th d se ste cme dt rt ->
+          run_serve s t m i th d se ste cme dt rt)
       $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads
-      $ data_dir $ snapshot_every $ stats_every $ catalog_max_entries)
+      $ data_dir $ snapshot_every $ stats_every $ catalog_max_entries
+      $ drain_timeout_arg $ replicate_to)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve inference sessions: JSON requests over line or \
              negotiated binary framing.")
+    term
+
+let standby_cmd =
+  let data_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:"Accumulate the replicated snapshot and journal here; \
+                promotion recovers this directory into a serving node.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 1024
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Snapshot cadence of the store opened at promotion.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 16
+      & info [ "threads" ] ~doc:"Connection worker pool size.")
+  in
+  let term =
+    Term.(
+      const (fun s t d se th dt -> run_standby s t d se th dt)
+      $ socket_arg $ tcp_arg $ data_dir $ snapshot_every $ threads
+      $ drain_timeout_arg)
+  in
+  Cmd.v
+    (Cmd.info "standby"
+       ~doc:"Warm standby for a replicating $(b,jim serve): receives the \
+             journal stream, maintains shadow state, and starts serving \
+             the same sessions when told to promote (by a failing-over \
+             $(b,jim router), or a $(b,promote) request).")
+    term
+
+let router_cmd =
+  let shard =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "shard" ] ~docv:"NAME=ADDR"
+          ~doc:"A shard to route to (repeatable).  $(i,NAME) keys the \
+                consistent-hash ring — keep it stable across restarts.")
+  in
+  let standby =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "standby" ] ~docv:"NAME=ADDR"
+          ~doc:"A warm standby for shard $(i,NAME) (repeatable).  On \
+                shard failure the router sends it $(b,promote) and fails \
+                the shard's sessions over.")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:"Journal ring membership and session placements to \
+                $(docv)/router.wal so routing survives a router restart.")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Virtual nodes per shard on the hash ring.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 16
+      & info [ "threads" ] ~doc:"Connection worker pool size.")
+  in
+  let term =
+    Term.(
+      const (fun s t sh st d v th dt -> run_router s t sh st d v th dt)
+      $ socket_arg $ tcp_arg $ shard $ standby $ data_dir $ vnodes $ threads
+      $ drain_timeout_arg)
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:"Consistent-hash front over several $(b,jim serve) shards: \
+             speaks the same protocol on both framings, pins each \
+             session (and each catalog fingerprint) to one shard, and \
+             promotes a standby when a shard dies.")
     term
 
 let client_cmd =
@@ -1299,6 +1552,8 @@ let () =
             setcards_cmd;
             tpch_cmd;
             serve_cmd;
+            standby_cmd;
+            router_cmd;
             client_cmd;
             instance_cmd;
             chaos_cmd;

@@ -30,6 +30,17 @@ type request =
   | End_session of { session : int }
   | Register_instance of { source : instance_source }
   | Catalog_stats
+  | Start_pinned of {
+      session : int;
+      source : instance_source;
+      strategy : string;
+      seed : int;
+    }
+  | Repl_install of { gen : int; snapshot : string option }
+  | Repl_rotate of { gen : int }
+  | Repl_status
+  | Promote
+  | Ring_status
 
 type error =
   | Bad_request of string
@@ -40,6 +51,7 @@ type error =
   | Engine of Session.error
   | Server_busy of { active : int; max : int }
   | Unsupported_version of int
+  | Shard_unavailable of string
 
 type catalog_stats = {
   entries : int;
@@ -89,6 +101,9 @@ type response =
       tuples : int;
     }
   | Catalog_info of catalog_stats
+  | Repl_ok of { gen : int; records : int }
+  | Promoted of { sessions : int; generation : int }
+  | Ring_info of { shards : (string * bool) list; sessions : int }
   | Ended
   | Failed of error
 
@@ -104,6 +119,7 @@ let error_to_string = function
   | Unsupported_version v ->
     Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v
       version
+  | Shard_unavailable m -> "shard unavailable: " ^ m
 
 let ( let* ) = Result.bind
 
@@ -342,6 +358,25 @@ let request_to_json = function
   | Register_instance { source } ->
     envelope "req" "register_instance" [ ("source", source_to_json source) ]
   | Catalog_stats -> envelope "req" "catalog_stats" []
+  | Start_pinned { session; source; strategy; seed } ->
+    envelope "req" "start_pinned"
+      [
+        ("session", Json.Int session);
+        ("source", source_to_json source);
+        ("strategy", Json.String strategy);
+        ("seed", Json.Int seed);
+      ]
+  | Repl_install { gen; snapshot } ->
+    envelope "req" "repl_install"
+      [
+        ("gen", Json.Int gen);
+        ( "snapshot",
+          match snapshot with None -> Json.Null | Some s -> Json.String s );
+      ]
+  | Repl_rotate { gen } -> envelope "req" "repl_rotate" [ ("gen", Json.Int gen) ]
+  | Repl_status -> envelope "req" "repl_status" []
+  | Promote -> envelope "req" "promote" []
+  | Ring_status -> envelope "req" "ring_status" []
 
 let check_version v k =
   match int_field "jim" v with
@@ -386,6 +421,30 @@ let request_of_json v =
         (let* source = Result.bind (Json.field "source" v) source_of_json in
          Ok (Register_instance { source }))
     | "catalog_stats" -> Ok Catalog_stats
+    | "start_pinned" ->
+      let* session = session () in
+      bad
+        (let* source = Result.bind (Json.field "source" v) source_of_json in
+         let* strategy = string_field "strategy" v in
+         let* seed = int_field "seed" v in
+         Ok (Start_pinned { session; source; strategy; seed }))
+    | "repl_install" ->
+      bad
+        (let* gen = int_field "gen" v in
+         let* snapshot =
+           match Json.member "snapshot" v with
+           | None | Some Json.Null -> Ok None
+           | Some s ->
+             let* s = Json.as_string s in
+             Ok (Some s)
+         in
+         Ok (Repl_install { gen; snapshot }))
+    | "repl_rotate" ->
+      let* gen = bad (int_field "gen" v) in
+      Ok (Repl_rotate { gen })
+    | "repl_status" -> Ok Repl_status
+    | "promote" -> Ok Promote
+    | "ring_status" -> Ok Ring_status
     | tag -> Error (Bad_request (Printf.sprintf "unknown request %S" tag)))
 
 (* ------------------------------------------------------------------ *)
@@ -429,6 +488,8 @@ let error_to_json e =
       ]
     | Unsupported_version v ->
       [ ("kind", Json.String "unsupported_version"); ("version", Json.Int v) ]
+    | Shard_unavailable m ->
+      [ ("kind", Json.String "shard_unavailable"); ("message", Json.String m) ]
   in
   Json.Obj fields
 
@@ -460,6 +521,9 @@ let error_of_json v =
   | "unsupported_version" ->
     let* ver = int_field "version" v in
     Ok (Unsupported_version ver)
+  | "shard_unavailable" ->
+    let* m = string_field "message" v in
+    Ok (Shard_unavailable m)
   | k -> Error (Printf.sprintf "unknown error kind %S" k)
 
 let response_to_json = function
@@ -529,6 +593,27 @@ let response_to_json = function
         ("evictions", Json.Int c.evictions);
         ("fingerprints", Json.Int c.fingerprints);
         ("derivations", Json.Int c.derivations);
+      ]
+  | Repl_ok { gen; records } ->
+    envelope "resp" "repl_ok"
+      [ ("gen", Json.Int gen); ("records", Json.Int records) ]
+  | Promoted { sessions; generation } ->
+    envelope "resp" "promoted"
+      [ ("sessions", Json.Int sessions); ("generation", Json.Int generation) ]
+  | Ring_info { shards; sessions } ->
+    envelope "resp" "ring_status"
+      [
+        ( "shards",
+          Json.List
+            (List.map
+               (fun (name, promoted) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("promoted", Json.Bool promoted);
+                   ])
+               shards) );
+        ("sessions", Json.Int sessions);
       ]
   | Ended -> envelope "resp" "ended" []
   | Failed e -> envelope "resp" "error" [ ("error", error_to_json e) ]
@@ -639,6 +724,30 @@ let response_of_json v =
               fingerprints;
               derivations;
             }))
+  | "repl_ok" ->
+    bad
+      (let* gen = int_field "gen" v in
+       let* records = int_field "records" v in
+       Ok (Repl_ok { gen; records }))
+  | "promoted" ->
+    bad
+      (let* sessions = int_field "sessions" v in
+       let* generation = int_field "generation" v in
+       Ok (Promoted { sessions; generation }))
+  | "ring_status" ->
+    bad
+      (let* shards = Result.bind (Json.field "shards" v) Json.as_list in
+       let* shards =
+         List.fold_left
+           (fun acc s ->
+             let* acc = acc in
+             let* name = string_field "name" s in
+             let* promoted = Result.bind (Json.field "promoted" s) Json.as_bool in
+             Ok ((name, promoted) :: acc))
+           (Ok []) shards
+       in
+       let* sessions = int_field "sessions" v in
+       Ok (Ring_info { shards = List.rev shards; sessions }))
   | "ended" -> Ok Ended
   | "error" ->
     bad

@@ -74,7 +74,48 @@ type request =
           just looks [fp] up. *)
   | Catalog_stats
       (** Ask for the server's {!Catalog_info} counters (entries, bytes,
-          pinned refcounts, hit/miss/eviction/derivation totals). *)
+          pinned refcounts, hit/miss/eviction/derivation totals).  Sent
+          to a router it fans out to every shard and the counters are
+          summed. *)
+  | Start_pinned of {
+      session : int;
+      source : instance_source;
+      strategy : string;
+      seed : int;
+    }
+      (** Shard-internal [Start_session] with a router-assigned session
+          id.  The router allocates globally-unique ids, journals the
+          placement, then forwards the start as [Start_pinned] so the
+          shard's reply carries the global id unchanged.  A shard
+          refuses an id already in use ({!Bad_request}) and bumps its
+          own allocator past [session]; a router refuses the request
+          from clients. *)
+  | Repl_install of { gen : int; snapshot : string option }
+      (** Replication control (primary → standby): reset the standby to
+          generation [gen], seeding its shadow state from [snapshot]
+          (the primary's current {!Jim_store.Snapshot} text, [None] when
+          the primary has no snapshot yet) and opening a fresh standby
+          journal.  Sent once when the replication channel attaches; the
+          primary then streams its existing journal records before any
+          live ones.  Reply: {!Repl_ok}. *)
+  | Repl_rotate of { gen : int }
+      (** Replication control: the primary checkpointed into generation
+          [gen].  The standby writes its {e own} snapshot from its
+          shadow state (deterministic, byte-identical to the primary's)
+          and starts a fresh journal for [gen].  Idempotent for the
+          current generation.  Reply: {!Repl_ok}. *)
+  | Repl_status
+      (** Ask a standby for its durable position; replies {!Repl_ok}
+          with the generation and the count of group-committed records
+          in it (the durable prefix). *)
+  | Promote
+      (** Turn a standby into a serving shard: close the standby
+          journal, run real recovery over the streamed journal (the same
+          bit-identical replay path as a restart) and start serving the
+          v1 protocol.  Reply: {!Promoted}. *)
+  | Ring_status
+      (** Ask a router for its consistent-hash ring membership and the
+          number of placed sessions.  Reply: {!Ring_info}. *)
 
 type error =
   | Bad_request of string  (** malformed JSON, bad shape, bad arguments *)
@@ -88,6 +129,12 @@ type error =
   | Server_busy of { active : int; max : int }
       (** the max-sessions backpressure reply *)
   | Unsupported_version of int
+  | Shard_unavailable of string
+      (** a router could not reach the shard holding the session and
+          could not (or may not) transparently fail over — mutating
+          requests are never retried after a promotion (at-most-once),
+          so the client must decide; non-mutating requests are retried
+          transparently and only fail when no standby exists *)
 
 type catalog_stats = {
   entries : int;  (** instances currently cataloged *)
@@ -146,6 +193,20 @@ type response =
       (** reply to {!Register_instance}: the catalog handle.  Pass the
           fingerprint as [Start_session]'s [Catalog] source. *)
   | Catalog_info of catalog_stats  (** reply to {!Catalog_stats} *)
+  | Repl_ok of { gen : int; records : int }
+      (** reply to the [Repl_*] controls: the standby's durable
+          position — generation [gen] holds [records] group-committed
+          journal records.  Also the ack for each streamed record; the
+          primary acks its client only after {e both} its local group
+          commit and this reply. *)
+  | Promoted of { sessions : int; generation : int }
+      (** reply to {!Promote}: recovery replayed [sessions] live
+          sessions from generation [generation] and the node now serves
+          the full v1 protocol *)
+  | Ring_info of { shards : (string * bool) list; sessions : int }
+      (** reply to {!Ring_status}: ring members as
+          [(shard name, failed-over?)] plus the number of sessions with
+          a journaled placement *)
   | Ended
   | Failed of error
 
@@ -166,7 +227,8 @@ val error_to_string : error -> string
     - [Server_busy {active; max}] →
       ["server busy: <active>/<max> sessions active"]
     - [Unsupported_version v] →
-      ["unsupported protocol version <v> (this server speaks <version>)"] *)
+      ["unsupported protocol version <v> (this server speaks <version>)"]
+    - [Shard_unavailable m] → ["shard unavailable: <m>"] *)
 
 (** {1 Codec}
 

@@ -203,54 +203,58 @@ let drive env fs progress =
     `Completed
   with e when interrupted e -> `Interrupted
 
+(* The three-part contract, against recovered state — from a post-crash
+   disk image or from a promoted replication standby. *)
+let verify_recovered env progress (store, recovered) =
+  let service =
+    Service.create ?catalog:env.catalog ~persist:(Store.record store) ()
+  in
+  (match Service.restore service recovered with
+  | Ok _ -> ()
+  | Error m -> div "restore refused: %s" m);
+  let find_seed seed =
+    List.find_opt
+      (fun s -> s.Recovery.seed = seed)
+      recovered.Recovery.sessions
+  in
+  (* 1. acked Starteds survived, with answers in [acked, acked + 1] *)
+  Array.iteri
+    (fun i started ->
+      if started then
+        match find_seed (seed_of env.spec i) with
+        | None ->
+          div "session %d (seed %d) lost: Started was acknowledged" i
+            (seed_of env.spec i)
+        | Some s ->
+          let labeled = labeled_of service s.Recovery.id in
+          if labeled < progress.acked.(i) then
+            div "session %d: %d answers acked, only %d recovered" i
+              progress.acked.(i) labeled;
+          if labeled > progress.acked.(i) + 1 then
+            div "session %d: %d answers recovered, acked %d + at most 1 in flight"
+              i labeled progress.acked.(i))
+    progress.started;
+  (* 2. every recovered session (acked or in-flight) resumes to the
+     bit-identical outcome of an uninterrupted run *)
+  List.iter
+    (fun s ->
+      let i = s.Recovery.seed - env.spec.seed in
+      if i < 0 || i >= env.spec.sessions then
+        div "recovered a session with unknown seed %d" s.Recovery.seed;
+      let id = s.Recovery.id in
+      while answer_one service env.oracles.(i) id do
+        ()
+      done;
+      if not (Smoke.outcome_equal (result_of service id) env.expected.(i))
+      then div "session %d (seed %d): resumed outcome diverges" i s.Recovery.seed)
+    recovered.Recovery.sessions;
+  Store.close store
+
 (* The three-part contract, against one post-crash disk image. *)
 let verify_image env progress fs =
   match open_on ~fsync:false env fs with
   | Error m -> div "recovery refused: %s" m
-  | Ok (store, recovered) ->
-    let service =
-      Service.create ?catalog:env.catalog ~persist:(Store.record store) ()
-    in
-    (match Service.restore service recovered with
-    | Ok _ -> ()
-    | Error m -> div "restore refused: %s" m);
-    let find_seed seed =
-      List.find_opt
-        (fun s -> s.Recovery.seed = seed)
-        recovered.Recovery.sessions
-    in
-    (* 1. acked Starteds survived, with answers in [acked, acked + 1] *)
-    Array.iteri
-      (fun i started ->
-        if started then
-          match find_seed (seed_of env.spec i) with
-          | None ->
-            div "session %d (seed %d) lost: Started was acknowledged" i
-              (seed_of env.spec i)
-          | Some s ->
-            let labeled = labeled_of service s.Recovery.id in
-            if labeled < progress.acked.(i) then
-              div "session %d: %d answers acked, only %d recovered" i
-                progress.acked.(i) labeled;
-            if labeled > progress.acked.(i) + 1 then
-              div "session %d: %d answers recovered, acked %d + at most 1 in flight"
-                i labeled progress.acked.(i))
-      progress.started;
-    (* 2. every recovered session (acked or in-flight) resumes to the
-       bit-identical outcome of an uninterrupted run *)
-    List.iter
-      (fun s ->
-        let i = s.Recovery.seed - env.spec.seed in
-        if i < 0 || i >= env.spec.sessions then
-          div "recovered a session with unknown seed %d" s.Recovery.seed;
-        let id = s.Recovery.id in
-        while answer_one service env.oracles.(i) id do
-          ()
-        done;
-        if not (Smoke.outcome_equal (result_of service id) env.expected.(i))
-        then div "session %d (seed %d): resumed outcome diverges" i s.Recovery.seed)
-      recovered.Recovery.sessions;
-    Store.close store
+  | Ok recovered -> verify_recovered env progress recovered
 
 (* One faulted run + both disk images verified.  A violation names the
    plan that provoked it — the sweep's whole reproduction recipe. *)
@@ -363,3 +367,85 @@ let chunk_run ?catalog ~chunk spec =
   verify_image env progress (Memfs.durable_image fs);
   verify_image env progress (Memfs.flushed_image fs);
   stats_of progress (Memfs.writes fs, 1, 2)
+
+(* ------------------------------------------------------------------ *)
+(* Replicated pairs: primary + streaming standby, primary killed at    *)
+(* every write ordinal, standby promoted and held to the contract.     *)
+
+module Standby = Jim_shard.Standby
+module Repl = Jim_shard.Repl
+
+let standby_dir = "/standby"
+
+(* One primary/standby pair: the primary runs on [fs] (possibly
+   faulted), the standby on its own clean filesystem, attached through
+   the in-process replication stream.  The persist hook is
+   record-then-send, so an event reaches the standby only after it is
+   durable on the primary — and the client is acked only after both.
+   The standby filesystem is never faulted: the crash always hits the
+   primary mid-record, before the send, which is exactly what makes
+   "everything acked is on the standby" a checkable invariant. *)
+let drive_pair env plan =
+  let fs_b = Memfs.create () in
+  let stb = Standby.create ~io:(Memfs.io fs_b) ~dir:standby_dir () in
+  let fs_p = Memfs.create ~plan () in
+  let progress = fresh_progress env.spec in
+  let outcome =
+    try
+      (match open_on env fs_p with
+      | Error m -> div "open_dir (fresh pair): %s" m
+      | Ok (store, _) -> (
+        match Repl.attach store (Repl.of_standby stb) with
+        | Error m -> div "replication attach: %s" m
+        | Ok repl ->
+          let persist ev =
+            Store.record store ev;
+            Repl.send repl ev
+          in
+          let service = Service.create ?catalog:env.catalog ~persist () in
+          run_workload env service progress;
+          Store.close store));
+      `Completed
+    with e when interrupted e -> `Interrupted
+  in
+  (outcome, fs_p, stb, progress)
+
+(* Promote the survivor and hold it to the same three-part contract a
+   recovered disk image must meet: every acked event present, at most
+   one in-flight beyond, every session resuming bit-identically. *)
+let verify_pair env progress stb =
+  match
+    Standby.promote ~fsync:false ~snapshot_every:env.spec.snapshot_every stb
+  with
+  | Error m -> div "standby promotion refused: %s" m
+  | Ok recovered -> verify_recovered env progress recovered
+
+let replicated_sweep ?catalog ?(stride = 1) ?(applied = [ 0; 3 ]) spec =
+  if stride < 1 then invalid_arg "Sweep.replicated_sweep: stride";
+  let env = env_of ?catalog spec in
+  (* Reference pair: no faults — pins the stream end-to-end (the
+     promoted standby must resume every completed session verbatim) and
+     counts the primary write ordinals the sweep enumerates. *)
+  let outcome, fs_p, stb, progress = drive_pair env Plan.none in
+  (match outcome with
+  | `Completed -> ()
+  | `Interrupted -> div "reference pair run interrupted without a fault");
+  verify_pair env progress stb;
+  let total = Memfs.writes fs_p in
+  let points = ref 0 and runs = ref 0 and images = ref 0 in
+  let n = ref 1 in
+  while !n <= total do
+    incr points;
+    List.iter
+      (fun a ->
+        let plan = { Plan.none with crash_write = Some (!n, a) } in
+        let _outcome, _fs, stb, prog = drive_pair env plan in
+        (try verify_pair env prog stb
+         with Divergence m ->
+           div "[%s, promoted standby] %s" (Plan.to_string plan) m);
+        incr runs;
+        incr images)
+      applied;
+    n := !n + stride
+  done;
+  stats_of progress (!points, !runs, !images)

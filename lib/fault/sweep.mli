@@ -84,3 +84,22 @@ val chunk_run : ?catalog:Jim_catalog.Catalog.t -> chunk:int -> spec -> stats
 (** No faults, but every write accepts at most [chunk] bytes: the
     short-write retry loops must reassemble bit-identical journals and
     the workload must complete exactly like the reference run. *)
+
+val replicated_sweep :
+  ?catalog:Jim_catalog.Catalog.t ->
+  ?stride:int ->
+  ?applied:int list ->
+  spec ->
+  stats
+(** The failover drill, in-process: a primary/standby pair joined by the
+    {!Jim_shard.Repl} journal stream (persist = record locally, then
+    ship; the client is acked only after both), the primary power-cut at
+    every write ordinal ([stride]/[applied] as in {!crash_sweep}) — i.e.
+    at every record boundary and torn mid-record — and the standby
+    promoted ({!Jim_shard.Standby.promote}) in its place.  The promoted
+    standby must meet the same three-part contract as a recovered disk
+    image: every acked event present, at most one in-flight beyond,
+    every session resuming bit-identically.  [images] counts promoted
+    standbys (one per run; the primary's corpse is not re-examined —
+    {!crash_sweep} owns that).  A fault-free reference pair is verified
+    first, pinning the stream end-to-end. *)

@@ -133,13 +133,15 @@ let mode_of plan n =
 
 let pause ms = if ms > 0 then Thread.delay (float_of_int ms /. 1000.)
 
-(* Deliver one reply line downstream, per mode.  Every mode ultimately
-   delivers the complete line — only [Drop] (handled by the caller)
-   withholds data, and only at line boundaries. *)
-let deliver t mode oc index line =
+(* Deliver one complete reply's bytes downstream, per mode.  [data] is
+   the exact wire bytes — line + newline in line framing, one whole
+   binary frame (header + payload) otherwise — so the fault modes tear
+   replies identically under both framings.  Every mode ultimately
+   delivers everything; only [Drop] (handled by the caller) withholds
+   data, and only at reply boundaries. *)
+let deliver t mode oc index data =
   let whole () =
-    output_string oc line;
-    output_char oc '\n';
+    output_string oc data;
     flush oc
   in
   match mode with
@@ -153,27 +155,29 @@ let deliver t mode oc index line =
         output_char oc c;
         flush oc;
         pause t.plan.delay_ms)
-      line;
-    output_char oc '\n';
-    flush oc
+      data
   | Partial ->
     (* Deterministic ragged chunks, 1..5 bytes, phase-shifted by the
        connection index so different connections tear differently. *)
-    let n = String.length line in
+    let n = String.length data in
     let pos = ref 0 in
     let k = ref index in
     while !pos < n do
       let len = min (n - !pos) (1 + ((!k * 7) mod 5)) in
-      output_string oc (String.sub line !pos len);
+      output_string oc (String.sub data !pos len);
       flush oc;
       pause t.plan.delay_ms;
       pos := !pos + len;
       incr k
-    done;
-    output_char oc '\n';
-    flush oc
+    done
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let le32_of s =
+  Char.code s.[0]
+  lor (Char.code s.[1] lsl 8)
+  lor (Char.code s.[2] lsl 16)
+  lor (Char.code s.[3] lsl 24)
 
 let handle_conn t index fd =
   let mode = mode_of t.plan index in
@@ -183,43 +187,88 @@ let handle_conn t index fd =
   | Trickle -> bump t (fun s -> { s with trickled = s.trickled + 1 })
   | Partial -> bump t (fun s -> { s with chopped = s.chopped + 1 })
   | Stall -> bump t (fun s -> { s with stalled = s.stalled + 1 }));
-  match Wire.connect ~retries:5 t.upstream with
-  | Error e ->
-    t.log (Printf.sprintf "conn %d: upstream unreachable: %s" index e);
-    close_fd fd
-  | Ok up ->
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    (* The protocol is lockstep (one reply per request line), so a
-       line-level relay is a faithful proxy — and gives us the line
-       boundaries the fault modes are defined on. *)
-    let rec loop replies =
-      if mode = Drop && replies >= t.plan.drop_lines then
-        t.log
-          (Printf.sprintf "conn %d: dropped after %d replies" index replies)
-      else
-        match input_line ic with
-        | exception (End_of_file | Sys_error _) -> ()
-        | request -> (
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let log_mode replies =
+    match mode with
+    | Trickle | Partial | Stall when replies = 0 ->
+      t.log
+        (Printf.sprintf "conn %d: %s delivery" index
+           (match mode with
+           | Trickle -> "trickled"
+           | Partial -> "partial-line"
+           | _ -> "stalled"))
+    | _ -> ()
+  in
+  let log_drop replies =
+    t.log (Printf.sprintf "conn %d: dropped after %d replies" index replies)
+  in
+  (* The first client line decides the framing: the binary handshake,
+     or already a request.  Only then is the upstream dialed — with the
+     same framing, so the relay below never re-frames payloads. *)
+  match input_line ic with
+  | exception (End_of_file | Sys_error _) -> close_fd fd
+  | first -> (
+    let framing =
+      if first = Frame.handshake_request then Wire.Binary else Wire.Line
+    in
+    match Wire.connect ~retries:5 ~framing t.upstream with
+    | Error e ->
+      t.log (Printf.sprintf "conn %d: upstream unreachable: %s" index e);
+      close_fd fd
+    | Ok up ->
+      (* The protocol is lockstep (one reply per request), so a
+         reply-level relay is a faithful proxy — and gives us the reply
+         boundaries the fault modes are defined on. *)
+      let rec line_loop replies request =
+        if mode = Drop && replies >= t.plan.drop_lines then log_drop replies
+        else
           match Wire.call_line up request with
           | Error _ -> ()  (* upstream died; EOF the client *)
-          | Ok reply ->
-            (match mode with
-            | Trickle | Partial | Stall when replies = 0 ->
-              t.log
-                (Printf.sprintf "conn %d: %s delivery" index
-                   (match mode with
-                   | Trickle -> "trickled"
-                   | Partial -> "partial-line"
-                   | _ -> "stalled"))
-            | _ -> ());
-            match deliver t mode oc index reply with
-            | () -> loop (replies + 1)
+          | Ok reply -> (
+            log_mode replies;
+            match deliver t mode oc index (reply ^ "\n") with
+            | () -> (
+              match input_line ic with
+              | exception (End_of_file | Sys_error _) -> ()
+              | next -> line_loop (replies + 1) next)
             | exception (Sys_error _ | Unix.Unix_error _) -> ())
-    in
-    (try loop 0 with Sys_error _ | Unix.Unix_error _ -> ());
-    Wire.close up;
-    close_fd fd
+      in
+      (* Binary relay: the proxy acks the handshake itself (the
+         upstream connection negotiated its own), then shuttles whole
+         4-byte-LE frames.  Faults apply at frame granularity. *)
+      let rec frame_loop replies =
+        if mode = Drop && replies >= t.plan.drop_lines then log_drop replies
+        else
+          match really_input_string ic Frame.header_size with
+          | exception (End_of_file | Sys_error _) -> ()
+          | hdr -> (
+            let len = le32_of hdr in
+            if len < 0 || len > Frame.max_payload then
+              t.log
+                (Printf.sprintf "conn %d: bad frame length %d" index len)
+            else
+              match really_input_string ic len with
+              | exception (End_of_file | Sys_error _) -> ()
+              | payload -> (
+                match Wire.call_line up payload with
+                | Error _ -> ()
+                | Ok reply -> (
+                  log_mode replies;
+                  match deliver t mode oc index (Frame.to_string reply) with
+                  | () -> frame_loop (replies + 1)
+                  | exception (Sys_error _ | Unix.Unix_error _) -> ())))
+      in
+      (try
+         if framing = Wire.Binary then begin
+           output_string oc (Frame.handshake_ack ^ "\n");
+           flush oc;
+           frame_loop 0
+         end
+         else line_loop 0 first
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      Wire.close up;
+      close_fd fd)
 
 let acceptor t =
   let rec loop index =

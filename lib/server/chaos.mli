@@ -1,12 +1,19 @@
 (** A wire chaos proxy: sits between a client and a [jim serve]
-    upstream, forwarding the line protocol while injuring chosen
+    upstream, forwarding the v1 protocol while injuring chosen
     connections — the transport-level counterpart of the store's fault
     filesystem.
+
+    Both framings are relayed: a first line of [JIMBIN 1] is recognised
+    as the binary handshake — the proxy acks it itself, dials the
+    upstream in binary, and shuttles whole 4-byte-LE frames; any other
+    first line starts the line relay.  Fault modes apply at reply
+    granularity either way (a frame is torn into ragged chunks exactly
+    like a JSON line).
 
     Faults are assigned {e deterministically} by connection index (the
     order connections are accepted), so a drill is reproducible: the same
     plan over the same client schedule injures the same sessions.  All
-    damage respects one rule — a dropped connection dies at a {e line
+    damage respects one rule — a dropped connection dies at a {e reply
     boundary} — so a well-written client can always classify the failure
     (clean EOF = transport, never a half-parsed reply it must guess
     about).  Partial and trickled replies are delivered in full

@@ -143,7 +143,7 @@ let check_cls s c =
 (* ------------------------------------------------------------------ *)
 (* Request handlers                                                    *)
 
-let start_session t source strategy_name seed =
+let start_session ?id:pinned t source strategy_name seed =
   ignore (sweep t);
   match Catalog.resolve t.catalog source with
   | Error e -> P.Failed e
@@ -162,9 +162,21 @@ let start_session t source strategy_name seed =
             let active = Hashtbl.length t.sessions in
             if active >= t.max_sessions then
               P.Failed (P.Server_busy { active; max = t.max_sessions })
+            else if
+              match pinned with
+              | Some id -> Hashtbl.mem t.sessions id
+              | None -> false
+            then
+              P.Failed
+                (P.Bad_request
+                   (Printf.sprintf "session id %d already in use"
+                      (Option.get pinned)))
             else begin
-              let id = t.next_id in
-              t.next_id <- id + 1;
+              (* A pinned id comes from the router's global allocator;
+                 bump ours past it so a locally-started session can
+                 never collide with a routed one. *)
+              let id = match pinned with Some id -> id | None -> t.next_id in
+              t.next_id <- max t.next_id (id + 1);
               let s =
                 {
                   id;
@@ -505,6 +517,15 @@ let handle t req =
   | P.End_session { session } -> end_session t session
   | P.Register_instance { source } -> register_instance t source
   | P.Catalog_stats -> P.Catalog_info (Catalog.stats t.catalog)
+  | P.Start_pinned { session; source; strategy; seed } ->
+    start_session ~id:session t source strategy seed
+  | P.Repl_install _ | P.Repl_rotate _ | P.Repl_status ->
+    P.Failed
+      (P.Bad_request "replication control message sent to a serving node")
+  | P.Promote ->
+    P.Failed (P.Bad_request "this node is already serving (not a standby)")
+  | P.Ring_status ->
+    P.Failed (P.Bad_request "ring_status is answered by the router")
 
 let handle_line_status t line =
   match P.request_of_string line with

@@ -149,6 +149,16 @@ module Bq = struct
     go 0
 end
 
+type config = {
+  threads : int;
+  backlog : int;
+  drain_timeout : float;
+  sweep_interval : float;
+}
+
+let default_config =
+  { threads = 16; backlog = 64; drain_timeout = 2.0; sweep_interval = 30.0 }
+
 type conn = {
   fd : Unix.file_descr;
   token : int;
@@ -167,7 +177,12 @@ type conn = {
 }
 
 type server = {
-  service : Service.t;
+  handler : string -> string * bool;
+      (* one request payload in, one response payload out, plus whether
+         the request parsed at all (malformed counting); usually
+         [Service.handle_line_status], but the shard router and the
+         replication standby plug their own in *)
+  drain_timeout : float;
   listen_fd : Unix.file_descr;
   bound : address;
   jobs : (int * string) Queue.t;  (* token, request payload *)
@@ -206,7 +221,7 @@ let worker srv =
     match job with
     | None -> ()
     | Some (token, payload) ->
-      let resp, parsed = Service.handle_line_status srv.service payload in
+      let resp, parsed = srv.handler payload in
       if not parsed then Netstats.record_malformed ();
       Mutex.lock srv.clock;
       Queue.push (token, resp) srv.completions;
@@ -442,7 +457,7 @@ let event_loop srv =
       if not srv.stopping then false
       else begin
         (match !deadline with
-        | None -> deadline := Some (Unix.gettimeofday () +. 2.0)
+        | None -> deadline := Some (Unix.gettimeofday () +. srv.drain_timeout)
         | Some _ -> ());
         (not (draining ()))
         || (match !deadline with
@@ -485,7 +500,7 @@ let event_loop srv =
   Hashtbl.reset by_fd;
   Epoll.close poller
 
-let sweeper srv interval =
+let sweeper srv interval sweep =
   let rec loop () =
     if not srv.stopping then begin
       (match Unix.select [ srv.stop_r ] [] [] interval with
@@ -493,21 +508,21 @@ let sweeper srv interval =
       | _ -> ()  (* shutdown wrote the wake byte *)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       if not srv.stopping then begin
-        ignore (Service.sweep srv.service);
+        ignore (sweep ());
         loop ()
       end
     end
   in
   loop ()
 
-let serve ?(threads = 16) ?(backlog = 64) service addr =
+let serve_handler ?(config = default_config) ?sweep handler addr =
   ignore_sigpipe ();
   let fd = socket_for addr in
   (match addr with
   | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
   Unix.bind fd (sockaddr_of addr);
-  Unix.listen fd backlog;
+  Unix.listen fd config.backlog;
   Unix.set_nonblock fd;
   let bound =
     match addr with
@@ -523,7 +538,8 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
   let stop_r, stop_w = Unix.pipe () in
   let srv =
     {
-      service;
+      handler;
+      drain_timeout = config.drain_timeout;
       listen_fd = fd;
       bound;
       jobs = Queue.create ();
@@ -540,13 +556,28 @@ let serve ?(threads = 16) ?(backlog = 64) service addr =
     }
   in
   let workers =
-    List.init (max 1 threads) (fun _ -> Thread.create worker srv)
+    List.init (max 1 config.threads) (fun _ -> Thread.create worker srv)
   in
   let loop = Thread.create event_loop srv in
-  let interval = Float.max 0.5 (Service.idle_ttl service /. 4.) in
-  let swp = Thread.create (fun () -> sweeper srv (Float.min interval 30.)) () in
-  srv.pool <- swp :: loop :: workers;
+  let housekeeping =
+    match sweep with
+    | None -> []
+    | Some f ->
+      [ Thread.create (fun () -> sweeper srv config.sweep_interval f) () ]
+  in
+  srv.pool <- housekeeping @ (loop :: workers);
   srv
+
+let serve ?(threads = 16) ?(backlog = 64)
+    ?(drain_timeout = default_config.drain_timeout) service addr =
+  let sweep_interval =
+    Float.min (Float.max 0.5 (Service.idle_ttl service /. 4.)) 30.
+  in
+  serve_handler
+    ~config:{ threads; backlog; drain_timeout; sweep_interval }
+    ~sweep:(fun () -> Service.sweep service)
+    (Service.handle_line_status service)
+    addr
 
 let bound_address srv = srv.bound
 let wait srv = List.iter Thread.join srv.pool

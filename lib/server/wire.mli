@@ -53,12 +53,44 @@ type framing =
 
 type server
 
-val serve : ?threads:int -> ?backlog:int -> Service.t -> address -> server
+type config = {
+  threads : int;  (** worker pool size *)
+  backlog : int;  (** listen backlog *)
+  drain_timeout : float;
+      (** seconds {!shutdown} lingers for in-flight replies to flush —
+          also the bound a failing-over router waits for a dying shard's
+          last replies *)
+  sweep_interval : float;
+      (** housekeeping thread period, seconds (only used when a sweep
+          function is given) *)
+}
+
+val default_config : config
+(** [{threads = 16; backlog = 64; drain_timeout = 2.0;
+     sweep_interval = 30.0}] *)
+
+val serve_handler :
+  ?config:config -> ?sweep:(unit -> int) -> (string -> string * bool) ->
+  address -> server
+(** The generic serve loop: bind, listen and start the event loop plus
+    worker pool around an arbitrary payload handler — one request
+    payload in, one response payload out, plus whether the payload
+    parsed (malformed counting).  Both framings (line + negotiated
+    binary) work against any handler; {!Service}-backed serving, the
+    shard router front and the replication standby all ride this one
+    loop.  [sweep], when given, runs every [config.sweep_interval]
+    seconds on a housekeeping thread.  The call returns immediately. *)
+
+val serve :
+  ?threads:int -> ?backlog:int -> ?drain_timeout:float -> Service.t ->
+  address -> server
 (** Bind, listen and start the event loop plus [threads] workers
-    (default 16); the call returns immediately.  For [Tcp (_, 0)] the
-    kernel-chosen port is reflected in {!bound_address}.  Raises
-    [Unix.Unix_error] if the bind fails.  Ignores [SIGPIPE]
-    process-wide (abandoned connections must not kill the server). *)
+    (default 16); the call returns immediately.  Equivalent to
+    {!serve_handler} over [Service.handle_line_status] with the
+    service's idle-TTL sweeping.  For [Tcp (_, 0)] the kernel-chosen
+    port is reflected in {!bound_address}.  Raises [Unix.Unix_error] if
+    the bind fails.  Ignores [SIGPIPE] process-wide (abandoned
+    connections must not kill the server). *)
 
 val bound_address : server -> address
 

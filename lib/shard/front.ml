@@ -1,0 +1,251 @@
+(* Wire plumbing for the sharded tier: the connection pools a router
+   forwards through, the [Router.upstream] built from shard/standby
+   addresses, and the standby serve node — the handler a warm standby
+   runs so a primary can stream to it and the router can promote it
+   over the wire. *)
+
+module Wire = Jim_server.Wire
+module Service = Jim_server.Service
+module P = Jim_api.Protocol
+module Journal = Jim_store.Journal
+module Store = Jim_store.Store
+
+(* ------------------------------------------------------------------ *)
+(* Connection pool                                                     *)
+
+type pool = {
+  addr : Wire.address;
+  framing : Wire.framing;
+  retries : int;
+  plock : Mutex.t;
+  mutable idle : Wire.client list;
+  mutable closed : bool;
+}
+
+let max_idle = 16
+
+let pool ?(framing = Wire.Binary) ?(retries = 5) addr =
+  { addr; framing; retries; plock = Mutex.create (); idle = []; closed = false }
+
+let pool_take p =
+  Mutex.lock p.plock;
+  let reused =
+    match p.idle with
+    | c :: rest ->
+      p.idle <- rest;
+      Some c
+    | [] -> None
+  in
+  Mutex.unlock p.plock;
+  match reused with
+  | Some c -> Ok c
+  | None -> Wire.connect ~retries:p.retries ~framing:p.framing p.addr
+
+let pool_give p c =
+  Mutex.lock p.plock;
+  let keep = (not p.closed) && List.length p.idle < max_idle in
+  if keep then p.idle <- c :: p.idle;
+  Mutex.unlock p.plock;
+  if not keep then Wire.close c
+
+(* One request/reply on a pooled connection.  A transport error closes
+   the connection instead of returning it — the next call dials
+   fresh — so one dead socket never poisons the pool. *)
+let pool_call p payload =
+  match pool_take p with
+  | Error e -> Error e
+  | Ok c -> (
+    match Wire.call_line c payload with
+    | Ok resp ->
+      pool_give p c;
+      Ok resp
+    | Error e ->
+      Wire.close c;
+      Error e)
+
+let pool_close p =
+  Mutex.lock p.plock;
+  let idle = p.idle in
+  p.idle <- [];
+  p.closed <- true;
+  Mutex.unlock p.plock;
+  List.iter Wire.close idle
+
+(* ------------------------------------------------------------------ *)
+(* Router upstreams over the wire                                      *)
+
+(* Promotion over the wire: dial the standby fresh, tell it to promote
+   (it recovers its accumulated directory and starts serving), and
+   hand the router a pooled call path to it. *)
+let promote_standby ~name addr () =
+  match Wire.connect ~retries:5 addr with
+  | Error e -> Error (Printf.sprintf "standby %s: %s" name e)
+  | Ok c ->
+    let result =
+      match Wire.call c P.Promote with
+      | Ok (P.Promoted _) -> Ok ()
+      | Ok (P.Failed e) ->
+        Error (Printf.sprintf "standby %s refused: %s" name (P.error_to_string e))
+      | Ok _ -> Error (Printf.sprintf "standby %s: unexpected promote reply" name)
+      | Error e -> Error (Printf.sprintf "standby %s: %s" name e)
+    in
+    Wire.close c;
+    (match result with
+    | Ok () -> Ok (pool_call (pool addr))
+    | Error _ as e -> e)
+
+let wire_upstream ~name ~primary ?standby () =
+  let primary_pool = pool primary in
+  let promote =
+    Option.map
+      (fun addr () ->
+        let r = promote_standby ~name addr () in
+        if Result.is_ok r then pool_close primary_pool;
+        r)
+      standby
+  in
+  Router.upstream ~name ?promote (pool_call primary_pool)
+
+(* ------------------------------------------------------------------ *)
+(* The standby serve node                                              *)
+
+type standby_node = {
+  nlock : Mutex.t;
+  stb : Standby.t;
+  snapshot_every : int option;
+  mutable service : Service.t option;
+  mutable promoted_reply : P.response option;
+}
+
+let standby_node ?snapshot_every stb =
+  {
+    nlock = Mutex.create ();
+    stb;
+    snapshot_every;
+    service = None;
+    promoted_reply = None;
+  }
+
+let reply r = P.response_to_string r
+let fail e = reply (P.Failed e)
+
+let repl_ok node =
+  let gen, records = Standby.position node.stb in
+  reply (P.Repl_ok { gen; records })
+
+let do_promote node =
+  match node.promoted_reply with
+  | Some r -> Ok r  (* idempotent: a retrying router gets the same answer *)
+  | None -> (
+    match Standby.promote ?snapshot_every:node.snapshot_every node.stb with
+    | Error e -> Error ("promote: " ^ e)
+    | Ok (store, recovered) -> (
+      let svc = Service.create ~persist:(Store.record store) () in
+      match Service.restore svc recovered with
+      | Error e -> Error ("promote: restore: " ^ e)
+      | Ok sessions ->
+        let r =
+          P.Promoted { sessions; generation = Store.generation store }
+        in
+        node.service <- Some svc;
+        node.promoted_reply <- Some r;
+        Ok r))
+
+(* The standby's request handler, for [Wire.serve_handler].  Streamed
+   journal records arrive as raw JREC bytes (the record magic is how
+   they are told apart from JSON); everything else is the protocol,
+   answered by the replication surface until [Promote] flips the node
+   into an ordinary serving shard. *)
+let handle_line node payload =
+  let magic = Journal.record_magic in
+  let mlen = String.length magic in
+  if String.length payload >= mlen && String.sub payload 0 mlen = magic then (
+    match Standby.apply node.stb payload with
+    | Ok (gen, records) -> (reply (P.Repl_ok { gen; records }), true)
+    | Error msg -> (fail (P.Bad_request msg), true))
+  else
+    match P.request_of_string payload with
+    | Error e -> (fail e, false)
+    | Ok req -> (
+      Mutex.lock node.nlock;
+      let service = node.service in
+      let result =
+        match (service, req) with
+        | Some _, P.Promote -> (
+          match do_promote node with
+          | Ok r -> (reply r, true)
+          | Error msg -> (fail (P.Bad_request msg), true))
+        | Some svc, _ ->
+          Mutex.unlock node.nlock;
+          let r = Service.handle_line_status svc payload in
+          Mutex.lock node.nlock;
+          r
+        | None, P.Repl_install { gen; snapshot } -> (
+          match Standby.install node.stb ~gen ~snapshot with
+          | Ok () -> (repl_ok node, true)
+          | Error msg -> (fail (P.Bad_request msg), true))
+        | None, P.Repl_rotate { gen } -> (
+          match Standby.rotate node.stb ~gen with
+          | Ok () -> (repl_ok node, true)
+          | Error msg -> (fail (P.Bad_request msg), true))
+        | None, P.Repl_status -> (repl_ok node, true)
+        | None, P.Promote -> (
+          match do_promote node with
+          | Ok r -> (reply r, true)
+          | Error msg -> (fail (P.Bad_request msg), true))
+        | None, _ ->
+          (fail (P.Shard_unavailable "standby: not serving (promote first)"), true)
+      in
+      Mutex.unlock node.nlock;
+      result)
+
+let sweep node =
+  Mutex.lock node.nlock;
+  let svc = node.service in
+  Mutex.unlock node.nlock;
+  match svc with Some s -> Service.sweep s | None -> 0
+
+let service node =
+  Mutex.lock node.nlock;
+  let svc = node.service in
+  Mutex.unlock node.nlock;
+  svc
+
+(* ------------------------------------------------------------------ *)
+(* Wire replication target                                             *)
+
+(* The sending half a primary uses against a remote standby: the same
+   [Repl.target] closures, carried by protocol messages and raw JREC
+   frames over one pooled connection. *)
+let wire_target ~name addr =
+  let p = pool addr in
+  let request req =
+    match pool_call p (P.request_to_string req) with
+    | Error e -> Error e
+    | Ok resp -> (
+      match P.response_of_string resp with
+      | Ok (P.Repl_ok { gen; records }) -> Ok (gen, records)
+      | Ok (P.Failed e) -> Error (P.error_to_string e)
+      | Ok _ -> Error "unexpected replication reply"
+      | Error e -> Error ("unparseable replication reply: " ^ P.error_to_string e))
+  in
+  {
+    Repl.describe = Printf.sprintf "standby %s at %s" name (Wire.address_to_string addr);
+    position = (fun () -> request P.Repl_status);
+    install =
+      (fun ~gen ~snapshot ->
+        Result.map (fun _ -> ()) (request (P.Repl_install { gen; snapshot })));
+    rotate =
+      (fun ~gen -> Result.map (fun _ -> ()) (request (P.Repl_rotate { gen })));
+    append =
+      (fun record ->
+        match pool_call p record with
+        | Error e -> Error e
+        | Ok resp -> (
+          match P.response_of_string resp with
+          | Ok (P.Repl_ok { gen; records }) -> Ok (gen, records)
+          | Ok (P.Failed e) -> Error (P.error_to_string e)
+          | Ok _ -> Error "unexpected replication reply"
+          | Error e -> Error ("unparseable replication reply: " ^ P.error_to_string e)));
+    close = (fun () -> pool_close p);
+  }

@@ -1,0 +1,65 @@
+(** Wire plumbing for the sharded tier: pooled connections from the
+    router to its shards, upstream construction from addresses, the
+    standby serve node, and the wire-side replication target a primary
+    streams through.
+
+    All pools default to binary framing ([JIMBIN 1]) — the replication
+    stream ships raw JREC record bytes, which only binary frames carry
+    — and dial lazily with retries, so process start order does not
+    matter. *)
+
+type pool
+
+val pool :
+  ?framing:Jim_server.Wire.framing ->
+  ?retries:int ->
+  Jim_server.Wire.address ->
+  pool
+(** A lazy connection pool (idle connections capped; a transport error
+    discards the connection rather than returning it). *)
+
+val pool_call : pool -> string -> (string, string) result
+val pool_close : pool -> unit
+
+val wire_upstream :
+  name:string ->
+  primary:Jim_server.Wire.address ->
+  ?standby:Jim_server.Wire.address ->
+  unit ->
+  Router.upstream
+(** A router upstream forwarding to [primary] through a pool.  With
+    [standby], the upstream carries a promote closure: dial the
+    standby, send [Promote] (idempotent on the standby side), and
+    return a pooled call path to it — the router swaps this in on
+    failover. *)
+
+(** {1 The standby serve node} *)
+
+type standby_node
+
+val standby_node : ?snapshot_every:int -> Standby.t -> standby_node
+(** Wrap a {!Standby} for serving.  [snapshot_every] is passed to the
+    store opened at promotion. *)
+
+val handle_line : standby_node -> string -> string * bool
+(** The node's request handler for [Jim_server.Wire.serve_handler]:
+    raw JREC bytes (detected by the record magic) are applied to the
+    standby; [Repl_install]/[Repl_rotate]/[Repl_status] drive the
+    stream; [Promote] recovers the accumulated directory into a
+    serving {!Jim_server.Service} (idempotent — a retrying router gets
+    the same reply); anything else answers [Shard_unavailable] until
+    promoted, and is served normally after. *)
+
+val sweep : standby_node -> int
+(** Idle-session sweep once promoted; 0 before. *)
+
+val service : standby_node -> Jim_server.Service.t option
+(** The serving service, once promoted. *)
+
+(** {1 Wire replication target} *)
+
+val wire_target :
+  name:string -> Jim_server.Wire.address -> Repl.target
+(** The sending half against a remote standby: install/rotate/status as
+    protocol messages, records as raw binary frames, all on one pooled
+    binary connection.  Plug into {!Repl.attach}. *)

@@ -1,0 +1,124 @@
+(* The sending half of journal-streaming replication.
+
+   A primary attaches one replication target (a warm standby — directly
+   in-process for tests, or behind a connection pool via {!Front}) and
+   then calls [send] from its persist hook *after* {!Jim_store.Store.record}
+   has made the event locally durable.  [send] returns only once the
+   standby has acknowledged — and the standby acknowledges only after
+   its own group commit — so an event the client sees acked is durable
+   in two places.  A failed send raises {!Replication_failed}, which the
+   wire layer turns into an error reply: the client is never told "ok"
+   for an event the standby missed (semi-synchronous replication with a
+   hard ack gate, not async shipping). *)
+
+module Journal = Jim_store.Journal
+module Recovery = Jim_store.Recovery
+module Store = Jim_store.Store
+module Event = Jim_store.Event
+module Io = Jim_store.Io
+
+type target = {
+  describe : string;
+  position : unit -> (int * int, string) result;
+  install : gen:int -> snapshot:string option -> (unit, string) result;
+  rotate : gen:int -> (unit, string) result;
+  append : string -> (int * int, string) result;
+  close : unit -> unit;
+}
+
+let of_standby stb =
+  {
+    describe = "in-process standby";
+    position = (fun () -> Ok (Standby.position stb));
+    install = (fun ~gen ~snapshot -> Standby.install stb ~gen ~snapshot);
+    rotate = (fun ~gen -> Standby.rotate stb ~gen);
+    append = (fun record -> Standby.apply stb record);
+    close = (fun () -> Standby.close stb);
+  }
+
+exception Replication_failed of string
+
+let () =
+  Printexc.register_printer (function
+    | Replication_failed msg -> Some ("Replication_failed: " ^ msg)
+    | _ -> None)
+
+type t = {
+  store : Store.t;
+  target : target;
+  lock : Mutex.t;
+  mutable gen_sent : int;
+  mutable acked : int;  (* records acked by the target this generation *)
+}
+
+let ( let* ) = Result.bind
+
+(* Ship the baseline: the store's current snapshot (if its generation
+   has one) plus every record already in the live journal, so the
+   standby starts from exactly the primary's durable state. *)
+let attach store target =
+  let io = Store.io store in
+  let dir = Store.dir store in
+  let gen = Store.generation store in
+  let snapshot =
+    let path = Recovery.snapshot_path dir gen in
+    if io.Io.exists path then
+      match io.Io.read_file path with Ok text -> Some text | Error _ -> None
+    else None
+  in
+  let* () = target.install ~gen ~snapshot in
+  let jpath = Recovery.journal_path dir gen in
+  let* acked =
+    if not (io.Io.exists jpath) then Ok 0
+    else
+      let* records, _end_off = Journal.tail ~io jpath ~from_offset:0 in
+      List.fold_left
+        (fun acc (_off, payload) ->
+          let* _ = acc in
+          let* _pos = target.append (Journal.encode_record payload) in
+          Ok ())
+        (Ok ()) records
+      |> Result.map (fun () -> List.length records)
+  in
+  Ok { store; target; lock = Mutex.create (); gen_sent = gen; acked }
+
+let position t =
+  Mutex.lock t.lock;
+  let p = (t.gen_sent, t.acked) in
+  Mutex.unlock t.lock;
+  p
+
+let describe t = t.target.describe
+
+(* Called from the persist hook, after Store.record: the event is
+   already locally durable and — if the store just checkpointed — the
+   store's generation may have advanced past [gen_sent], in which case
+   the standby rotates first (writing its own snapshot from its shadow)
+   so both sides agree on the generation the record lands in. *)
+let send t ev =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let result =
+        let gen = Store.generation t.store in
+        let* () =
+          if gen <> t.gen_sent then begin
+            let* () = t.target.rotate ~gen in
+            t.gen_sent <- gen;
+            t.acked <- 0;
+            Ok ()
+          end
+          else Ok ()
+        in
+        let record = Journal.encode_record (Event.to_string ev) in
+        let* _gen, acked = t.target.append record in
+        t.acked <- acked;
+        Ok ()
+      in
+      match result with
+      | Ok () -> ()
+      | Error msg ->
+        raise (Replication_failed (t.target.describe ^ ": " ^ msg)))
+
+let close t = t.target.close ()

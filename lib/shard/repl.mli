@@ -1,0 +1,48 @@
+(** The sending half of journal-streaming replication: a primary's
+    attachment to one warm {!Standby}, called from its persist hook.
+
+    Ack discipline (the semi-synchronous contract the failover sweep
+    asserts): {!send} is called {e after} {!Jim_store.Store.record} has
+    group-committed the event locally, and returns only once the
+    standby has acknowledged — which it does only after its own group
+    commit.  A send failure raises {!Replication_failed}, which the
+    wire layer converts into an error reply, so the client is never
+    acked an event the standby does not durably hold. *)
+
+type target = {
+  describe : string;
+  position : unit -> (int * int, string) result;
+  install : gen:int -> snapshot:string option -> (unit, string) result;
+  rotate : gen:int -> (unit, string) result;
+  append : string -> (int * int, string) result;
+  close : unit -> unit;
+}
+(** How the sender talks to a standby — a record of closures so the
+    same sender drives an in-process {!Standby} (tests, the fault
+    sweep) or a remote one behind {!Front}'s connection pool. *)
+
+val of_standby : Standby.t -> target
+
+exception Replication_failed of string
+
+type t
+
+val attach : Jim_store.Store.t -> target -> (t, string) result
+(** Ship the baseline and connect: installs the store's current
+    snapshot (if any) on the target, streams every record already in
+    the live journal, and returns the handle whose {!send} keeps the
+    stream current.  Call before the service starts accepting
+    requests, with the store quiescent. *)
+
+val send : t -> Jim_store.Event.t -> unit
+(** Stream one just-recorded event; returns once the standby has
+    durably acked it.  Rotates the standby first if the store
+    checkpointed since the last send.  Raises {!Replication_failed} on
+    any stream error.  Thread-safe (events are shipped in record
+    order). *)
+
+val position : t -> int * int
+(** Last acked [(generation, record count)]. *)
+
+val describe : t -> string
+val close : t -> unit

@@ -1,0 +1,18 @@
+(** Router log entries: the one-line JSON payloads the router journals
+    (through {!Jim_store.Journal}, same JREC format as the session WAL)
+    so ring membership and session placement survive a router restart.
+
+    [Placed] is journaled {e before} the start is forwarded to the
+    shard: a crash between the two leaves a dead placement (the shard
+    never started the session — requests to it answer
+    [Unknown_session]), never an unroutable live session. *)
+
+type entry =
+  | Member_added of string
+  | Member_removed of string
+  | Placed of { session : int; shard : string }
+  | Released of { session : int }
+  | Failed_over of { shard : string }
+
+val to_string : entry -> string
+val of_string : string -> (entry, string) result

@@ -1,0 +1,71 @@
+(** The sharded tier's front process: speaks the ordinary v1 protocol
+    to clients and places every session on one of N shard upstreams
+    via the consistent-hash {!Ring}.
+
+    Placement: [Start_session] allocates a router-wide session id and
+    pins it to the shard owning {!Ring.session_key} — or
+    {!Ring.fingerprint_key} for [Catalog] sources, so every session on
+    a cataloged instance (and every [Register_instance]) lands on the
+    one shard holding that catalog entry.  The start is forwarded as
+    the shard-internal [Start_pinned] so the shard adopts the router's
+    id; every later request routes by its pinned placement.
+
+    Durability: placements, ring membership and promotions are
+    journaled (JREC records of {!Rlog} lines in [DIR/router.wal]), and
+    a placement is journaled {e before} the start is forwarded — so
+    routing survives a router restart with at worst a dead placement,
+    never an unroutable live session.
+
+    Failover: a transport failure promotes the upstream's standby (its
+    [promote] closure) and journals it; non-mutating requests then
+    retry transparently, mutating ones answer
+    [{!Jim_api.Protocol.Shard_unavailable}] (at-most-once — the dead
+    primary may have acked them), and [Start_session] retries once
+    with a fresh id. *)
+
+type upstream = {
+  name : string;
+  mutable call : string -> (string, string) result;
+      (** one request line in, one reply line out; [Error] means the
+          transport failed (connect/read/write), not a protocol-level
+          [Failed] reply *)
+  promote : (unit -> ((string -> (string, string) result), string) result) option;
+      (** promote this shard's standby and return the replacement call
+          path; [None] when the shard has no standby *)
+  mutable promoted : bool;
+  ulock : Mutex.t;
+}
+
+val upstream :
+  name:string ->
+  ?promote:(unit -> ((string -> (string, string) result), string) result) ->
+  (string -> (string, string) result) ->
+  upstream
+
+type t
+
+val create :
+  ?io:Jim_store.Io.t ->
+  ?dir:string ->
+  ?vnodes:int ->
+  shards:upstream list ->
+  unit ->
+  (t, string) result
+(** A router over the given upstreams.  With [dir], the router log is
+    replayed (rebuilding placements, membership and promotions — a
+    journaled promotion re-points that upstream at its standby before
+    serving) and kept appended; without it, routing state is
+    in-memory only.  Membership changes between restarts are
+    reconciled into the log as add/remove deltas. *)
+
+val handle_line : t -> string -> string * bool
+(** The router's request handler — same [(reply, parsed)] contract as
+    [Jim_server.Service.handle_line_status], pluggable into
+    [Jim_server.Wire.serve_handler]. *)
+
+val placement : t -> int -> string option
+(** Which shard a session id is pinned to (the determinism tests
+    compare these across a restart). *)
+
+val session_count : t -> int
+val close : t -> unit

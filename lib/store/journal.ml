@@ -299,3 +299,59 @@ let scan ?(io = Io.real) path =
     end
 
 let truncate ?(io = Io.real) path offset = io.Io.truncate path offset
+
+(* ------------------------------------------------------------------ *)
+(* Stand-alone record codec + tailing — the replication stream ships
+   journal records as the exact bytes the format defines, so a standby
+   can append what it receives and end up with a byte-compatible
+   journal. *)
+
+let crc_of payload =
+  Int32.to_int (Int32.logand (Crc32.digest_string payload) 0xffffffffl)
+  land 0xffffffff
+
+let encode_record payload =
+  let plen = String.length payload in
+  let buf = Bytes.create (record_header_size + plen) in
+  Bytes.blit_string record_magic 0 buf 0 4;
+  Bytes.set buf 4 record_version;
+  put_le32 buf 5 plen;
+  put_le32 buf 9 (crc_of payload);
+  Bytes.blit_string payload 0 buf record_header_size plen;
+  Bytes.unsafe_to_string buf
+
+let decode_record s =
+  let size = String.length s in
+  if size < record_header_size then Error "short record"
+  else if String.sub s 0 4 <> record_magic then Error "bad record magic"
+  else if s.[4] <> record_version then Error "bad record version"
+  else
+    let buf = Bytes.unsafe_of_string s in
+    let plen = get_le32 buf 5 in
+    let crc = get_le32 buf 9 in
+    if plen < 0 || record_header_size + plen <> size then
+      Error
+        (Printf.sprintf "record length %d does not match %d payload bytes" plen
+           (size - record_header_size))
+    else
+      let payload = String.sub s record_header_size plen in
+      if crc_of payload <> crc then Error "payload CRC mismatch"
+      else Ok payload
+
+let tail ?(io = Io.real) path ~from_offset =
+  match scan ~io path with
+  | Error (`Corrupt (off, reason)) ->
+    Error (Printf.sprintf "corrupt journal at byte %d: %s" off reason)
+  | Ok (records, _torn) ->
+    (* A torn tail is simply the end of the durable prefix: the next
+       [tail] call from the same offset will pick up whatever a repaired
+       append adds. *)
+    let keep = List.filter (fun (off, _) -> off >= from_offset) records in
+    let end_offset =
+      List.fold_left
+        (fun acc (off, payload) ->
+          max acc (off + record_header_size + String.length payload))
+        (max from_offset header_size)
+        records
+    in
+    Ok (keep, end_offset)

@@ -119,3 +119,35 @@ val truncate : ?io:Io.t -> string -> int -> (unit, string) result
 val header_size : int
 (** Size of the file header, bytes (= 8): the offset of the first
     record. *)
+
+(** {1 Record codec and tailing}
+
+    The replication stream (lib/shard) ships journal records over the
+    wire as the exact record bytes defined above — header, CRC and
+    payload — so a standby can append what it receives and end up with a
+    byte-compatible journal it can run ordinary recovery over. *)
+
+val encode_record : string -> string
+(** [encode_record payload] is the full on-disk record for [payload]:
+    magic, version, little-endian length, CRC-32, payload. *)
+
+val decode_record : string -> (string, string) result
+(** Inverse of {!encode_record}: validate magic, version, length and CRC
+    of exactly one record and return its payload. *)
+
+val record_magic : string
+(** The 4-byte ASCII record magic ["JREC"] — how a frame handler tells a
+    streamed record from a JSON control message. *)
+
+val tail :
+  ?io:Io.t ->
+  string ->
+  from_offset:int ->
+  ((int * string) list * int, string) result
+(** [tail path ~from_offset] reads the records whose byte offset is
+    [>= from_offset], returning them (offset, payload) in file order
+    together with the end offset of the last complete record in the file
+    — the [from_offset] a later call should resume from.  A torn tail is
+    treated as the end of the durable prefix (not an error); mid-log
+    corruption is an error.  This is the streaming iterator a primary
+    uses to ship its existing journal to a freshly attached standby. *)

@@ -28,6 +28,32 @@ type t = {
   torn : (int * int) option;
 }
 
+(* The session's surviving labels as a snapshot entry: fold the steps
+   (labels push, undos pop), exactly how the live shadow maintains its
+   transcript. *)
+let snapshot_session (s : session) =
+  let entries_rev =
+    List.fold_left
+      (fun acc step ->
+        match step with
+        | Label { sg; label; _ } -> { Transcript.sg; label } :: acc
+        | Undo -> ( match acc with [] -> [] | _ :: tl -> tl))
+      [] s.steps
+  in
+  {
+    Snapshot.id = s.id;
+    source = s.source;
+    strategy = s.strategy;
+    seed = s.seed;
+    fingerprint = s.fingerprint;
+    transcript =
+      {
+        Transcript.arity = s.arity;
+        entries = List.rev entries_rev;
+        result = None;
+      };
+  }
+
 let snapshot_path dir g = Filename.concat dir (Printf.sprintf "snapshot.%d" g)
 
 let journal_path dir g =

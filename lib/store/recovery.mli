@@ -48,6 +48,11 @@ type t = {
       (** [(offset, bytes)] of a torn final record to cut, if any *)
 }
 
+val snapshot_session : session -> Snapshot.session
+(** The session's surviving labels (steps folded: labels push, undos
+    pop) as a snapshot entry — how {!Store.open_dir} seeds its
+    {!Shadow} from recovered state. *)
+
 val snapshot_path : string -> int -> string
 (** [snapshot_path dir g] is [DIR/snapshot.<g>]. *)
 

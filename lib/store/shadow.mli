@@ -1,0 +1,36 @@
+(** The store's in-memory mirror of durable session state: enough of
+    each live session (source, strategy, seed, fingerprint, transcript)
+    to write the next snapshot without consulting the engine.
+
+    One instance lives inside every {!Store.t} (folded forward on each
+    recorded event so checkpoints are O(live state), not O(journal));
+    a second lives inside every replication standby (lib/shard), which
+    applies the streamed journal records through it and, on a rotate,
+    writes its {e own} snapshot — deterministic, so byte-identical to
+    the snapshot the primary wrote from the same event prefix.
+
+    Not thread-safe: callers serialise access (the store under its lock,
+    the standby under its). *)
+
+type t
+
+val create : unit -> t
+(** Empty shadow: no sessions, [next_id] 1. *)
+
+val apply : t -> Event.t -> unit
+(** Fold one event forward: [Started] registers the session (and bumps
+    [next_id] past its id), [Answered]/[Undone] grow/shrink its
+    transcript, [Ended] drops it.  Events for unknown sessions are
+    ignored — the journal's write order already tolerates a racy
+    answer/undo after [Ended] (see {!Recovery.load}). *)
+
+val seed : t -> next_id:int -> Snapshot.session list -> unit
+(** Reset to exactly a snapshot's contents.  [next_id] is still bumped
+    past every seeded session id. *)
+
+val snapshot : t -> Snapshot.t
+(** The current state as a snapshot (sessions in ascending id order —
+    the deterministic form {!Snapshot.write} persists). *)
+
+val next_id : t -> int
+val session_count : t -> int

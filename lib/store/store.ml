@@ -1,15 +1,3 @@
-module P = Jim_api.Protocol
-module Transcript = Jim_core.Transcript
-
-type shadow = {
-  s_arity : int;
-  s_source : P.instance_source;
-  s_strategy : string;
-  s_seed : int;
-  s_fingerprint : string;
-  mutable s_entries_rev : Transcript.entry list;
-}
-
 type t = {
   dir : string;
   io : Io.t;
@@ -17,8 +5,7 @@ type t = {
   snapshot_every : int;
   lock : Mutex.t;
   idle : Condition.t;
-  shadow : (int, shadow) Hashtbl.t;
-  mutable next_id : int;
+  shadow : Shadow.t;
   mutable gen : int;
   mutable journal : Journal.t;
   mutable since_snapshot : int;
@@ -28,6 +15,7 @@ type t = {
 }
 
 let dir t = t.dir
+let io t = t.io
 let generation t = t.gen
 let record_count t = t.since_snapshot
 
@@ -54,57 +42,6 @@ let fingerprint_of_csv csv = Crc32.to_hex (Crc32.digest_string csv)
 let fingerprint rel = fingerprint_of_csv (canonical_csv rel)
 
 (* ------------------------------------------------------------------ *)
-(* Shadow maintenance                                                  *)
-
-let apply_shadow t = function
-  | Event.Started { session; arity; source; strategy; seed; fingerprint } ->
-    Hashtbl.replace t.shadow session
-      {
-        s_arity = arity;
-        s_source = source;
-        s_strategy = strategy;
-        s_seed = seed;
-        s_fingerprint = fingerprint;
-        s_entries_rev = [];
-      };
-    t.next_id <- max t.next_id (session + 1)
-  | Event.Answered { session; sg; label; _ } -> (
-    match Hashtbl.find_opt t.shadow session with
-    | None -> ()
-    | Some s -> s.s_entries_rev <- { Transcript.sg; label } :: s.s_entries_rev)
-  | Event.Undone { session } -> (
-    match Hashtbl.find_opt t.shadow session with
-    | None -> ()
-    | Some s -> (
-      match s.s_entries_rev with
-      | [] -> ()
-      | _ :: tl -> s.s_entries_rev <- tl))
-  | Event.Ended { session } -> Hashtbl.remove t.shadow session
-
-let snapshot_of_shadow t =
-  let sessions =
-    Hashtbl.fold
-      (fun id s acc ->
-        {
-          Snapshot.id;
-          source = s.s_source;
-          strategy = s.s_strategy;
-          seed = s.s_seed;
-          fingerprint = s.s_fingerprint;
-          transcript =
-            {
-              Transcript.arity = s.s_arity;
-              entries = List.rev s.s_entries_rev;
-              result = None;
-            };
-        }
-        :: acc)
-      t.shadow []
-    |> List.sort (fun a b -> compare a.Snapshot.id b.Snapshot.id)
-  in
-  { Snapshot.next_id = t.next_id; sessions }
-
-(* ------------------------------------------------------------------ *)
 (* Checkpoint: snapshot the shadow, rotate the journal, sweep.         *)
 
 (* Caller holds [t.lock] and has quiesced appends ([t.inflight = 0]).
@@ -120,7 +57,7 @@ let checkpoint_locked t =
   let g' = t.gen + 1 in
   (match
      Snapshot.write ~io:t.io (Recovery.snapshot_path t.dir g')
-       (snapshot_of_shadow t)
+       (Shadow.snapshot t.shadow)
    with
   | Ok () -> ()
   | Error m -> failwith m);
@@ -190,8 +127,7 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) ?(io = Io.real) dir =
           snapshot_every;
           lock = Mutex.create ();
           idle = Condition.create ();
-          shadow = Hashtbl.create 16;
-          next_id = recovered.Recovery.next_id;
+          shadow = Shadow.create ();
           gen = recovered.Recovery.generation;
           journal;
           since_snapshot = recovered.Recovery.journal_records;
@@ -200,28 +136,8 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) ?(io = Io.real) dir =
           closed = false;
         }
       in
-      List.iter
-        (fun (s : Recovery.session) ->
-          let entries_rev =
-            List.fold_left
-              (fun acc step ->
-                match step with
-                | Recovery.Label { sg; label; _ } ->
-                  { Transcript.sg; label } :: acc
-                | Recovery.Undo -> (
-                  match acc with [] -> [] | _ :: tl -> tl))
-              [] s.Recovery.steps
-          in
-          Hashtbl.replace t.shadow s.Recovery.id
-            {
-              s_arity = s.Recovery.arity;
-              s_source = s.Recovery.source;
-              s_strategy = s.Recovery.strategy;
-              s_seed = s.Recovery.seed;
-              s_fingerprint = s.Recovery.fingerprint;
-              s_entries_rev = entries_rev;
-            })
-        recovered.Recovery.sessions;
+      Shadow.seed t.shadow ~next_id:recovered.Recovery.next_id
+        (List.map Recovery.snapshot_session recovered.Recovery.sessions);
       (* Stale lower generations (crash between rotate and sweep). *)
       for g = 0 to t.gen - 1 do
         io.Io.remove (Recovery.journal_path dir g);
@@ -252,7 +168,7 @@ let record t ev =
   let finish applied =
     Mutex.lock t.lock;
     if applied then begin
-      apply_shadow t ev;
+      Shadow.apply t.shadow ev;
       t.since_snapshot <- t.since_snapshot + 1
     end;
     t.inflight <- t.inflight - 1;

@@ -48,6 +48,11 @@ val close : t -> unit
 
 val dir : t -> string
 
+val io : t -> Io.t
+(** The I/O seam the store runs against — the replication sender reads
+    the current snapshot/journal files through it when a standby
+    attaches. *)
+
 val generation : t -> int
 
 val record_count : t -> int

@@ -105,6 +105,19 @@ let gen_request =
         (let* source = gen_source in
          return (Pr.Register_instance { source }));
         return Pr.Catalog_stats;
+        (let* session = id in
+         let* source = gen_source in
+         let* strategy = oneofl [ "random"; "lookahead-entropy" ] in
+         let* seed = int_range 0 10000 in
+         return (Pr.Start_pinned { session; source; strategy; seed }));
+        (let* gen = int_range 0 50 in
+         let* snapshot = option gen_string in
+         return (Pr.Repl_install { gen; snapshot }));
+        (let* gen = int_range 0 50 in
+         return (Pr.Repl_rotate { gen }));
+        return Pr.Repl_status;
+        return Pr.Promote;
+        return Pr.Ring_status;
       ])
 
 let gen_question =
@@ -135,6 +148,8 @@ let gen_error =
          return (Pr.Unsupported_version v));
         (let* fp = gen_string in
          return (Pr.Unknown_instance fp));
+        (let* m = gen_string in
+         return (Pr.Shard_unavailable m));
       ])
 
 let gen_metrics =
@@ -272,6 +287,18 @@ let gen_response =
          return (Pr.Registered { fingerprint; arity; classes; tuples }));
         (let* s = gen_catalog_stats in
          return (Pr.Catalog_info s));
+        (let* gen = int_range 0 50 in
+         let* records = int_bound 10000 in
+         return (Pr.Repl_ok { gen; records }));
+        (let* sessions = int_bound 100 in
+         let* generation = int_range 0 50 in
+         return (Pr.Promoted { sessions; generation }));
+        (let* shards =
+           list_size (int_bound 4)
+             (pair (oneofl [ "s0"; "s1"; "shard-two" ]) bool)
+         in
+         let* sessions = int_bound 1000 in
+         return (Pr.Ring_info { shards; sessions }));
       ])
 
 (* ------------------------------------------------------------------ *)
@@ -324,6 +351,17 @@ let request_eq a b =
       Pr.Register_instance { source = s2 } ) ->
     source_eq s1 s2
   | Pr.Catalog_stats, Pr.Catalog_stats -> true
+  | ( Pr.Start_pinned { session = i1; source = s1; strategy = st1; seed = sd1 },
+      Pr.Start_pinned { session = i2; source = s2; strategy = st2; seed = sd2 }
+    ) ->
+    i1 = i2 && source_eq s1 s2 && st1 = st2 && sd1 = sd2
+  | ( Pr.Repl_install { gen = g1; snapshot = sn1 },
+      Pr.Repl_install { gen = g2; snapshot = sn2 } ) ->
+    g1 = g2 && sn1 = sn2
+  | Pr.Repl_rotate { gen = g1 }, Pr.Repl_rotate { gen = g2 } -> g1 = g2
+  | Pr.Repl_status, Pr.Repl_status -> true
+  | Pr.Promote, Pr.Promote -> true
+  | Pr.Ring_status, Pr.Ring_status -> true
   | _ -> false
 
 let event_eq (a : Session.event) (b : Session.event) =
@@ -375,6 +413,15 @@ let response_eq a b =
     ) ->
     f1 = f2 && a1 = a2 && c1 = c2 && t1 = t2
   | Pr.Catalog_info x, Pr.Catalog_info y -> x = y
+  | ( Pr.Repl_ok { gen = g1; records = r1 },
+      Pr.Repl_ok { gen = g2; records = r2 } ) ->
+    g1 = g2 && r1 = r2
+  | ( Pr.Promoted { sessions = s1; generation = g1 },
+      Pr.Promoted { sessions = s2; generation = g2 } ) ->
+    s1 = s2 && g1 = g2
+  | ( Pr.Ring_info { shards = sh1; sessions = s1 },
+      Pr.Ring_info { shards = sh2; sessions = s2 } ) ->
+    sh1 = sh2 && s1 = s2
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -528,6 +575,8 @@ let test_error_strings () =
       ( Pr.Unsupported_version 9,
         Printf.sprintf "unsupported protocol version 9 (this server speaks %d)"
           Pr.version );
+      ( Pr.Shard_unavailable "s0 down",
+        "shard unavailable: s0 down" );
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -230,6 +230,17 @@ let test_crash_sweep_shared_catalog () =
   Alcotest.(check bool) "hundreds of warm restarts" true
     (s.Jim_api.Protocol.hits > s.Jim_api.Protocol.misses)
 
+let test_replicated_sweep () =
+  (* The failover drill: a primary/standby pair joined by the journal
+     stream, the primary power-cut at every 3rd write ordinal (clean cut
+     + torn tail 3 bytes in), the standby promoted and held to the same
+     three-part contract as a recovered disk image.  One promoted
+     standby per run. *)
+  let st = Sweep.replicated_sweep ~stride:3 Sweep.default in
+  check_stats "replicated sweep" ~images_per_run:1 st;
+  Alcotest.(check int) "clean cut + torn tail per boundary"
+    (2 * st.Sweep.points) st.Sweep.runs
+
 (* Slow variants: no strides, plus crashes inside chunked writes. *)
 
 let test_fsync_sweep_full () =
@@ -244,6 +255,12 @@ let test_crash_sweep_chunked () =
      them (coprime to the record structure) and add a mid-chunk tear. *)
   let st = Sweep.crash_sweep ~chunk:3 ~stride:37 ~applied:[ 0; 1 ] Sweep.default in
   check_stats "chunked crash sweep" st
+
+let test_replicated_sweep_full () =
+  (* Every write ordinal — the primary killed at every record boundary
+     and torn mid-record, a promotion verified for each. *)
+  check_stats "replicated sweep (stride 1)" ~images_per_run:1
+    (Sweep.replicated_sweep Sweep.default)
 
 (* ------------------------------------------------------------------ *)
 (* qcheck: Journal.scan's verdict on every single-byte mutation        *)
@@ -473,7 +490,9 @@ let fresh_socket =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "jim-fault-%d-%d.sock" (Unix.getpid ()) !counter)
 
-let test_chaos_proxy_smoke () =
+(* Shared by the line- and binary-framing cases: the fault modes apply
+   at reply granularity under both, so the assertions are identical. *)
+let chaos_proxy_smoke framing () =
   let upstream = Wire.Unix_path (fresh_socket ()) in
   let listen = Wire.Unix_path (fresh_socket ()) in
   let service = Service.create () in
@@ -494,7 +513,7 @@ let test_chaos_proxy_smoke () =
       ignore (Chaos.stop proxy);
       Wire.shutdown server)
     (fun () ->
-      let reports = Smoke.run ~clients:8 ~address:listen () in
+      let reports = Smoke.run ~clients:8 ~framing ~address:listen () in
       Alcotest.(check int) "all clients reported" 8 (List.length reports);
       let dropped, rest = List.partition (fun r -> r.Smoke.dropped) reports in
       List.iter
@@ -554,6 +573,8 @@ let () =
              test_chunk_run;
            Alcotest.test_case "crash sweep through a shared catalog" `Quick
              test_crash_sweep_shared_catalog;
+           Alcotest.test_case "replicated pair: promote at crash points" `Quick
+             test_replicated_sweep;
          ]
          @ if_slow
              [
@@ -563,6 +584,8 @@ let () =
                  test_write_error_sweep_full;
                Alcotest.test_case "power cut inside chunked writes" `Slow
                  test_crash_sweep_chunked;
+               Alcotest.test_case "replicated pair, every ordinal" `Slow
+                 test_replicated_sweep_full;
              ] );
        ( "journal",
          [ QCheck_alcotest.to_alcotest scan_classifies_mutations ] );
@@ -574,7 +597,9 @@ let () =
        ( "chaos",
          [
            Alcotest.test_case "proxied smoke: drops are transport" `Quick
-             test_chaos_proxy_smoke;
+             (chaos_proxy_smoke Wire.Line);
+           Alcotest.test_case "proxied smoke, binary frames" `Quick
+             (chaos_proxy_smoke Wire.Binary);
          ] );
      ]
     |> List.filter (fun (_, cases) -> cases <> []))

@@ -1,0 +1,552 @@
+(* The sharded serve tier: consistent-hash ring properties (determinism
+   and the qcheck remap-stability bound), durable router placement
+   across restarts, the router proxying a full multi-client smoke on
+   both framings (bit-identical to direct serve — Smoke's own oracle is
+   the bar), catalog routing by fingerprint with aggregated stats, and
+   an in-process kill-and-promote failover: acked history survives on
+   the promoted standby, mutating requests in the failover window get
+   [Shard_unavailable] (at-most-once), and the resumed session finishes
+   bit-identical to the uninterrupted reference run. *)
+
+module P = Jim_api.Protocol
+module Service = Jim_server.Service
+module Wire = Jim_server.Wire
+module Smoke = Jim_server.Smoke
+module Store = Jim_store.Store
+module Memfs = Jim_fault.Memfs
+module Ring = Jim_shard.Ring
+module Rlog = Jim_shard.Rlog
+module Router = Jim_shard.Router
+module Standby = Jim_shard.Standby
+module Repl = Jim_shard.Repl
+open Jim_core
+
+(* ------------------------------------------------------------------ *)
+(* Ring: determinism and stability                                     *)
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d" i)
+
+let placement_map ring ks =
+  List.map
+    (fun k ->
+      match Ring.place ring k with
+      | Some m -> (k, m)
+      | None -> Alcotest.failf "empty ring placed nothing for %s" k)
+    ks
+
+let test_ring_deterministic () =
+  let members = [ "shard-b"; "shard-a"; "shard-c" ] in
+  let r1 = Ring.create members in
+  (* same membership set, different construction order and route *)
+  let r2 = Ring.create (List.rev members) in
+  let r3 = Ring.remove (Ring.add r1 "shard-x") "shard-x" in
+  let ks = keys 1000 in
+  let p1 = placement_map r1 ks in
+  Alcotest.(check bool) "order-independent" true (p1 = placement_map r2 ks);
+  Alcotest.(check bool) "add/remove returns to identity" true
+    (p1 = placement_map r3 ks);
+  Alcotest.(check (list string)) "members sorted distinct"
+    [ "shard-a"; "shard-b"; "shard-c" ]
+    (Ring.members r1);
+  (* every member owns something at 1000 keys / 64 vnodes *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " owns keys") true
+        (List.exists (fun (_, o) -> o = m) p1))
+    (Ring.members r1)
+
+let test_ring_empty_and_args () =
+  Alcotest.(check bool) "empty ring places nothing" true
+    (Ring.place (Ring.create []) "k" = None);
+  (match Ring.create ~vnodes:0 [ "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "vnodes=0 accepted");
+  Alcotest.(check (list string)) "duplicates collapse" [ "a" ]
+    (Ring.members (Ring.create [ "a"; "a"; "a" ]))
+
+let ring_arb =
+  QCheck.make
+    ~print:(fun (n, pick) -> Printf.sprintf "%d members, pick %d" n pick)
+    QCheck.Gen.(pair (int_range 2 8) (int_bound 100))
+
+let n_keys = 400
+
+(* Removing one member must move exactly the keys it owned (everything
+   else stays put); adding one must move keys only TO it, and only
+   about 1/(n+1) of them. *)
+let ring_remove_stability =
+  QCheck.Test.make ~count:60 ~name:"removal moves only the victim's keys"
+    ring_arb (fun (n, pick) ->
+      let members = List.init n (Printf.sprintf "shard-%d") in
+      let victim = Printf.sprintf "shard-%d" (pick mod n) in
+      let before = Ring.create members in
+      let after = Ring.remove before victim in
+      List.for_all
+        (fun k ->
+          match (Ring.place before k, Ring.place after k) with
+          | Some o, Some o' -> o = victim || o' = o
+          | _ -> false)
+        (keys n_keys))
+
+let ring_add_stability =
+  QCheck.Test.make ~count:60 ~name:"addition moves ~1/(n+1), all to the joiner"
+    ring_arb (fun (n, _) ->
+      let members = List.init n (Printf.sprintf "shard-%d") in
+      let before = Ring.create members in
+      let after = Ring.add before "shard-new" in
+      let moved = ref 0 in
+      let ok =
+        List.for_all
+          (fun k ->
+            match (Ring.place before k, Ring.place after k) with
+            | Some o, Some o' ->
+              if o' <> o then begin
+                incr moved;
+                o' = "shard-new"
+              end
+              else true
+            | _ -> false)
+          (keys n_keys)
+      in
+      (* expected n_keys/(n+1); 3x + slack keeps the bound sharp enough
+         to catch a broken hash without flaking on vnode variance *)
+      ok && !moved <= (3 * n_keys / (n + 1)) + 5)
+
+(* ------------------------------------------------------------------ *)
+(* Rlog codec                                                          *)
+
+let test_rlog_roundtrip () =
+  List.iter
+    (fun e ->
+      let s = Rlog.to_string e in
+      match Rlog.of_string s with
+      | Ok e' -> Alcotest.(check bool) ("roundtrip " ^ s) true (e = e')
+      | Error m -> Alcotest.failf "parse %s: %s" s m)
+    [
+      Rlog.Member_added "s1";
+      Rlog.Member_removed "s1";
+      Rlog.Placed { session = 42; shard = "s2" };
+      Rlog.Released { session = 42 };
+      Rlog.Failed_over { shard = "s2" };
+    ];
+  match Rlog.of_string {|{"rl":"frob"}|} with
+  | Ok _ -> Alcotest.fail "accepted unknown entry"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Router helpers: in-process shard upstreams                          *)
+
+let service_upstream name svc =
+  Router.upstream ~name (fun line ->
+      Ok (fst (Service.handle_line_status svc line)))
+
+let call router req =
+  let line, _ = Router.handle_line router (P.request_to_string req) in
+  match P.response_of_string line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unparseable reply: %s" (P.error_to_string e)
+
+let synthetic seed =
+  P.Synthetic { n_attrs = 5; n_tuples = 40; domain = 8; goal_rank = 2; seed }
+
+let oracle_of seed =
+  let p =
+    {
+      Jim_workloads.Synthetic.n_attrs = 5;
+      n_tuples = 40;
+      domain = 8;
+      goal_rank = 2;
+      seed;
+    }
+  in
+  Oracle.of_goal
+    (Jim_workloads.Synthetic.generate p).Jim_workloads.Synthetic.goal
+
+let expected_of ~seed ~strategy =
+  let p =
+    {
+      Jim_workloads.Synthetic.n_attrs = 5;
+      n_tuples = 40;
+      domain = 8;
+      goal_rank = 2;
+      seed;
+    }
+  in
+  let inst = Jim_workloads.Synthetic.generate p in
+  let strat =
+    match Strategy.of_string strategy with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  Session.run ~seed ~strategy:strat
+    ~oracle:(Oracle.of_goal inst.Jim_workloads.Synthetic.goal)
+    inst.Jim_workloads.Synthetic.relation
+
+let start router ~seed ~strategy =
+  match
+    call router (P.Start_session { source = synthetic seed; strategy; seed })
+  with
+  | P.Started { session; _ } -> session
+  | other -> Alcotest.failf "start: %s" (P.response_to_string other)
+
+let answer_one router oracle id =
+  match call router (P.Get_question { session = id }) with
+  | P.Question None -> false
+  | P.Question (Some { P.cls; sg; _ }) -> (
+    match
+      call router
+        (P.Answer { session = id; cls; label = Oracle.label oracle sg })
+    with
+    | P.Answered _ -> true
+    | other -> Alcotest.failf "answer: %s" (P.response_to_string other))
+  | other -> Alcotest.failf "question: %s" (P.response_to_string other)
+
+let result_of router id =
+  match call router (P.Result { session = id }) with
+  | P.Outcome o -> o
+  | other -> Alcotest.failf "result: %s" (P.response_to_string other)
+
+let mk_router ?io ?dir names_and_services =
+  match
+    Router.create ?io ?dir
+      ~shards:
+        (List.map (fun (n, s) -> service_upstream n s) names_and_services)
+      ()
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "router: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Router: placement, journal, restart determinism                     *)
+
+let test_router_spreads_and_journals () =
+  let fs = Memfs.create () in
+  let io = Memfs.io fs in
+  let shards = List.init 3 (fun i -> (Printf.sprintf "s%d" i, Service.create ())) in
+  let router = mk_router ~io ~dir:"/router" shards in
+  let sessions = 24 in
+  let ids =
+    List.init sessions (fun i ->
+        start router ~seed:(100 + i) ~strategy:"random")
+  in
+  let placed = List.map (fun id -> (id, Router.placement router id)) ids in
+  List.iter
+    (fun (id, p) ->
+      if p = None then Alcotest.failf "session %d has no placement" id)
+    placed;
+  (* consistent hashing spreads 24 sessions over 3 shards *)
+  let owners =
+    List.sort_uniq compare (List.filter_map snd placed)
+  in
+  Alcotest.(check bool) "more than one shard used" true (List.length owners > 1);
+  Alcotest.(check int) "router counts the placements" sessions
+    (Router.session_count router);
+  (* requests route by pin: every session answers where it lives *)
+  List.iter
+    (fun id ->
+      match call router (P.Get_question { session = id }) with
+      | P.Question _ -> ()
+      | other -> Alcotest.failf "routed question: %s" (P.response_to_string other))
+    ids;
+  (* ring status reflects membership and load *)
+  (match call router P.Ring_status with
+  | P.Ring_info { shards = members; sessions = n } ->
+    Alcotest.(check int) "three members" 3 (List.length members);
+    Alcotest.(check int) "sessions counted" sessions n;
+    List.iter
+      (fun (_, promoted) ->
+        Alcotest.(check bool) "nothing promoted" false promoted)
+      members
+  | other -> Alcotest.failf "ring_status: %s" (P.response_to_string other));
+  (* end releases the placement and journals it *)
+  let victim = List.hd ids in
+  (match call router (P.End_session { session = victim }) with
+  | P.Ended -> ()
+  | other -> Alcotest.failf "end: %s" (P.response_to_string other));
+  Alcotest.(check (option string)) "placement released" None
+    (Router.placement router victim);
+  (* restart over the same journal: every surviving placement is
+     rebuilt identically, and the ended session stays gone *)
+  Router.close router;
+  let router' = mk_router ~io ~dir:"/router" shards in
+  Alcotest.(check int) "placements survive restart" (sessions - 1)
+    (Router.session_count router');
+  List.iter
+    (fun (id, before) ->
+      if id <> victim then
+        Alcotest.(check (option string))
+          (Printf.sprintf "session %d placed identically" id)
+          before
+          (Router.placement router' id))
+    placed;
+  Alcotest.(check (option string)) "released stays released" None
+    (Router.placement router' victim);
+  (* fresh ids never collide with journaled ones *)
+  let fresh = start router' ~seed:999 ~strategy:"random" in
+  Alcotest.(check bool) "fresh id past journaled ids" true
+    (List.for_all (fun id -> fresh > id) ids)
+
+let test_router_rejects_internal () =
+  let router = mk_router [ ("s0", Service.create ()) ] in
+  (match
+     call router
+       (P.Start_pinned
+          { session = 9; source = synthetic 1; strategy = "random"; seed = 1 })
+   with
+  | P.Failed (P.Bad_request _) -> ()
+  | other -> Alcotest.failf "start_pinned: %s" (P.response_to_string other));
+  (match call router P.Promote with
+  | P.Failed (P.Bad_request _) -> ()
+  | other -> Alcotest.failf "promote: %s" (P.response_to_string other));
+  match call router (P.Get_question { session = 123 }) with
+  | P.Failed (P.Unknown_session 123) -> ()
+  | other -> Alcotest.failf "unplaced session: %s" (P.response_to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* Router over the wire: proxied smoke, both framings; catalog routing *)
+
+let fresh_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jim-shard-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let with_wire_router shards f =
+  let router = mk_router shards in
+  let addr = Wire.Unix_path (fresh_socket ()) in
+  let server = Wire.serve_handler (Router.handle_line router) addr in
+  Fun.protect
+    ~finally:(fun () ->
+      Wire.shutdown server;
+      Router.close router)
+    (fun () -> f router addr)
+
+let smoke_through_router framing () =
+  let shards = List.init 2 (fun i -> (Printf.sprintf "s%d" i, Service.create ())) in
+  with_wire_router shards (fun _router addr ->
+      let reports = Smoke.run ~clients:32 ~framing ~address:addr () in
+      Alcotest.(check int) "all clients reported" 32 (List.length reports);
+      List.iter
+        (fun r ->
+          if not r.Smoke.ok then
+            Alcotest.failf "seed %d diverged through the router: %s"
+              r.Smoke.seed r.Smoke.detail)
+        reports)
+
+let test_catalog_through_router () =
+  let shards = List.init 3 (fun i -> (Printf.sprintf "s%d" i, Service.create ())) in
+  with_wire_router shards (fun router addr ->
+      match Smoke.catalog_smoke ~clients:4 ~address:addr () with
+      | Error e -> Alcotest.fail e
+      | Ok (reports, stats) ->
+        List.iter
+          (fun r ->
+            if not r.Smoke.ok then
+              Alcotest.failf "catalog seed %d diverged: %s" r.Smoke.seed
+                r.Smoke.detail)
+          reports;
+        (* one registration, every session a warm start off it — and all
+           on ONE shard, because catalog traffic routes by fingerprint *)
+        Alcotest.(check int) "one entry across all shards" 1
+          stats.P.entries;
+        Alcotest.(check bool) "warm starts hit" true (stats.P.hits >= 4);
+        let with_entries =
+          List.filter
+            (fun (_, svc) ->
+              (Jim_catalog.Catalog.stats (Service.catalog svc)).P.entries > 0)
+            shards
+        in
+        Alcotest.(check int) "catalog entry lives on exactly one shard" 1
+          (List.length with_entries);
+        ignore router)
+
+(* ------------------------------------------------------------------ *)
+(* Failover: kill the primary mid-session, promote, resume             *)
+
+let test_failover_kill_and_promote () =
+  let seed = 4242 and strategy = "lookahead-entropy" in
+  let oracle = oracle_of seed in
+  let expected = expected_of ~seed ~strategy in
+  (* primary: store + service on its own fs, streaming to a standby *)
+  let fs_p = Memfs.create () in
+  let store, _ =
+    match Store.open_dir ~io:(Memfs.io fs_p) "/data" with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "open_dir: %s" e
+  in
+  let fs_b = Memfs.create () in
+  let stb = Standby.create ~io:(Memfs.io fs_b) ~dir:"/standby" () in
+  let repl =
+    match Repl.attach store (Repl.of_standby stb) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "attach: %s" e
+  in
+  let svc_p =
+    Service.create
+      ~persist:(fun ev ->
+        Store.record store ev;
+        Repl.send repl ev)
+      ()
+  in
+  let killed = ref false in
+  let acked = ref 0 in
+  let promote () =
+    match Standby.promote stb with
+    | Error e -> Error e
+    | Ok (store', recovered) -> (
+      let svc' = Service.create ~persist:(Store.record store') () in
+      match Service.restore svc' recovered with
+      | Error e -> Error e
+      | Ok _ -> Ok (fun line -> Ok (fst (Service.handle_line_status svc' line))))
+  in
+  let up =
+    Router.upstream ~name:"s0" ~promote (fun line ->
+        if !killed then Error "connection refused (killed)"
+        else Ok (fst (Service.handle_line_status svc_p line)))
+  in
+  let router =
+    match Router.create ~shards:[ up ] () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "router: %s" e
+  in
+  let id = start router ~seed ~strategy in
+  (* half the session through the primary *)
+  for _ = 1 to 4 do
+    if answer_one router oracle id then incr acked
+  done;
+  Alcotest.(check int) "four answers acked" 4 !acked;
+  (* SIGKILL the primary.  The first request in the window is mutating:
+     the router promotes but must NOT retry it (at-most-once). *)
+  killed := true;
+  (match
+     call router (P.Answer { session = id; cls = 0; label = State.Pos })
+   with
+  | P.Failed (P.Shard_unavailable _) -> ()
+  | other ->
+    Alcotest.failf "mutating request during failover: %s"
+      (P.response_to_string other));
+  (* ring status shows the promotion *)
+  (match call router P.Ring_status with
+  | P.Ring_info { shards = [ ("s0", promoted) ]; _ } ->
+    Alcotest.(check bool) "promoted flag" true promoted
+  | other -> Alcotest.failf "ring_status: %s" (P.response_to_string other));
+  (* every acked answer survived onto the promoted standby *)
+  (match call router (P.Stats { session = id }) with
+  | P.Session_stats st ->
+    Alcotest.(check int) "acked answers survived" !acked st.P.labeled
+  | other -> Alcotest.failf "stats: %s" (P.response_to_string other));
+  (* ... and the session resumes to the bit-identical outcome *)
+  while answer_one router oracle id do
+    ()
+  done;
+  Alcotest.(check bool) "resumed outcome bit-identical" true
+    (Smoke.outcome_equal (result_of router id) expected);
+  Router.close router;
+  Standby.close stb
+
+(* A non-mutating request in the failover window is retried
+   transparently: the client never sees the crash. *)
+let test_failover_transparent_read () =
+  let seed = 77 and strategy = "random" in
+  let oracle = oracle_of seed in
+  let expected = expected_of ~seed ~strategy in
+  let fs_b = Memfs.create () in
+  let stb = Standby.create ~io:(Memfs.io fs_b) ~dir:"/standby" () in
+  let fs_p = Memfs.create () in
+  let store, _ =
+    match Store.open_dir ~io:(Memfs.io fs_p) "/data" with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "open_dir: %s" e
+  in
+  let repl =
+    match Repl.attach store (Repl.of_standby stb) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "attach: %s" e
+  in
+  let svc_p =
+    Service.create
+      ~persist:(fun ev ->
+        Store.record store ev;
+        Repl.send repl ev)
+      ()
+  in
+  let killed = ref false in
+  let promote () =
+    match Standby.promote stb with
+    | Error e -> Error e
+    | Ok (store', recovered) -> (
+      let svc' = Service.create ~persist:(Store.record store') () in
+      match Service.restore svc' recovered with
+      | Error e -> Error e
+      | Ok _ -> Ok (fun line -> Ok (fst (Service.handle_line_status svc' line))))
+  in
+  let up =
+    Router.upstream ~name:"s0" ~promote (fun line ->
+        if !killed then Error "connection refused (killed)"
+        else Ok (fst (Service.handle_line_status svc_p line)))
+  in
+  let router =
+    match Router.create ~shards:[ up ] () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "router: %s" e
+  in
+  let id = start router ~seed ~strategy in
+  ignore (answer_one router oracle id);
+  killed := true;
+  (* Get_question retries transparently onto the promoted standby *)
+  (match call router (P.Get_question { session = id }) with
+  | P.Question _ -> ()
+  | other ->
+    Alcotest.failf "read during failover: %s" (P.response_to_string other));
+  while answer_one router oracle id do
+    ()
+  done;
+  Alcotest.(check bool) "outcome bit-identical" true
+    (Smoke.outcome_equal (result_of router id) expected);
+  Router.close router;
+  Standby.close stb
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "placement is a pure function of membership"
+            `Quick test_ring_deterministic;
+          Alcotest.test_case "empty ring, bad vnodes, duplicates" `Quick
+            test_ring_empty_and_args;
+          QCheck_alcotest.to_alcotest ring_remove_stability;
+          QCheck_alcotest.to_alcotest ring_add_stability;
+        ] );
+      ( "rlog",
+        [ Alcotest.test_case "entry codec roundtrip" `Quick test_rlog_roundtrip ] );
+      ( "router",
+        [
+          Alcotest.test_case "placements spread, journal, survive restart"
+            `Quick test_router_spreads_and_journals;
+          Alcotest.test_case "internal messages rejected at the front" `Quick
+            test_router_rejects_internal;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "32-client smoke through the router (line)"
+            `Quick
+            (smoke_through_router Wire.Line);
+          Alcotest.test_case "32-client smoke through the router (binary)"
+            `Quick
+            (smoke_through_router Wire.Binary);
+          Alcotest.test_case "catalog routes by fingerprint, stats aggregate"
+            `Quick test_catalog_through_router;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "kill, promote, at-most-once, bit-identical"
+            `Quick test_failover_kill_and_promote;
+          Alcotest.test_case "reads retry transparently across failover"
+            `Quick test_failover_transparent_read;
+        ] );
+    ]

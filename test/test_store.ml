@@ -293,6 +293,91 @@ let test_journal_reopen_append () =
           (sample_payloads @ [ "appended after reopen" ])
           (List.map snd records))
 
+(* The record codec the replication stream ships: encode_record's bytes
+   are exactly what append writes, and decode_record refuses anything
+   but one intact record. *)
+let test_record_codec () =
+  List.iter
+    (fun payload ->
+      let r = Journal.encode_record payload in
+      Alcotest.(check string) "record magic leads" Journal.record_magic
+        (String.sub r 0 (String.length Journal.record_magic));
+      (match Journal.decode_record r with
+      | Ok p -> Alcotest.(check string) "roundtrip" payload p
+      | Error e -> Alcotest.failf "decode: %s" e);
+      (* single-byte damage is rejected, wherever it lands *)
+      let i = String.length r / 2 in
+      let mutated = Bytes.of_string r in
+      Bytes.set mutated i (Char.chr (Char.code r.[i] lxor 0x40));
+      (match Journal.decode_record (Bytes.to_string mutated) with
+      | Ok _ -> Alcotest.failf "damaged byte %d decoded" i
+      | Error _ -> ());
+      (* so are truncation and trailing garbage: exactly one record *)
+      (match Journal.decode_record (String.sub r 0 (String.length r - 1)) with
+      | Ok _ -> Alcotest.fail "truncated record decoded"
+      | Error _ -> ());
+      match Journal.decode_record (r ^ "x") with
+      | Ok _ -> Alcotest.fail "trailing garbage decoded"
+      | Error _ -> ())
+    sample_payloads;
+  (* encoded records are byte-identical to what append writes: a
+     standby appending received records builds the same file *)
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j.wal" in
+      write_sample_journal path;
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let rebuilt =
+        "JIMWAL01" ^ String.concat "" (List.map Journal.encode_record sample_payloads)
+      in
+      Alcotest.(check string) "file = header + encoded records" data rebuilt)
+
+(* The streaming iterator a primary ships its journal with. *)
+let test_journal_tail () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j.wal" in
+      write_sample_journal path;
+      let end_off =
+        match Journal.tail path ~from_offset:0 with
+        | Error e -> Alcotest.fail e
+        | Ok (records, end_off) ->
+          Alcotest.(check (list string))
+            "everything from offset 0" sample_payloads (List.map snd records);
+          end_off
+      in
+      (* resuming at the end yields nothing and holds position *)
+      (match Journal.tail path ~from_offset:end_off with
+      | Ok ([], e) -> Alcotest.(check int) "position stable" end_off e
+      | Ok (rs, _) -> Alcotest.failf "%d unexpected records" (List.length rs)
+      | Error e -> Alcotest.fail e);
+      (* append more: tailing from the old end sees exactly the new *)
+      (match Journal.open_append ~fsync:false path with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+        Journal.append j "new-1";
+        Journal.append j "new-2";
+        Journal.close j);
+      let end2 =
+        match Journal.tail path ~from_offset:end_off with
+        | Error e -> Alcotest.fail e
+        | Ok (rs, end2) ->
+          Alcotest.(check (list string))
+            "only the new records" [ "new-1"; "new-2" ] (List.map snd rs);
+          Alcotest.(check bool) "offset advanced" true (end2 > end_off);
+          end2
+      in
+      (* a torn final record ends the durable prefix — not an error *)
+      Unix.truncate path (end2 - 3);
+      match Journal.tail path ~from_offset:end_off with
+      | Error e -> Alcotest.failf "torn tail errored: %s" e
+      | Ok (rs, e) ->
+        Alcotest.(check (list string))
+          "torn record withheld" [ "new-1" ] (List.map snd rs);
+        Alcotest.(check bool) "end before the tear" true (e < end2))
+
 let test_journal_group_commit () =
   (* Concurrent appenders with real fsync: every payload must land
      exactly once (the group-commit leader/follower dance loses none). *)
@@ -940,6 +1025,10 @@ let () =
             test_journal_roundtrip;
           Alcotest.test_case "reopen for append" `Quick
             test_journal_reopen_append;
+          Alcotest.test_case "record codec: roundtrip, damage, framing" `Quick
+            test_record_codec;
+          Alcotest.test_case "tail streams from an offset" `Quick
+            test_journal_tail;
           Alcotest.test_case "group commit under threads" `Quick
             test_journal_group_commit;
           Alcotest.test_case "every byte prefix is torn, never corrupt" `Quick
