@@ -15,6 +15,8 @@
      jim bench catalog  -> results[].starts_per_s         (higher better)
      jim bench shard    -> results[].rps (higher better)
                            + results[].p99_us (lower better)
+     jim bench load     -> results[].rps (higher better)
+                           + results[].p99_us (lower better)
 
    --skip excludes rows whose name contains the substring — for rows
    that measure the machine rather than the code (e.g. fsync-bound
@@ -57,7 +59,7 @@ let rows_of kind v =
   match kind with
   | "jim bench compare" -> list_field "strategies"
   | "jim bench store" | "jim bench wire" | "jim bench catalog"
-  | "jim bench shard" ->
+  | "jim bench shard" | "jim bench load" ->
     list_field "results"
   | k -> die "unknown generated_by %S" k
 
@@ -69,6 +71,7 @@ let metrics_of = function
   | "jim bench wire" -> [ ("rps", `Higher); ("p50_us", `Lower) ]
   | "jim bench catalog" -> [ ("starts_per_s", `Higher) ]
   | "jim bench shard" -> [ ("rps", `Higher); ("p99_us", `Lower) ]
+  | "jim bench load" -> [ ("rps", `Higher); ("p99_us", `Lower) ]
   | k -> die "unknown generated_by %S" k
 
 let () =

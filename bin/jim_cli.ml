@@ -399,7 +399,7 @@ let catalog_stats_line (s : Jim_api.Protocol.catalog_stats) =
     s.Jim_api.Protocol.derivations
 
 let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
-    stats_every catalog_max_entries drain_timeout replicate_to =
+    commit_window stats_every catalog_max_entries drain_timeout replicate_to =
   match resolve_address socket tcp with
   | Error e ->
     Printf.eprintf "jim serve: %s\n" e;
@@ -409,7 +409,9 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
       match data_dir with
       | None -> Ok None
       | Some dir -> (
-        match Jim_store.Store.open_dir ~snapshot_every dir with
+        match
+          Jim_store.Store.open_dir ~snapshot_every ~commit_window dir
+        with
         | Ok (st, recovered) -> Ok (Some (st, recovered))
         | Error e -> Error e)
     in
@@ -467,8 +469,28 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
         1
       | Ok restored ->
+        (* When replicating, answer Repl_status ourselves with the
+           stream's current lag (the router's Ring_status probe);
+           everything else goes to the service as usual. *)
+        let handle_line payload =
+          match repl with
+          | Some r when String.length payload <= 64 -> (
+            match Jim_api.Protocol.request_of_string payload with
+            | Ok Jim_api.Protocol.Repl_status ->
+              let records, bytes = Jim_shard.Repl.lag r in
+              ( Jim_api.Protocol.response_to_string
+                  (Jim_api.Protocol.Repl_lag { records; bytes }),
+                true )
+            | _ -> Jim_server.Service.handle_line_status service payload)
+          | _ -> Jim_server.Service.handle_line_status service payload
+        in
+        let config =
+          { Jim_server.Wire.default_config with threads; drain_timeout }
+        in
         let server =
-          Jim_server.Wire.serve ~threads ~drain_timeout service addr
+          Jim_server.Wire.serve_handler ~config
+            ~sweep:(fun () -> Jim_server.Service.sweep service)
+            handle_line addr
         in
         Printf.printf
           "jim serve: listening on %s (max %d sessions, %d threads)\n%!"
@@ -491,6 +513,21 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
               (Jim_store.Store.generation st)
               restored)
           store;
+        let commit_line () =
+          match store with
+          | Some (st, _) when commit_window > 0. ->
+            let s = Jim_store.Store.commit_stats st in
+            Printf.sprintf "; commit: %d batches / %d records (max %d)"
+              s.Jim_store.Journal.batches s.Jim_store.Journal.records
+              s.Jim_store.Journal.max_batch
+          | _ -> ""
+        in
+        let stats_line () =
+          Printf.sprintf "wire: %s; %s%s"
+            (Jim_server.Netstats.to_string (Jim_server.Netstats.snapshot ()))
+            (catalog_stats_line (Jim_catalog.Catalog.stats catalog))
+            (commit_line ())
+        in
         Option.iter
           (fun period ->
             ignore
@@ -498,17 +535,12 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
                  (fun () ->
                    while true do
                      Thread.delay period;
-                     Printf.printf "jim serve: wire: %s; %s\n%!"
-                       (Jim_server.Netstats.to_string
-                          (Jim_server.Netstats.snapshot ()))
-                       (catalog_stats_line (Jim_catalog.Catalog.stats catalog))
+                     Printf.printf "jim serve: %s\n%!" (stats_line ())
                    done)
                  ()))
           stats_every;
         Jim_server.Wire.wait server;
-        Printf.printf "jim serve: wire: %s; %s\n%!"
-          (Jim_server.Netstats.to_string (Jim_server.Netstats.snapshot ()))
-          (catalog_stats_line (Jim_catalog.Catalog.stats catalog));
+        Printf.printf "jim serve: %s\n%!" (stats_line ());
         Option.iter Jim_shard.Repl.close repl;
         Option.iter (fun (st, _) -> Jim_store.Store.close st) store;
         0)))
@@ -742,8 +774,8 @@ let run_client_instance ~address ~framing ~fp ~strategy ~seed =
       loop ()
     | other -> fail "start" (P.response_to_string other)
 
-let run_client socket tcp batch smoke busy crash_start crash_resume state_file
-    tolerate_drops binary instance catalog_smoke strategy_name seed =
+let run_client socket tcp batch smoke pipeline busy crash_start crash_resume
+    state_file tolerate_drops binary instance catalog_smoke strategy_name seed =
   let framing =
     if binary then Jim_server.Wire.Binary else Jim_server.Wire.Line
   in
@@ -774,6 +806,17 @@ let run_client socket tcp batch smoke busy crash_start crash_resume state_file
       run_client_instance ~address ~framing ~fp ~strategy:strategy_name ~seed
     | None, None -> (
     match (smoke, busy, crash_start, crash_resume) with
+    | Some clients, _, _, _ when pipeline > 1 ->
+      (* [clients] total sessions, [pipeline] interleaved per
+         connection: the pipelined smoke keeps every connection
+         [pipeline] requests deep while holding each session to the
+         usual bit-identity bar. *)
+      let conns = max 1 (clients / pipeline) in
+      print_reports
+        ~expected:(conns * pipeline)
+        ~tolerate_drops "bit-identical to the local run (pipelined)"
+        (Jim_server.Smoke.run_pipelined ~clients:conns ~pipeline ~framing
+           ~address ())
     | Some clients, _, _, _ ->
       print_reports ~expected:clients ~tolerate_drops
         "bit-identical to the local run"
@@ -1200,15 +1243,28 @@ let serve_cmd =
           ~doc:"Journal records between snapshot compactions (with \
                 $(b,--data-dir)).")
   in
+  let commit_window =
+    Arg.(
+      value & opt float 0.
+      & info [ "commit-window" ] ~docv:"SECONDS"
+          ~doc:"Adaptive group commit (with $(b,--data-dir)): under \
+                concurrent load the fsync leader dallies up to $(docv) \
+                collecting queued journal records into one combined \
+                append + single fsync.  0 (the default) keeps the \
+                classic one-fsync-per-record path; durability is \
+                identical either way — no record is acknowledged before \
+                its batch is synced.")
+  in
   let stats_every =
     Arg.(
       value
       & opt (some float) None
       & info [ "stats-every" ] ~docv:"SECONDS"
           ~doc:"Print wire-layer counters (connections accepted / active / \
-                failed, malformed requests, bytes in/out) and catalog \
-                counters (entries, hits/misses, evictions) every $(docv) \
-                seconds.")
+                failed, malformed requests, coalesced writes and flushes, \
+                bytes in/out), catalog counters (entries, hits/misses, \
+                evictions) and — with $(b,--commit-window) — group-commit \
+                batch counters every $(docv) seconds.")
   in
   let catalog_max_entries =
     Arg.(
@@ -1220,11 +1276,11 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const (fun () s t m i th d se ste cme dt rt ->
-          run_serve s t m i th d se ste cme dt rt)
+      const (fun () s t m i th d se cw ste cme dt rt ->
+          run_serve s t m i th d se cw ste cme dt rt)
       $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads
-      $ data_dir $ snapshot_every $ stats_every $ catalog_max_entries
-      $ drain_timeout_arg $ replicate_to)
+      $ data_dir $ snapshot_every $ commit_window $ stats_every
+      $ catalog_max_entries $ drain_timeout_arg $ replicate_to)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1334,6 +1390,16 @@ let client_cmd =
           ~doc:"Run $(docv) concurrent oracle-driven sessions and check \
                 each outcome bit-identical to the in-process engine.")
   in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:"With $(b,--smoke): multiplex $(docv) interleaved sessions \
+                per connection, keeping up to $(docv) requests in flight \
+                on each (one per session, so per-session ordering is \
+                preserved).  1 (the default) keeps the classic \
+                one-connection-per-session smoke.")
+  in
   let busy =
     Arg.(
       value
@@ -1409,9 +1475,9 @@ let client_cmd =
   in
   let term =
     Term.(
-      const (fun s t b sm bu cs cr st td bin inst csm strat seed ->
-          run_client s t b sm bu cs cr st td bin inst csm strat seed)
-      $ socket_arg $ tcp_arg $ batch $ smoke $ busy $ crash_start
+      const (fun s t b sm pl bu cs cr st td bin inst csm strat seed ->
+          run_client s t b sm pl bu cs cr st td bin inst csm strat seed)
+      $ socket_arg $ tcp_arg $ batch $ smoke $ pipeline $ busy $ crash_start
       $ crash_resume $ state $ tolerate_drops $ binary $ instance
       $ catalog_smoke $ strategy_arg $ seed)
   in

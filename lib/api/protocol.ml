@@ -38,6 +38,7 @@ type request =
     }
   | Repl_install of { gen : int; snapshot : string option }
   | Repl_rotate of { gen : int }
+  | Repl_batch of { records : string list }
   | Repl_status
   | Promote
   | Ring_status
@@ -62,6 +63,12 @@ type catalog_stats = {
   evictions : int;
   fingerprints : int;
   derivations : int;
+}
+
+type shard_status = {
+  shard : string;
+  promoted : bool;
+  lag : (int * int) option;  (* replication lag: (records, bytes) *)
 }
 
 type session_stats = {
@@ -102,8 +109,9 @@ type response =
     }
   | Catalog_info of catalog_stats
   | Repl_ok of { gen : int; records : int }
+  | Repl_lag of { records : int; bytes : int }
   | Promoted of { sessions : int; generation : int }
-  | Ring_info of { shards : (string * bool) list; sessions : int }
+  | Ring_info of { shards : shard_status list; sessions : int }
   | Ended
   | Failed of error
 
@@ -374,6 +382,9 @@ let request_to_json = function
           match snapshot with None -> Json.Null | Some s -> Json.String s );
       ]
   | Repl_rotate { gen } -> envelope "req" "repl_rotate" [ ("gen", Json.Int gen) ]
+  | Repl_batch { records } ->
+    envelope "req" "repl_batch"
+      [ ("records", Json.List (List.map (fun r -> Json.String r) records)) ]
   | Repl_status -> envelope "req" "repl_status" []
   | Promote -> envelope "req" "promote" []
   | Ring_status -> envelope "req" "ring_status" []
@@ -442,6 +453,18 @@ let request_of_json v =
     | "repl_rotate" ->
       let* gen = bad (int_field "gen" v) in
       Ok (Repl_rotate { gen })
+    | "repl_batch" ->
+      bad
+        (let* records = Result.bind (Json.field "records" v) Json.as_list in
+         let* records =
+           List.fold_left
+             (fun acc r ->
+               let* acc = acc in
+               let* r = Json.as_string r in
+               Ok (r :: acc))
+             (Ok []) records
+         in
+         Ok (Repl_batch { records = List.rev records }))
     | "repl_status" -> Ok Repl_status
     | "promote" -> Ok Promote
     | "ring_status" -> Ok Ring_status
@@ -597,6 +620,9 @@ let response_to_json = function
   | Repl_ok { gen; records } ->
     envelope "resp" "repl_ok"
       [ ("gen", Json.Int gen); ("records", Json.Int records) ]
+  | Repl_lag { records; bytes } ->
+    envelope "resp" "repl_lag"
+      [ ("records", Json.Int records); ("bytes", Json.Int bytes) ]
   | Promoted { sessions; generation } ->
     envelope "resp" "promoted"
       [ ("sessions", Json.Int sessions); ("generation", Json.Int generation) ]
@@ -606,12 +632,18 @@ let response_to_json = function
         ( "shards",
           Json.List
             (List.map
-               (fun (name, promoted) ->
+               (fun { shard; promoted; lag } ->
                  Json.Obj
-                   [
-                     ("name", Json.String name);
-                     ("promoted", Json.Bool promoted);
-                   ])
+                   (("name", Json.String shard)
+                   :: ("promoted", Json.Bool promoted)
+                   ::
+                   (match lag with
+                   | None -> []
+                   | Some (records, bytes) ->
+                     [
+                       ("lag_records", Json.Int records);
+                       ("lag_bytes", Json.Int bytes);
+                     ])))
                shards) );
         ("sessions", Json.Int sessions);
       ]
@@ -729,6 +761,11 @@ let response_of_json v =
       (let* gen = int_field "gen" v in
        let* records = int_field "records" v in
        Ok (Repl_ok { gen; records }))
+  | "repl_lag" ->
+    bad
+      (let* records = int_field "records" v in
+       let* bytes = int_field "bytes" v in
+       Ok (Repl_lag { records; bytes }))
   | "promoted" ->
     bad
       (let* sessions = int_field "sessions" v in
@@ -743,7 +780,18 @@ let response_of_json v =
              let* acc = acc in
              let* name = string_field "name" s in
              let* promoted = Result.bind (Json.field "promoted" s) Json.as_bool in
-             Ok ((name, promoted) :: acc))
+             (* Lag fields are additive: replies from shards without an
+                attached standby simply omit them. *)
+             let* lag =
+               match (Json.member "lag_records" s, Json.member "lag_bytes" s) with
+               | None, None -> Ok None
+               | Some r, Some b ->
+                 let* r = Json.as_int r in
+                 let* b = Json.as_int b in
+                 Ok (Some (r, b))
+               | _ -> Error "lag_records and lag_bytes must appear together"
+             in
+             Ok ({ shard = name; promoted; lag } :: acc))
            (Ok []) shards
        in
        let* sessions = int_field "sessions" v in

@@ -104,10 +104,22 @@ type request =
           shadow state (deterministic, byte-identical to the primary's)
           and starts a fresh journal for [gen].  Idempotent for the
           current generation.  Reply: {!Repl_ok}. *)
+  | Repl_batch of { records : string list }
+      (** Replication control (primary → standby): a group-commit batch
+          of whole journal records ({!Jim_store.Journal.encode_record}
+          bytes, in append order).  The standby applies the batch
+          atomically — one combined journal append under a single fsync
+          barrier — and replies {!Repl_ok} with the batch's high-water
+          mark, so semi-sync replication costs one round-trip per batch
+          instead of one per record.  Additive v1 extension: a primary
+          only sends it where a single raw record went before. *)
   | Repl_status
       (** Ask a standby for its durable position; replies {!Repl_ok}
           with the generation and the count of group-committed records
-          in it (the durable prefix). *)
+          in it (the durable prefix).  Also answered by a {e primary}
+          with an attached standby, which replies {!Repl_lag} instead —
+          how far its standby trails — so a router can surface
+          batching-induced lag in {!Ring_info}. *)
   | Promote
       (** Turn a standby into a serving shard: close the standby
           journal, run real recovery over the streamed journal (the same
@@ -148,6 +160,15 @@ type catalog_stats = {
       (** full instance derivations (sigclass grouping + round-0
           statuses); [misses >= derivations]: a new source naming
           already-cataloged data fingerprints but does not re-derive *)
+}
+
+type shard_status = {
+  shard : string;  (** ring member name *)
+  promoted : bool;  (** serving on a promoted standby (failed over)? *)
+  lag : (int * int) option;
+      (** replication lag as [(records, bytes)] not yet acknowledged by
+          the shard's standby; [None] when the shard reported no lag
+          information (no standby attached, or an older server) *)
 }
 
 type session_stats = {
@@ -198,15 +219,21 @@ type response =
           position — generation [gen] holds [records] group-committed
           journal records.  Also the ack for each streamed record; the
           primary acks its client only after {e both} its local group
-          commit and this reply. *)
+          commit and this reply.  For a {!Repl_batch} the position is
+          the batch's high-water mark — every record in the batch is
+          durable. *)
+  | Repl_lag of { records : int; bytes : int }
+      (** reply to {!Repl_status} from a replicating {e primary}: how
+          many records (and their encoded bytes) it has accepted but its
+          standby has not yet acknowledged *)
   | Promoted of { sessions : int; generation : int }
       (** reply to {!Promote}: recovery replayed [sessions] live
           sessions from generation [generation] and the node now serves
           the full v1 protocol *)
-  | Ring_info of { shards : (string * bool) list; sessions : int }
-      (** reply to {!Ring_status}: ring members as
-          [(shard name, failed-over?)] plus the number of sessions with
-          a journaled placement *)
+  | Ring_info of { shards : shard_status list; sessions : int }
+      (** reply to {!Ring_status}: ring members with failover state and
+          per-shard replication lag (see {!shard_status}) plus the
+          number of sessions with a journaled placement *)
   | Ended
   | Failed of error
 

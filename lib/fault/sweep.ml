@@ -21,6 +21,7 @@ type spec = {
   strategies : string list;
   sessions : int;
   snapshot_every : int;
+  commit_window : float;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     strategies = [ "lookahead-entropy"; "random" ];
     sessions = 7;
     snapshot_every = 16;
+    commit_window = 0.;
   }
 
 type stats = { events : int; points : int; runs : int; images : int }
@@ -185,8 +187,8 @@ let interrupted = function
   | _ -> false
 
 let open_on ?(fsync = true) env fs =
-  Store.open_dir ~fsync ~snapshot_every:env.spec.snapshot_every
-    ~io:(Memfs.io fs) data_dir
+  Store.open_dir ~fsync ~commit_window:env.spec.commit_window
+    ~snapshot_every:env.spec.snapshot_every ~io:(Memfs.io fs) data_dir
 
 (* Run the workload against [fs]; returns [`Completed] or
    [`Interrupted], with [progress] holding exactly what was acked. *)

@@ -19,6 +19,14 @@ type snapshot = {
   binary_conns : int;  (** connections that negotiated binary framing *)
   bytes_in : int;
   bytes_out : int;
+  writes_coalesced : int;
+      (** responses that rode a flush an earlier response triggered —
+          a flush carrying [n] responses counts [n - 1] here *)
+  flushes : int;  (** response flush attempts (socket write rounds) *)
+  pipelined_depth_max : int;
+      (** high-water mark of concurrently in-flight requests on any one
+          connection — 1 for strictly request/reply clients, up to the
+          server's pipeline bound for pipelining ones *)
 }
 
 val snapshot : unit -> snapshot
@@ -37,3 +45,11 @@ val record_read : int -> unit
 val record_write : int -> unit
 val record_binary : unit -> unit
 val record_request : unit -> unit
+val record_flush : unit -> unit
+
+val record_coalesced : int -> unit
+(** [record_coalesced n] — [n] responses shared a flush with an earlier
+    one ([n = responses in the flush - 1]; no-op for [n <= 0]). *)
+
+val record_depth : int -> unit
+(** Raise the pipelined-depth high-water mark to at least this value. *)

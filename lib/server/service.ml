@@ -519,7 +519,7 @@ let handle t req =
   | P.Catalog_stats -> P.Catalog_info (Catalog.stats t.catalog)
   | P.Start_pinned { session; source; strategy; seed } ->
     start_session ~id:session t source strategy seed
-  | P.Repl_install _ | P.Repl_rotate _ | P.Repl_status ->
+  | P.Repl_install _ | P.Repl_rotate _ | P.Repl_batch _ | P.Repl_status ->
     P.Failed
       (P.Bad_request "replication control message sent to a serving node")
   | P.Promote ->

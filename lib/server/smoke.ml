@@ -172,6 +172,198 @@ let run ?(clients = 32) ?(framing = Wire.Line) ?instance ~address () =
   List.sort (fun a b -> compare a.seed b.seed) !reports
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined drill: one connection carries [pipeline] interleaved
+   sessions, each a little state machine holding at most one in-flight
+   request (a session's next request depends on the previous reply, so
+   per-session ordering is trivially safe) — the connection as a whole
+   keeps up to [pipeline] requests in flight.  The server returns
+   replies in request order, so a FIFO of session indices in send order
+   routes each reply back to its machine.  Every session is held to the
+   same bit-identity bar as [run]. *)
+
+type pipeline_phase =
+  | Awaiting_start
+  | Awaiting_question
+  | Awaiting_answer
+  | Awaiting_result
+  | Awaiting_end
+
+type pipeline_slot = {
+  pseed : int;
+  pstrategy : string;
+  oracle : Oracle.t;
+  expected : Session.outcome;
+  mutable session : int;
+  mutable asked : int;
+  mutable phase : pipeline_phase;
+  mutable outcome : (unit, fail) result option;  (* [None] = still running *)
+}
+
+type pipeline_step =
+  | Next of P.request  (* send this, stay in flight *)
+  | Finished
+  | Failed of fail
+
+let pipeline_slot ~seed ~strategy =
+  let inst = Jim_workloads.Synthetic.generate (params seed) in
+  let oracle = Oracle.of_goal inst.Jim_workloads.Synthetic.goal in
+  let strat =
+    match Strategy.of_string strategy with
+    | Ok s -> s
+    | Error msg -> invalid_arg msg
+  in
+  let expected =
+    Session.run ~seed ~strategy:strat ~oracle
+      inst.Jim_workloads.Synthetic.relation
+  in
+  {
+    pseed = seed;
+    pstrategy = strategy;
+    oracle;
+    expected;
+    session = -1;
+    asked = 0;
+    phase = Awaiting_start;
+    outcome = None;
+  }
+
+let pipeline_step slot line =
+  match P.response_of_string line with
+  | Error e -> Failed (diverged "bad reply: %s" (P.error_to_string e))
+  | Ok (P.Failed e) -> Failed (diverged "%s" (P.error_to_string e))
+  | Ok resp -> (
+    match (slot.phase, resp) with
+    | Awaiting_start, P.Started { session; _ } ->
+      slot.session <- session;
+      slot.phase <- Awaiting_question;
+      Next (P.Get_question { session })
+    | Awaiting_question, P.Question (Some { P.cls; sg; _ }) ->
+      let label = Oracle.label slot.oracle sg in
+      slot.phase <- Awaiting_answer;
+      Next (P.Answer { session = slot.session; cls; label })
+    | Awaiting_question, P.Question None ->
+      slot.phase <- Awaiting_result;
+      Next (P.Result { session = slot.session })
+    | Awaiting_answer, P.Answered _ ->
+      slot.asked <- slot.asked + 1;
+      slot.phase <- Awaiting_question;
+      Next (P.Get_question { session = slot.session })
+    | Awaiting_result, P.Outcome got ->
+      if outcome_equal slot.expected got then begin
+        slot.phase <- Awaiting_end;
+        Next (P.End_session { session = slot.session })
+      end
+      else
+        Failed
+          (diverged
+             "outcome differs from local Session.run: wire %s/%d, local %s/%d"
+             (Jim_partition.Partition.to_string got.Session.query)
+             got.Session.interactions
+             (Jim_partition.Partition.to_string slot.expected.Session.query)
+             slot.expected.Session.interactions)
+    | Awaiting_end, P.Ended -> Finished
+    | _, other -> (
+      match
+        unexpected
+          (match slot.phase with
+          | Awaiting_start -> "Start_session"
+          | Awaiting_question -> "Get_question"
+          | Awaiting_answer -> "Answer"
+          | Awaiting_result -> "Result"
+          | Awaiting_end -> "End_session")
+          other
+      with
+      | Error e -> Failed e
+      | Ok _ -> assert false))
+
+let drive_pipelined conn slots =
+  let fifo = Queue.create () in
+  let send idx req =
+    match Wire.send_line ~flush:false conn (P.request_to_string req) with
+    | Ok () -> Queue.push idx fifo
+    | Error msg ->
+      slots.(idx).outcome <- Some (Error { transport = true; msg })
+  in
+  Array.iteri
+    (fun i s ->
+      send i
+        (P.Start_session
+           {
+             source = synthetic_source (params s.pseed);
+             strategy = s.pstrategy;
+             seed = s.pseed;
+           }))
+    slots;
+  let rec loop () =
+    if not (Queue.is_empty fifo) then begin
+      match Wire.recv_line conn with
+      | Error msg ->
+        (* transport death takes every in-flight session with it *)
+        Queue.iter
+          (fun i ->
+            if slots.(i).outcome = None then
+              slots.(i).outcome <- Some (Error { transport = true; msg }))
+          fifo;
+        Queue.clear fifo
+      | Ok line ->
+        let i = Queue.pop fifo in
+        let s = slots.(i) in
+        (match pipeline_step s line with
+        | Next req -> send i req
+        | Finished -> s.outcome <- Some (Ok ())
+        | Failed e -> s.outcome <- Some (Error e));
+        loop ()
+    end
+  in
+  loop ()
+
+let run_pipelined ?(clients = 4) ?(pipeline = 8) ?(framing = Wire.Line)
+    ~address () =
+  let reports = ref [] in
+  let lock = Mutex.create () in
+  let one ci =
+    let slots =
+      Array.init pipeline (fun k ->
+          let seed = 700 + (ci * pipeline) + k in
+          pipeline_slot ~seed ~strategy:(strategy_for k))
+    in
+    (match Wire.connect ~retries:50 ~framing address with
+    | Error msg ->
+      Array.iter
+        (fun s ->
+          s.outcome <- Some (Error { transport = true; msg = "connect: " ^ msg }))
+        slots
+    | Ok conn ->
+      (try drive_pipelined conn slots
+       with exn ->
+         Array.iter
+           (fun s ->
+             if s.outcome = None then
+               s.outcome <- Some (Error (diverged "%s" (Printexc.to_string exn))))
+           slots);
+      Wire.close conn);
+    Array.to_list
+      (Array.map
+         (fun s ->
+           report ~seed:s.pseed ~strategy:s.pstrategy ~questions:s.asked
+             (Option.value s.outcome
+                ~default:(Error (diverged "session never completed"))))
+         slots)
+  in
+  let spawn ci =
+    Thread.create
+      (fun () ->
+        let rs = one ci in
+        Mutex.lock lock;
+        reports := rs @ !reports;
+        Mutex.unlock lock)
+      ()
+  in
+  let threads = List.init clients spawn in
+  List.iter Thread.join threads;
+  List.sort (fun a b -> compare a.seed b.seed) !reports
+
+(* ------------------------------------------------------------------ *)
 (* Catalog drill: register once, start every client by fingerprint, and
    hold each session to the same bit-identity bar as [run] — plus the
    server's catalog counters for the caller to assert on (hits > 0,

@@ -48,6 +48,24 @@ val run :
     clients share one instance (one catalog entry) instead of each
     generating their own. *)
 
+val run_pipelined :
+  ?clients:int ->
+  ?pipeline:int ->
+  ?framing:Wire.framing ->
+  address:Wire.address ->
+  unit ->
+  client_report list
+(** The pipelined drill behind [jim client --smoke --pipeline K]:
+    [clients] (default 4) connections, each multiplexing [pipeline]
+    (default 8) interleaved sessions — one in-flight request per
+    session, so per-session ordering is trivially preserved, while the
+    connection keeps up to [pipeline] requests in flight for the
+    server's reorder-buffered pipeline to chew on.  Replies come back
+    in request order; a FIFO of session indices routes each to its
+    session's state machine.  Every session is held to the same
+    bit-identity bar as {!run}.  Returns [clients * pipeline] reports,
+    sorted by seed. *)
+
 val catalog_smoke :
   ?clients:int ->
   ?instance:int ->

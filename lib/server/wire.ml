@@ -154,10 +154,17 @@ type config = {
   backlog : int;
   drain_timeout : float;
   sweep_interval : float;
+  max_pipeline : int;
 }
 
 let default_config =
-  { threads = 16; backlog = 64; drain_timeout = 2.0; sweep_interval = 30.0 }
+  {
+    threads = 16;
+    backlog = 64;
+    drain_timeout = 2.0;
+    sweep_interval = 30.0;
+    max_pipeline = 8;
+  }
 
 type conn = {
   fd : Unix.file_descr;
@@ -170,7 +177,15 @@ type conn = {
   rbuf : Bq.t;
   wbuf : Bq.t;
   pending : string Queue.t;  (* parsed payloads not yet dispatched *)
-  mutable in_flight : bool;  (* a worker holds this conn's next reply *)
+  mutable in_flight : int;
+      (* requests handed to workers whose replies have not been emitted
+         yet — bounded by the server's pipeline depth *)
+  mutable next_seq : int;  (* per-conn sequence stamped on dispatch *)
+  mutable next_reply : int;  (* next sequence to emit (request order) *)
+  replies : (int, string) Hashtbl.t;
+      (* completed replies waiting for an earlier sequence to finish —
+         the reorder buffer that keeps responses in request order even
+         when workers finish out of order *)
   mutable rd_closed : bool;  (* peer EOF seen; flush replies, then close *)
   mutable want_out : bool;   (* registered for writability *)
   mutable dead : bool;
@@ -183,12 +198,13 @@ type server = {
          [Service.handle_line_status], but the shard router and the
          replication standby plug their own in *)
   drain_timeout : float;
+  max_pipeline : int;  (* in-flight requests allowed per connection *)
   listen_fd : Unix.file_descr;
   bound : address;
-  jobs : (int * string) Queue.t;  (* token, request payload *)
+  jobs : (int * int * string) Queue.t;  (* token, seq, request payload *)
   jlock : Mutex.t;
   jcond : Condition.t;
-  completions : (int * string) Queue.t;  (* token, response payload *)
+  completions : (int * int * string) Queue.t;  (* token, seq, response *)
   clock : Mutex.t;
   mutable stopping : bool;
   mutable pool : Thread.t list;
@@ -220,11 +236,11 @@ let worker srv =
     Mutex.unlock srv.jlock;
     match job with
     | None -> ()
-    | Some (token, payload) ->
+    | Some (token, seq, payload) ->
       let resp, parsed = srv.handler payload in
       if not parsed then Netstats.record_malformed ();
       Mutex.lock srv.clock;
-      Queue.push (token, resp) srv.completions;
+      Queue.push (token, seq, resp) srv.completions;
       Mutex.unlock srv.clock;
       wake srv;
       next ()
@@ -252,7 +268,7 @@ let event_loop srv =
   in
   let maybe_close conn =
     if
-      (not conn.dead) && conn.rd_closed && (not conn.in_flight)
+      (not conn.dead) && conn.rd_closed && conn.in_flight = 0
       && Queue.is_empty conn.pending
       && Bq.is_empty conn.wbuf
     then close_conn conn
@@ -281,26 +297,52 @@ let event_loop srv =
       maybe_close conn
     end
   in
+  (* Hand up to [max_pipeline] parsed requests to the workers at once.
+     Each carries the connection's sequence number, so replies can be
+     reassembled into request order no matter which worker finishes
+     first. *)
   let dispatch conn =
-    if (not conn.dead) && (not conn.in_flight)
-       && not (Queue.is_empty conn.pending)
-    then begin
+    let burst = ref 0 in
+    while
+      (not conn.dead)
+      && conn.in_flight < srv.max_pipeline
+      && not (Queue.is_empty conn.pending)
+    do
       let payload = Queue.pop conn.pending in
-      conn.in_flight <- true;
+      let seq = conn.next_seq in
+      conn.next_seq <- seq + 1;
+      conn.in_flight <- conn.in_flight + 1;
       Netstats.record_request ();
+      Netstats.record_depth conn.in_flight;
       Mutex.lock srv.jlock;
-      Queue.push (conn.token, payload) srv.jobs;
-      Condition.signal srv.jcond;
+      Queue.push (conn.token, seq, payload) srv.jobs;
+      Mutex.unlock srv.jlock;
+      incr burst
+    done;
+    if !burst > 0 then begin
+      (* One signal per queued job, not a broadcast: a pipelined burst
+         needs exactly [burst] workers, and waking the whole (possibly
+         much larger) idle pool for every burst is a thundering herd
+         that costs more than the requests themselves under load.  A
+         signal landing on an already-running worker is harmless — any
+         awake worker drains the queue before sleeping. *)
+      Mutex.lock srv.jlock;
+      for _ = 1 to !burst do
+        Condition.signal srv.jcond
+      done;
       Mutex.unlock srv.jlock
     end
   in
-  let enqueue_response conn payload =
-    (match conn.mode with
+  (* Append a response to the connection's write buffer without
+     flushing: completions are buffered per event-loop round and
+     flushed once per touched connection, so replies that complete
+     together leave in one write. *)
+  let buffer_response conn payload =
+    match conn.mode with
     | Line ->
       Bq.add_string conn.wbuf payload;
       Bq.add_string conn.wbuf "\n"
-    | Binary -> Bq.add_frame conn.wbuf payload);
-    try_write conn
+    | Binary -> Bq.add_frame conn.wbuf payload
   in
   (* Extract every complete request sitting in the read buffer.  The
      handshake line is only honoured before any request is in flight —
@@ -321,7 +363,7 @@ let event_loop srv =
           if line = "" then ()
           else if
             line = Frame.handshake_request
-            && (not conn.in_flight)
+            && conn.in_flight = 0
             && Queue.is_empty conn.pending
           then begin
             conn.mode <- Binary;
@@ -398,7 +440,10 @@ let event_loop srv =
           rbuf = Bq.create 4096;
           wbuf = Bq.create 4096;
           pending = Queue.create ();
-          in_flight = false;
+          in_flight = 0;
+          next_seq = 0;
+          next_reply = 0;
+          replies = Hashtbl.create 4;
           rd_closed = false;
           want_out = false;
           dead = false;
@@ -426,29 +471,61 @@ let event_loop srv =
     in
     go ()
   in
+  (* Drain the completion queue in one go: buffer every reply (in
+     request order, via the per-conn reorder buffer), refill each
+     connection's worker pipeline, then flush each touched connection
+     once — replies that completed in the same round leave in one
+     socket write. *)
   let handle_completions () =
     Mutex.lock srv.clock;
     let batch = Queue.create () in
     Queue.transfer srv.completions batch;
     Mutex.unlock srv.clock;
+    let touched : (int, conn * int ref) Hashtbl.t = Hashtbl.create 8 in
     Queue.iter
-      (fun (token, resp) ->
+      (fun (token, seq, resp) ->
         match Hashtbl.find_opt conns token with
         | None -> ()  (* connection died while the worker was busy *)
         | Some conn ->
-          conn.in_flight <- false;
-          enqueue_response conn resp;
-          if not conn.dead then begin
-            dispatch conn;
-            maybe_close conn
-          end)
-      batch
+          conn.in_flight <- conn.in_flight - 1;
+          Hashtbl.replace conn.replies seq resp;
+          let emitted =
+            match Hashtbl.find_opt touched token with
+            | Some (_, e) -> e
+            | None ->
+              let e = ref 0 in
+              Hashtbl.replace touched token (conn, e);
+              e
+          in
+          let rec emit () =
+            match Hashtbl.find_opt conn.replies conn.next_reply with
+            | None -> ()
+            | Some r ->
+              Hashtbl.remove conn.replies conn.next_reply;
+              conn.next_reply <- conn.next_reply + 1;
+              buffer_response conn r;
+              incr emitted;
+              emit ()
+          in
+          emit ();
+          if not conn.dead then dispatch conn)
+      batch;
+    Hashtbl.iter
+      (fun _ (conn, emitted) ->
+        if (not conn.dead) && !emitted > 0 then begin
+          Netstats.record_flush ();
+          Netstats.record_coalesced (!emitted - 1);
+          try_write conn
+        end
+        else if not conn.dead then maybe_close conn)
+      touched
   in
   (* After [stopping] flips, linger briefly so replies already being
      computed still go out — the contract is that in-flight requests
      finish; idle connections are simply dropped. *)
   let draining () =
-    Hashtbl.fold (fun _ c acc -> acc || c.in_flight || not (Bq.is_empty c.wbuf))
+    Hashtbl.fold
+      (fun _ c acc -> acc || c.in_flight > 0 || not (Bq.is_empty c.wbuf))
       conns false
   in
   let deadline = ref None in
@@ -540,6 +617,7 @@ let serve_handler ?(config = default_config) ?sweep handler addr =
     {
       handler;
       drain_timeout = config.drain_timeout;
+      max_pipeline = max 1 config.max_pipeline;
       listen_fd = fd;
       bound;
       jobs = Queue.create ();
@@ -574,7 +652,14 @@ let serve ?(threads = 16) ?(backlog = 64)
     Float.min (Float.max 0.5 (Service.idle_ttl service /. 4.)) 30.
   in
   serve_handler
-    ~config:{ threads; backlog; drain_timeout; sweep_interval }
+    ~config:
+      {
+        threads;
+        backlog;
+        drain_timeout;
+        sweep_interval;
+        max_pipeline = default_config.max_pipeline;
+      }
     ~sweep:(fun () -> Service.sweep service)
     (Service.handle_line_status service)
     addr
@@ -667,17 +752,20 @@ let connect ?(retries = 0) ?(framing = Line) addr =
   in
   attempt 0
 
-let call_line c line =
+(* Sending and receiving are split so a pipelining client can keep
+   several requests in flight on one connection: send K, then match the
+   K in-order replies back.  [call_line] composes them for the classic
+   one-at-a-time exchange. *)
+
+let send_line ?(flush = true) c line =
   match c.framing with
   | Line -> (
     match
       output_string c.oc line;
       output_char c.oc '\n';
-      flush c.oc;
-      input_line c.ic
+      if flush then Stdlib.flush c.oc
     with
-    | reply -> Ok reply
-    | exception End_of_file -> Error "server closed the connection"
+    | () -> Ok ()
     | exception Sys_error msg -> Error msg
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
   | Binary -> (
@@ -689,6 +777,26 @@ let call_line c line =
       output_char c.oc (Char.chr ((n lsr 16) land 0xff));
       output_char c.oc (Char.chr ((n lsr 24) land 0xff));
       output_string c.oc line;
+      if flush then Stdlib.flush c.oc
+    with
+    | () -> Ok ()
+    | exception Failure msg -> Error msg
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let recv_line c =
+  match c.framing with
+  | Line -> (
+    match
+      flush c.oc;
+      input_line c.ic
+    with
+    | reply -> Ok reply
+    | exception End_of_file -> Error "server closed the connection"
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  | Binary -> (
+    match
       flush c.oc;
       let hdr = really_input_string c.ic Frame.header_size in
       let len =
@@ -706,6 +814,9 @@ let call_line c line =
     | exception Failure msg -> Error msg
     | exception Sys_error msg -> Error msg
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let call_line c line =
+  match send_line c line with Error _ as e -> e | Ok () -> recv_line c
 
 let call c req =
   match call_line c (P.request_to_string req) with

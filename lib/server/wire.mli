@@ -63,11 +63,22 @@ type config = {
   sweep_interval : float;
       (** housekeeping thread period, seconds (only used when a sweep
           function is given) *)
+  max_pipeline : int;
+      (** requests a single connection may have in flight at once
+          (clamped to at least 1).  Replies always leave in request
+          order — workers may finish out of order, a per-connection
+          reorder buffer fixes it — so a strictly request/reply client
+          sees no change, while a pipelining client (see {!send_line} /
+          {!recv_line}) overlaps up to this many requests.  Requests
+          pipelined on one connection may {e execute} concurrently, so a
+          client multiplexing sessions must keep at most one in-flight
+          request per session (exactly what [jim client --pipeline]
+          does). *)
 }
 
 val default_config : config
 (** [{threads = 16; backlog = 64; drain_timeout = 2.0;
-     sweep_interval = 30.0}] *)
+     sweep_interval = 30.0; max_pipeline = 8}] *)
 
 val serve_handler :
   ?config:config -> ?sweep:(unit -> int) -> (string -> string * bool) ->
@@ -126,7 +137,20 @@ val set_timeout : client -> float -> unit
 
 val call_line : client -> string -> (string, string) result
 (** Send one request payload, read one response payload back — framed
-    per the connection's negotiated framing. *)
+    per the connection's negotiated framing.  Equivalent to {!send_line}
+    followed by {!recv_line}. *)
+
+val send_line : ?flush:bool -> client -> string -> (unit, string) result
+(** Send one request payload without waiting for the reply — the
+    sending half of a pipelined exchange.  [flush] (default [true])
+    false buffers the payload so a burst of sends leaves in one
+    segment; {!recv_line} flushes before reading, so a buffered send
+    can never deadlock a waiting client. *)
+
+val recv_line : client -> (string, string) result
+(** Read the next response payload.  The server delivers replies in
+    request order, so the [k]-th [recv_line] answers the [k]-th
+    {!send_line}. *)
 
 val call :
   client -> Jim_api.Protocol.request ->

@@ -188,6 +188,10 @@ let handle_line node payload =
           match Standby.rotate node.stb ~gen with
           | Ok () -> (repl_ok node, true)
           | Error msg -> (fail (P.Bad_request msg), true))
+        | None, P.Repl_batch { records } -> (
+          match Standby.apply_batch node.stb records with
+          | Ok (gen, records) -> (reply (P.Repl_ok { gen; records }), true)
+          | Error msg -> (fail (P.Bad_request msg), true))
         | None, P.Repl_status -> (repl_ok node, true)
         | None, P.Promote -> (
           match do_promote node with
@@ -215,8 +219,10 @@ let service node =
 (* Wire replication target                                             *)
 
 (* The sending half a primary uses against a remote standby: the same
-   [Repl.target] closures, carried by protocol messages and raw JREC
-   frames over one pooled connection. *)
+   [Repl.target] closures, carried by protocol messages over one pooled
+   connection.  Group-commit batches travel as a single [Repl_batch]
+   message — one round-trip per batch, acked at the batch's high-water
+   mark. *)
 let wire_target ~name addr =
   let p = pool addr in
   let request req =
@@ -237,15 +243,6 @@ let wire_target ~name addr =
         Result.map (fun _ -> ()) (request (P.Repl_install { gen; snapshot })));
     rotate =
       (fun ~gen -> Result.map (fun _ -> ()) (request (P.Repl_rotate { gen })));
-    append =
-      (fun record ->
-        match pool_call p record with
-        | Error e -> Error e
-        | Ok resp -> (
-          match P.response_of_string resp with
-          | Ok (P.Repl_ok { gen; records }) -> Ok (gen, records)
-          | Ok (P.Failed e) -> Error (P.error_to_string e)
-          | Ok _ -> Error "unexpected replication reply"
-          | Error e -> Error ("unparseable replication reply: " ^ P.error_to_string e)));
+    append_batch = (fun records -> request (P.Repl_batch { records }));
     close = (fun () -> pool_close p);
   }

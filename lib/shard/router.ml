@@ -432,11 +432,13 @@ let handle_ring_status t =
   let sessions = Hashtbl.length t.placements in
   let members = Ring.members t.ring in
   Mutex.unlock t.lock;
+  let status_line = P.request_to_string P.Repl_status in
   let shards =
     List.map
       (fun m ->
+        let up = Hashtbl.find_opt t.shards m in
         let promoted =
-          match Hashtbl.find_opt t.shards m with
+          match up with
           | Some up ->
             Mutex.lock up.ulock;
             let p = up.promoted in
@@ -444,7 +446,24 @@ let handle_ring_status t =
             p
           | None -> false
         in
-        (m, promoted))
+        (* Replication lag is best-effort observability: a shard with an
+           attached standby answers [Repl_status] with [Repl_lag]; one
+           without (or an unreachable one) contributes no lag fields.
+           Plain [call_of], not [forward]: a failed status probe must
+           never promote a standby. *)
+        let lag =
+          match up with
+          | None -> None
+          | Some up -> (
+            let c, _ = call_of up in
+            match c status_line with
+            | Ok resp -> (
+              match P.response_of_string resp with
+              | Ok (P.Repl_lag { records; bytes }) -> Some (records, bytes)
+              | _ -> None)
+            | Error _ -> None)
+        in
+        { P.shard = m; promoted; lag })
       members
   in
   P.response_to_string (P.Ring_info { shards; sessions })
@@ -457,7 +476,8 @@ let route t line = function
   | P.Register_instance { source } -> handle_register t source line
   | P.Catalog_stats -> handle_catalog_stats t line
   | P.Ring_status -> handle_ring_status t
-  | P.Repl_install _ | P.Repl_rotate _ | P.Repl_status | P.Promote ->
+  | P.Repl_install _ | P.Repl_rotate _ | P.Repl_batch _ | P.Repl_status
+  | P.Promote ->
     fail (P.Bad_request "replication control messages bypass the router")
   | P.Get_question { session }
   | P.Top_questions { session; _ }

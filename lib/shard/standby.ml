@@ -134,6 +134,36 @@ let apply t record =
         | exception e ->
           Error ("standby append failed: " ^ Printexc.to_string e)))
 
+(* A whole group-commit batch at once.  Decode every record before
+   touching anything — a malformed record rejects the batch with no
+   side effects — then land all payloads as one combined journal append
+   under a single fsync barrier and fold them through the shadow.  The
+   returned position is the batch's high-water mark: every record in it
+   is durable when the ack leaves. *)
+let apply_batch t records =
+  let* decoded =
+    List.fold_left
+      (fun acc record ->
+        let* rev = acc in
+        let* payload = Journal.decode_record record in
+        let* ev = Event.of_string payload in
+        Ok ((payload, ev) :: rev))
+      (Ok []) records
+    |> Result.map List.rev
+  in
+  locked t (fun () ->
+      match t.journal with
+      | None -> Error "standby: no generation installed"
+      | Some j -> (
+        match Journal.append_many j (List.map fst decoded) with
+        | () ->
+          List.iter (fun (_, ev) -> Shadow.apply t.shadow ev) decoded;
+          t.records <- t.records + List.length decoded;
+          Hashtbl.replace t.durable t.gen t.records;
+          Ok (t.gen, t.records)
+        | exception e ->
+          Error ("standby batch append failed: " ^ Printexc.to_string e)))
+
 (* The primary checkpointed: write our own snapshot for the new
    generation from the shadow (byte-identical to the primary's — both
    are Snapshot.to_string of the same folded state), start a fresh

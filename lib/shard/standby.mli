@@ -38,6 +38,16 @@ val apply : t -> string -> (int * int, string) result
     local append failure — the primary treats any of these as a broken
     stream (the in-flight event is {e not} acknowledged upstream). *)
 
+val apply_batch : t -> string list -> (int * int, string) result
+(** [apply_batch t records] lands one group-commit batch atomically:
+    every record is decoded and validated first (a malformed record
+    rejects the whole batch with no side effects), then all payloads
+    are appended as one combined journal write under a single fsync
+    barrier and folded through the shadow.  Returns the batch's
+    high-water [(generation, durable record count)] — the position a
+    {!Jim_api.Protocol.Repl_batch} ack carries.  [apply_batch t [r]]
+    is equivalent to [apply t r]; the empty batch is a durable no-op. *)
+
 val rotate : t -> gen:int -> (unit, string) result
 (** Idempotent: rotating to the current generation is a no-op. *)
 

@@ -4,20 +4,44 @@ let record_magic = "JREC"
 let record_version = '\001'
 let record_header_size = 4 + 1 + 4 + 4
 
+type batch_stats = {
+  batches : int;
+  records : int;
+  max_batch : int;
+  by_size : int array;
+}
+
 type t = {
   file : Io.file;
   fsync : bool;
+  window : float;
+      (* commit-window dally, seconds; [> 0] switches appends to the
+         staged (combined-write) group commit below *)
+  window_bytes : int;  (* byte budget: stop dallying once staged past it *)
   lock : Mutex.t;
   cond : Condition.t;
   mutable written : int;  (* bytes handed to [write] so far *)
   mutable synced : int;  (* bytes known covered by an fsync *)
-  mutable syncing : bool;  (* a leader's fsync is in flight *)
+  mutable staged : int;  (* logical end: [written] plus pending bytes *)
+  pending : Buffer.t;
+      (* records staged but not yet written (windowed mode only); the
+         leader drains the whole buffer as one combined [write] *)
+  mutable pending_records : int;  (* records inside [pending] *)
+  mutable waiters : int;  (* appenders parked on the fsync barrier *)
+  mutable syncing : bool;  (* a leader's write+fsync is in flight *)
   mutable failed : bool;  (* poisoned by a write/fsync failure *)
   mutable closed : bool;
   mutable scratch : Bytes.t;
       (* record assembly buffer, reused across appends; only touched
-         under [lock] and only before the bytes reach [write], so a
-         leader releasing the lock for its fsync cannot race it *)
+         under [lock] and only before the bytes reach [write] or
+         [pending], so a leader releasing the lock for its fsync cannot
+         race it *)
+  mutable batches : int;  (* combined appends drained *)
+  mutable batched_records : int;  (* records those batches carried *)
+  mutable max_batch : int;  (* largest batch, in records *)
+  by_size : int array;
+      (* batch size histogram: bucket [i] counts batches of
+         [2^i .. 2^(i+1) - 1] records, last bucket open-ended *)
 }
 
 exception Poisoned
@@ -47,27 +71,44 @@ let write_all (file : Io.file) buf off len =
   let rec go off = if off < stop then go (off + file.Io.write buf off (stop - off)) in
   go off
 
-let of_file ~fsync ~written file =
+let of_file ~fsync ~window ~window_bytes ~written file =
   {
     file;
     fsync;
+    window;
+    window_bytes;
     lock = Mutex.create ();
     cond = Condition.create ();
     written;
     synced = written;
+    staged = written;
+    pending = Buffer.create 4096;
+    pending_records = 0;
+    waiters = 0;
     syncing = false;
     failed = false;
     closed = false;
     scratch = Bytes.create 512;
+    batches = 0;
+    batched_records = 0;
+    max_batch = 0;
+    by_size = Array.make 8 0;
   }
 
-let create ?(fsync = true) ?(io = Io.real) path =
+(* Staged (combined-write) appends only make sense when a durability
+   barrier exists to amortise: without fsync there is nothing to wait
+   for, so records go straight to [write] as before. *)
+let windowed t = t.fsync && t.window > 0.
+
+let create ?(fsync = true) ?(window = 0.) ?(window_bytes = 256 * 1024)
+    ?(io = Io.real) path =
   let file = io.Io.create path in
   write_all file (Bytes.of_string file_magic) 0 header_size;
   if fsync then file.Io.fsync ();
-  of_file ~fsync ~written:header_size file
+  of_file ~fsync ~window ~window_bytes ~written:header_size file
 
-let open_append ?(fsync = true) ?(io = Io.real) path =
+let open_append ?(fsync = true) ?(window = 0.) ?(window_bytes = 256 * 1024)
+    ?(io = Io.real) path =
   (* Validate the header before taking an append handle; [Recovery.load]
      has normally just scanned the file, so this re-read is cheap and
      only happens at startup. *)
@@ -81,7 +122,7 @@ let open_append ?(fsync = true) ?(io = Io.real) path =
     else (
       match io.Io.open_append path with
       | Error m -> Error (Printf.sprintf "%s: %s" path m)
-      | Ok (file, size) -> Ok (of_file ~fsync ~written:size file))
+      | Ok (file, size) -> Ok (of_file ~fsync ~window ~window_bytes ~written:size file))
 
 (* Assemble the record into [t.scratch] (growing it if the payload needs
    more room); returns the record's total length.  Caller holds the
@@ -102,11 +143,35 @@ let record_into t payload =
   Bytes.blit_string payload 0 buf record_header_size plen;
   total
 
-(* Group commit: write under the lock, then wait until some leader's
-   fsync barrier covers our bytes.  The first waiter whose bytes are not
-   yet durable becomes the leader, releases the lock for the (slow)
-   fsync, and broadcasts the new high-water mark; appenders that wrote
-   while the leader was syncing ride the next round.
+let note_batch t n =
+  t.batches <- t.batches + 1;
+  t.batched_records <- t.batched_records + n;
+  if n > t.max_batch then t.max_batch <- n;
+  let last = Array.length t.by_size - 1 in
+  let rec bucket i n = if n <= 1 || i >= last then i else bucket (i + 1) (n / 2) in
+  let b = bucket 0 n in
+  t.by_size.(b) <- t.by_size.(b) + 1
+
+let batch_stats t =
+  Mutex.lock t.lock;
+  let s : batch_stats =
+    {
+      batches = t.batches;
+      records = t.batched_records;
+      max_batch = t.max_batch;
+      by_size = Array.copy t.by_size;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* Group commit, immediate-write flavour: the record is already on file;
+   wait until some leader's fsync barrier covers [ticket].  The first
+   waiter whose bytes are not yet durable becomes the leader, releases
+   the lock for the (slow) fsync, and broadcasts the new high-water
+   mark; appenders that wrote while the leader was syncing ride the next
+   round.  Caller holds the lock; returns with it held (released on
+   raise).
 
    Poisoning: a failed or short write can leave a partial record
    mid-file, and a failed fsync leaves the kernel free to have dropped
@@ -116,16 +181,107 @@ let record_into t payload =
    and every later append raises {!Poisoned}, so the damage stays
    confined to the (unacknowledged) tail where recovery can cut it,
    instead of becoming mid-log corruption under acknowledged records. *)
-let append t payload =
-  Mutex.lock t.lock;
-  if t.closed then begin
-    Mutex.unlock t.lock;
-    invalid_arg "Journal.append: closed"
-  end;
-  if t.failed then begin
+let rec await_immediate t ticket =
+  if t.synced < ticket then begin
+    if t.failed then begin
+      Mutex.unlock t.lock;
+      raise Poisoned
+    end;
+    if t.syncing then begin
+      Condition.wait t.cond t.lock;
+      await_immediate t ticket
+    end
+    else begin
+      t.syncing <- true;
+      let barrier = t.written in
+      Mutex.unlock t.lock;
+      let result = try Ok (t.file.Io.fsync ()) with exn -> Error exn in
+      Mutex.lock t.lock;
+      (* Reset + broadcast even on failure, or every waiting appender
+         blocks forever on a leader that will never report back. *)
+      t.syncing <- false;
+      (match result with
+      | Ok () -> t.synced <- max t.synced barrier
+      | Error _ -> t.failed <- true);
+      Condition.broadcast t.cond;
+      match result with
+      | Ok () -> await_immediate t ticket
+      | Error exn ->
+        Mutex.unlock t.lock;
+        raise exn
+    end
+  end
+
+(* Group commit, staged (commit-window) flavour: records accumulate in
+   [t.pending] and the leader drains the whole buffer as one combined
+   [write] followed by one fsync — a crash can tear only the tail of
+   that single write, so recovery still sees a clean prefix of whole
+   records plus at most one partial batch, all of it unacknowledged.
+
+   The adaptive part: a leader that sees other appenders in flight
+   dallies for the commit window before draining, letting their records
+   join its batch; an uncontended leader (or one already past the byte
+   budget) drains immediately, so a single client never pays the window
+   as latency.  Caller holds the lock with [t.waiters] counting it;
+   returns with the lock held and the count dropped (ditto on raise). *)
+let rec await_windowed t ticket =
+  if t.synced >= ticket then t.waiters <- t.waiters - 1
+  else if t.failed then begin
+    t.waiters <- t.waiters - 1;
     Mutex.unlock t.lock;
     raise Poisoned
-  end;
+  end
+  else if t.syncing then begin
+    Condition.wait t.cond t.lock;
+    await_windowed t ticket
+  end
+  else begin
+    t.syncing <- true;
+    if t.waiters > 1 && Buffer.length t.pending < t.window_bytes then begin
+      Mutex.unlock t.lock;
+      Thread.delay t.window;
+      Mutex.lock t.lock
+    end;
+    let batch = Buffer.to_bytes t.pending in
+    let nrec = t.pending_records in
+    Buffer.clear t.pending;
+    t.pending_records <- 0;
+    let barrier = t.staged in
+    Mutex.unlock t.lock;
+    let result =
+      try
+        write_all t.file batch 0 (Bytes.length batch);
+        t.file.Io.fsync ();
+        Ok ()
+      with exn -> Error exn
+    in
+    Mutex.lock t.lock;
+    t.syncing <- false;
+    (match result with
+    | Ok () ->
+      t.written <- barrier;
+      t.synced <- max t.synced barrier;
+      if nrec > 0 then note_batch t nrec
+    | Error _ -> t.failed <- true);
+    Condition.broadcast t.cond;
+    match result with
+    | Ok () -> await_windowed t ticket
+    | Error exn ->
+      t.waiters <- t.waiters - 1;
+      Mutex.unlock t.lock;
+      raise exn
+  end
+
+(* Caller holds the lock.  Stage one record into [t.pending]. *)
+let stage t payload =
+  let total = record_into t payload in
+  Buffer.add_subbytes t.pending t.scratch 0 total;
+  t.staged <- t.staged + total;
+  t.pending_records <- t.pending_records + 1
+
+(* Caller holds the lock.  Write one record straight to the file,
+   poisoning on failure (the lock is released before re-raising). *)
+let write_immediate t payload =
   let total = record_into t payload in
   (match write_all t.file t.scratch 0 total with
   | () -> ()
@@ -135,36 +291,91 @@ let append t payload =
     Mutex.unlock t.lock;
     raise exn);
   t.written <- t.written + total;
-  let ticket = t.written in
-  if not t.fsync then Mutex.unlock t.lock
-  else begin
-    while t.synced < ticket do
-      if t.failed then begin
-        Mutex.unlock t.lock;
-        raise Poisoned
-      end;
-      if t.syncing then Condition.wait t.cond t.lock
-      else begin
-        t.syncing <- true;
-        let barrier = t.written in
-        Mutex.unlock t.lock;
-        let result = try Ok (t.file.Io.fsync ()) with exn -> Error exn in
-        Mutex.lock t.lock;
-        (* Reset + broadcast even on failure, or every waiting appender
-           blocks forever on a leader that will never report back. *)
-        t.syncing <- false;
-        (match result with
-        | Ok () -> t.synced <- max t.synced barrier
-        | Error _ -> t.failed <- true);
-        Condition.broadcast t.cond;
-        match result with
-        | Ok () -> ()
-        | Error exn ->
-          Mutex.unlock t.lock;
-          raise exn
-      end
-    done;
+  t.staged <- t.written
+
+let check_open t ~op =
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg (op ^ ": closed")
+  end;
+  if t.failed then begin
+    Mutex.unlock t.lock;
+    raise Poisoned
+  end
+
+let append t payload =
+  Mutex.lock t.lock;
+  check_open t ~op:"Journal.append";
+  if windowed t then begin
+    stage t payload;
+    let ticket = t.staged in
+    t.waiters <- t.waiters + 1;
+    await_windowed t ticket;
     Mutex.unlock t.lock
+  end
+  else begin
+    write_immediate t payload;
+    let ticket = t.written in
+    if t.fsync then await_immediate t ticket;
+    Mutex.unlock t.lock
+  end
+
+(* Append a batch under one barrier: all records become durable together
+   and the call returns after a single fsync covers the lot.  Even
+   without a commit window the records go down as one combined [write],
+   so the torn-tail story is the same as a windowed batch — this is what
+   a replication standby uses to apply a [Repl_batch] atomically. *)
+let append_many t payloads =
+  match payloads with
+  | [] -> ()
+  | payloads ->
+    Mutex.lock t.lock;
+    check_open t ~op:"Journal.append_many";
+    if windowed t then begin
+      List.iter (stage t) payloads;
+      let ticket = t.staged in
+      t.waiters <- t.waiters + 1;
+      await_windowed t ticket;
+      Mutex.unlock t.lock
+    end
+    else begin
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun p ->
+          let total = record_into t p in
+          Buffer.add_subbytes buf t.scratch 0 total)
+        payloads;
+      let batch = Buffer.to_bytes buf in
+      (match write_all t.file batch 0 (Bytes.length batch) with
+      | () -> ()
+      | exception exn ->
+        t.failed <- true;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        raise exn);
+      t.written <- t.written + Bytes.length batch;
+      t.staged <- t.written;
+      note_batch t (List.length payloads);
+      if t.fsync then await_immediate t t.written;
+      Mutex.unlock t.lock
+    end
+
+(* Caller holds the lock with no leader in flight.  Push any staged
+   records to the file (one combined write); poisons on failure. *)
+let flush_pending_locked t =
+  if Buffer.length t.pending > 0 then begin
+    let batch = Buffer.to_bytes t.pending in
+    let nrec = t.pending_records in
+    Buffer.clear t.pending;
+    t.pending_records <- 0;
+    match write_all t.file batch 0 (Bytes.length batch) with
+    | () ->
+      t.written <- t.written + Bytes.length batch;
+      if nrec > 0 then note_batch t nrec
+    | exception exn ->
+      t.failed <- true;
+      Condition.broadcast t.cond;
+      raise exn
   end
 
 let sync t =
@@ -172,8 +383,12 @@ let sync t =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
+      while t.syncing do
+        Condition.wait t.cond t.lock
+      done;
       if t.failed then raise Poisoned;
       if not t.closed then begin
+        flush_pending_locked t;
         let barrier = t.written in
         if t.synced < barrier then begin
           (match t.file.Io.fsync () with
@@ -194,7 +409,12 @@ let failed t =
 let close t =
   Mutex.lock t.lock;
   if not t.closed then begin
+    while t.syncing do
+      Condition.wait t.cond t.lock
+    done;
     t.closed <- true;
+    if not t.failed then
+      (try flush_pending_locked t with _ -> t.failed <- true);
     if t.fsync && not t.failed then
       (try t.file.Io.fsync () with _ -> t.failed <- true);
     (try t.file.Io.close () with _ -> ())

@@ -23,8 +23,13 @@
     v}
 
     Each record is assembled in memory and appended with a single
-    [write], so a crash leaves a clean prefix of the file plus at most
-    one partial record.  {!scan} distinguishes the two failure shapes the
+    [write] — either alone, or as part of one {e combined append} when a
+    commit window is set or {!append_many} batches records (the batch is
+    concatenated in memory and handed to [write] once).  Either way a
+    crash leaves a clean prefix of whole records plus at most one
+    partial write at the tail, and everything a torn write can damage is
+    by construction unacknowledged — no {!append} in the batch had
+    returned.  {!scan} distinguishes the two failure shapes the
     acceptance criteria name:
 
     - a {e torn tail} — the file ends inside a record header or payload,
@@ -48,6 +53,20 @@
     barrier.  Under [n] concurrent sessions the hot path pays ~1/n of an
     fsync each.
 
+    With a commit window ([window > 0]), appends are {e staged}: records
+    accumulate in memory and the fsync leader drains everything staged —
+    including records queued while the previous sync ran — as one
+    combined [write] followed by a single fsync.  The window is
+    adaptive: a leader that sees other appenders in flight dallies up to
+    [window] seconds (or until [window_bytes] are staged) so their
+    records join its batch; an uncontended leader drains immediately, so
+    a lone client never pays the window as latency.  The durability
+    contract is unchanged — {!append} still returns only after the fsync
+    that covers its record — and {!batch_stats} reports the batch size
+    distribution actually achieved.  Ordering is append order in both
+    modes: records reach the file in the order their appends staged
+    them, never reordered across a batch boundary.
+
     {1 Failure poisoning}
 
     A failed or short [write] can leave a partial record mid-file, and a
@@ -70,12 +89,22 @@ exception Poisoned
 (** Raised by {!append}/{!sync} after an earlier write or fsync failure
     has poisoned the journal. *)
 
-val create : ?fsync:bool -> ?io:Io.t -> string -> t
+val create :
+  ?fsync:bool -> ?window:float -> ?window_bytes:int -> ?io:Io.t -> string -> t
 (** Create (or truncate) a journal file and write the file header.
     [fsync false] (default [true]) turns the durability barrier off —
-    for benchmarks and tests only. *)
+    for benchmarks and tests only.  [window] (seconds, default [0.])
+    enables staged group commit with an adaptive commit window;
+    [window_bytes] (default 256 KiB) is the byte budget past which a
+    leader stops dallying.  [window] is ignored when [fsync] is off. *)
 
-val open_append : ?fsync:bool -> ?io:Io.t -> string -> (t, string) result
+val open_append :
+  ?fsync:bool ->
+  ?window:float ->
+  ?window_bytes:int ->
+  ?io:Io.t ->
+  string ->
+  (t, string) result
 (** Open an existing journal for appending — after {!scan} has validated
     it and any torn tail has been cut with {!truncate}. *)
 
@@ -85,8 +114,30 @@ val append : t -> string -> unit
     failure (poisoning the journal), or {!Poisoned} if a previous append
     already failed. *)
 
+val append_many : t -> string list -> unit
+(** Append a batch of payloads as one combined write under a single
+    fsync barrier: all records become durable together and the call
+    returns only after that fsync.  Exception behaviour as {!append}.
+    This is how a replication standby applies a batch atomically —
+    either the whole batch is acknowledged or none of it was. *)
+
 val sync : t -> unit
-(** Force an fsync barrier over everything appended so far. *)
+(** Flush any staged records and force an fsync barrier over everything
+    appended so far. *)
+
+type batch_stats = {
+  batches : int;  (** combined appends drained *)
+  records : int;  (** records those batches carried *)
+  max_batch : int;  (** largest batch, in records *)
+  by_size : int array;
+      (** histogram: bucket [i] counts batches of [2{^i} .. 2{^i+1} - 1]
+          records; the last bucket is open-ended *)
+}
+
+val batch_stats : t -> batch_stats
+(** Batch size distribution of combined appends so far (windowed drains
+    and {!append_many} calls; immediate single-record appends are not
+    counted). *)
 
 val failed : t -> bool
 (** Has this journal been poisoned by a write/fsync failure? *)

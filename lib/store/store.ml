@@ -2,6 +2,7 @@ type t = {
   dir : string;
   io : Io.t;
   fsync : bool;
+  commit_window : float;
   snapshot_every : int;
   lock : Mutex.t;
   idle : Condition.t;
@@ -18,6 +19,12 @@ let dir t = t.dir
 let io t = t.io
 let generation t = t.gen
 let record_count t = t.since_snapshot
+
+let commit_stats t =
+  Mutex.lock t.lock;
+  let j = t.journal in
+  Mutex.unlock t.lock;
+  Journal.batch_stats j
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprint                                                         *)
@@ -62,7 +69,9 @@ let checkpoint_locked t =
   | Ok () -> ()
   | Error m -> failwith m);
   let journal' =
-    try Journal.create ~fsync:t.fsync ~io:t.io (Recovery.journal_path t.dir g')
+    try
+      Journal.create ~fsync:t.fsync ~window:t.commit_window ~io:t.io
+        (Recovery.journal_path t.dir g')
     with exn ->
       (* Unwind in the order that keeps every intermediate crash state
          recoverable: the partial journal first (snapshot g' alone is a
@@ -87,8 +96,10 @@ let checkpoint_locked t =
 
 let ( let* ) = Result.bind
 
-let open_dir ?(fsync = true) ?(snapshot_every = 1024) ?(io = Io.real) dir =
+let open_dir ?(fsync = true) ?(commit_window = 0.) ?(snapshot_every = 1024)
+    ?(io = Io.real) dir =
   if snapshot_every < 1 then invalid_arg "Store.open_dir: snapshot_every";
+  if commit_window < 0. then invalid_arg "Store.open_dir: commit_window";
   match
     io.Io.mkdir_p dir;
     Recovery.load ~io dir
@@ -110,11 +121,17 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) ?(io = Io.real) dir =
     let journal =
       match recovered.Recovery.torn with
       | Some (0, _) ->
-        Ok (Journal.create ~fsync ~io recovered.Recovery.journal_path)
+        Ok
+          (Journal.create ~fsync ~window:commit_window ~io
+             recovered.Recovery.journal_path)
       | _ ->
         if io.Io.exists recovered.Recovery.journal_path then
-          Journal.open_append ~fsync ~io recovered.Recovery.journal_path
-        else Ok (Journal.create ~fsync ~io recovered.Recovery.journal_path)
+          Journal.open_append ~fsync ~window:commit_window ~io
+            recovered.Recovery.journal_path
+        else
+          Ok
+            (Journal.create ~fsync ~window:commit_window ~io
+               recovered.Recovery.journal_path)
     in
     match journal with
     | Error _ as e -> e
@@ -124,6 +141,7 @@ let open_dir ?(fsync = true) ?(snapshot_every = 1024) ?(io = Io.real) dir =
           dir;
           io;
           fsync;
+          commit_window;
           snapshot_every;
           lock = Mutex.create ();
           idle = Condition.create ();

@@ -19,6 +19,7 @@ type t
 
 val open_dir :
   ?fsync:bool ->
+  ?commit_window:float ->
   ?snapshot_every:int ->
   ?io:Io.t ->
   string ->
@@ -31,9 +32,14 @@ val open_dir :
 
     [fsync] (default [true]): turn off the durability barrier (benchmarks
     and tests only — acknowledged answers can then be lost to a crash).
-    [snapshot_every] (default 1024): journal records between automatic
-    checkpoints.  [io] (default {!Io.real}): the filesystem the store
-    runs against — a fault filesystem in tests. *)
+    [commit_window] (seconds, default [0.]): adaptive group-commit
+    window — a journal fsync leader under contention dallies up to this
+    long so queued records join its combined append (see
+    {!Journal.create}); [0.] keeps per-record writes.  Raises
+    [Invalid_argument] if negative.  [snapshot_every] (default 1024):
+    journal records between automatic checkpoints.  [io] (default
+    {!Io.real}): the filesystem the store runs against — a fault
+    filesystem in tests. *)
 
 val record : t -> Event.t -> unit
 (** Journal one event; returns once it is durable.  May raise
@@ -58,6 +64,11 @@ val generation : t -> int
 val record_count : t -> int
 (** Records appended to the current journal generation (resets on
     checkpoint). *)
+
+val commit_stats : t -> Journal.batch_stats
+(** Group-commit batch distribution of the current journal generation
+    (see {!Journal.batch_stats}); resets when a checkpoint rotates the
+    journal. *)
 
 val canonical_csv : Jim_relational.Relation.t -> string
 (** The instance's canonical CSV rendering — schema header (names then

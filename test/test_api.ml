@@ -115,6 +115,10 @@ let gen_request =
          return (Pr.Repl_install { gen; snapshot }));
         (let* gen = int_range 0 50 in
          return (Pr.Repl_rotate { gen }));
+        (* records are raw JREC bytes on the real stream — gen_string
+           exercises the escaper with quotes, control bytes and '\000' *)
+        (let* records = list_size (int_bound 5) gen_string in
+         return (Pr.Repl_batch { records }));
         return Pr.Repl_status;
         return Pr.Promote;
         return Pr.Ring_status;
@@ -290,12 +294,23 @@ let gen_response =
         (let* gen = int_range 0 50 in
          let* records = int_bound 10000 in
          return (Pr.Repl_ok { gen; records }));
+        (let* records = int_bound 10000 in
+         let* bytes = int_bound 1000000 in
+         return (Pr.Repl_lag { records; bytes }));
         (let* sessions = int_bound 100 in
          let* generation = int_range 0 50 in
          return (Pr.Promoted { sessions; generation }));
         (let* shards =
            list_size (int_bound 4)
-             (pair (oneofl [ "s0"; "s1"; "shard-two" ]) bool)
+             (let* shard = oneofl [ "s0"; "s1"; "shard-two" ] in
+              let* promoted = bool in
+              let* lag =
+                option
+                  (let* records = int_bound 1000 in
+                   let* bytes = int_bound 100000 in
+                   return (records, bytes))
+              in
+              return { Pr.shard; promoted; lag })
          in
          let* sessions = int_bound 1000 in
          return (Pr.Ring_info { shards; sessions }));
@@ -359,6 +374,7 @@ let request_eq a b =
       Pr.Repl_install { gen = g2; snapshot = sn2 } ) ->
     g1 = g2 && sn1 = sn2
   | Pr.Repl_rotate { gen = g1 }, Pr.Repl_rotate { gen = g2 } -> g1 = g2
+  | Pr.Repl_batch { records = r1 }, Pr.Repl_batch { records = r2 } -> r1 = r2
   | Pr.Repl_status, Pr.Repl_status -> true
   | Pr.Promote, Pr.Promote -> true
   | Pr.Ring_status, Pr.Ring_status -> true
@@ -416,6 +432,9 @@ let response_eq a b =
   | ( Pr.Repl_ok { gen = g1; records = r1 },
       Pr.Repl_ok { gen = g2; records = r2 } ) ->
     g1 = g2 && r1 = r2
+  | ( Pr.Repl_lag { records = r1; bytes = b1 },
+      Pr.Repl_lag { records = r2; bytes = b2 } ) ->
+    r1 = r2 && b1 = b2
   | ( Pr.Promoted { sessions = s1; generation = g1 },
       Pr.Promoted { sessions = s2; generation = g2 } ) ->
     s1 = s2 && g1 = g2
@@ -517,6 +536,39 @@ let test_malformed () =
   bad (Pr.request_of_string {|{"jim":1,"req":"teleport"}|});
   bad (Pr.request_of_string {|{"jim":1,"req":"answer","session":1}|});
   bad (Pr.request_of_string {|[1,2,3]|})
+
+let test_repl_batch_errors () =
+  (* The batch messages fail with the same pinned Bad_request strings
+     the rest of the protocol uses — a malformed batch must never be
+     partially applied, just refused with a greppable reason. *)
+  let pin line expected =
+    match Pr.request_of_string line with
+    | Error e ->
+      Alcotest.(check string) expected expected (Pr.error_to_string e)
+    | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+  in
+  pin {|{"jim":1,"req":"repl_batch"}|} {|bad request: missing field "records"|};
+  pin
+    {|{"jim":1,"req":"repl_batch","records":7}|}
+    "bad request: expected an array, got 7";
+  pin
+    {|{"jim":1,"req":"repl_batch","records":["a",7]}|}
+    "bad request: expected a string, got 7";
+  (* Ring_info lag fields are additive but must travel as a pair. *)
+  (match
+     Pr.response_of_string
+       {|{"jim":1,"resp":"ring_status","shards":[{"name":"s0","promoted":false,"lag_records":3}],"sessions":0}|}
+   with
+  | Error (Pr.Bad_request _ as e) ->
+    Alcotest.(check string)
+      "half a lag pair refused"
+      "bad request: lag_records and lag_bytes must appear together"
+      (Pr.error_to_string e)
+  | _ -> Alcotest.fail "half a lag pair accepted");
+  (* an empty batch is well-formed on the wire; senders never emit it *)
+  match Pr.request_of_string {|{"jim":1,"req":"repl_batch","records":[]}|} with
+  | Ok (Pr.Repl_batch { records = [] }) -> ()
+  | _ -> Alcotest.fail "empty repl_batch should decode"
 
 let test_label_encoding () =
   (* the wire uses the paper's +/- vocabulary; pin it *)
@@ -627,6 +679,7 @@ let () =
         [
           Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
           Alcotest.test_case "malformed input" `Quick test_malformed;
+          Alcotest.test_case "repl batch errors" `Quick test_repl_batch_errors;
           Alcotest.test_case "label encoding" `Quick test_label_encoding;
           Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
           Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;

@@ -241,6 +241,26 @@ let test_replicated_sweep () =
   Alcotest.(check int) "clean cut + torn tail per boundary"
     (2 * st.Sweep.points) st.Sweep.runs
 
+(* Group commit under fault: the same sweeps with a positive commit
+   window, so the store stages records and combines fsyncs — every
+   crash point now lands at a batch boundary (applied=0) or tears the
+   batch mid-write (applied=3).  The three-part recovery contract must
+   hold identically; the replicated variant ships each batch as one
+   [Repl_batch] and the standby must apply it atomically. *)
+
+let windowed = { Sweep.default with Sweep.commit_window = 0.002 }
+
+let test_crash_sweep_windowed () =
+  let st = Sweep.crash_sweep ~stride:3 windowed in
+  check_stats "crash sweep (group commit)" st
+
+let test_fsync_sweep_windowed () =
+  check_stats "fsync sweep (group commit)" (Sweep.fsync_sweep ~stride:3 windowed)
+
+let test_replicated_sweep_windowed () =
+  check_stats "replicated sweep (group commit)" ~images_per_run:1
+    (Sweep.replicated_sweep ~stride:3 windowed)
+
 (* Slow variants: no strides, plus crashes inside chunked writes. *)
 
 let test_fsync_sweep_full () =
@@ -261,6 +281,14 @@ let test_replicated_sweep_full () =
      and torn mid-record, a promotion verified for each. *)
   check_stats "replicated sweep (stride 1)" ~images_per_run:1
     (Sweep.replicated_sweep Sweep.default)
+
+let test_crash_sweep_windowed_full () =
+  check_stats "crash sweep (group commit, stride 1)"
+    (Sweep.crash_sweep windowed)
+
+let test_replicated_sweep_windowed_full () =
+  check_stats "replicated sweep (group commit, stride 1)" ~images_per_run:1
+    (Sweep.replicated_sweep windowed)
 
 (* ------------------------------------------------------------------ *)
 (* qcheck: Journal.scan's verdict on every single-byte mutation        *)
@@ -537,6 +565,50 @@ let chaos_proxy_smoke framing () =
       Alcotest.(check bool) "trickle fired" true (st.Chaos.trickled >= 1);
       Alcotest.(check bool) "partial fired" true (st.Chaos.chopped >= 1))
 
+(* The pipelined drill through the proxy: each connection multiplexes 8
+   sessions, so its requests arrive in coalesced bursts and the server's
+   replies come back in batched frames.  The proxy relays those batched
+   frames and cuts connection 3 of 4 at a reply boundary ([drop_lines] =
+   2): all 8 of that connection's sessions must classify as transport
+   drops, and every session on the surviving connections must stay
+   bit-identical — batching must never turn a cut into a divergence. *)
+let chaos_proxy_pipelined framing () =
+  let upstream = Wire.Unix_path (fresh_socket ()) in
+  let listen = Wire.Unix_path (fresh_socket ()) in
+  let service = Service.create () in
+  let server = Wire.serve ~threads:16 service upstream in
+  let plan =
+    match Chaos.plan_of_string "drop=3" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let proxy =
+    match Chaos.start ~plan ~listen ~upstream () with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Chaos.stop proxy);
+      Wire.shutdown server)
+    (fun () ->
+      let reports =
+        Smoke.run_pipelined ~clients:4 ~pipeline:8 ~framing ~address:listen ()
+      in
+      Alcotest.(check int) "all sessions reported" 32 (List.length reports);
+      let dropped, rest = List.partition (fun r -> r.Smoke.dropped) reports in
+      List.iter
+        (fun r ->
+          if not r.Smoke.ok then
+            Alcotest.failf "seed %d diverged through the proxy: %s"
+              r.Smoke.seed r.Smoke.detail)
+        rest;
+      Alcotest.(check int) "the cut connection's 8 sessions dropped" 8
+        (List.length dropped);
+      let st = Chaos.stats proxy in
+      Alcotest.(check int) "proxy saw every connection" 4 st.Chaos.connections;
+      Alcotest.(check int) "proxy cut one" 1 st.Chaos.dropped)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -575,6 +647,12 @@ let () =
              test_crash_sweep_shared_catalog;
            Alcotest.test_case "replicated pair: promote at crash points" `Quick
              test_replicated_sweep;
+           Alcotest.test_case "group commit: crash at batch boundaries" `Quick
+             test_crash_sweep_windowed;
+           Alcotest.test_case "group commit: failed combined fsync" `Quick
+             test_fsync_sweep_windowed;
+           Alcotest.test_case "group commit: replicated batches, promote"
+             `Quick test_replicated_sweep_windowed;
          ]
          @ if_slow
              [
@@ -586,6 +664,10 @@ let () =
                  test_crash_sweep_chunked;
                Alcotest.test_case "replicated pair, every ordinal" `Slow
                  test_replicated_sweep_full;
+               Alcotest.test_case "group commit crash, every ordinal" `Slow
+                 test_crash_sweep_windowed_full;
+               Alcotest.test_case "group commit replicated, every ordinal"
+                 `Slow test_replicated_sweep_windowed_full;
              ] );
        ( "journal",
          [ QCheck_alcotest.to_alcotest scan_classifies_mutations ] );
@@ -600,6 +682,10 @@ let () =
              (chaos_proxy_smoke Wire.Line);
            Alcotest.test_case "proxied smoke, binary frames" `Quick
              (chaos_proxy_smoke Wire.Binary);
+           Alcotest.test_case "proxied pipelined smoke: cut at reply boundary"
+             `Quick (chaos_proxy_pipelined Wire.Line);
+           Alcotest.test_case "proxied pipelined smoke, binary frames" `Quick
+             (chaos_proxy_pipelined Wire.Binary);
          ] );
      ]
     |> List.filter (fun (_, cases) -> cases <> []))

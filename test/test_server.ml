@@ -99,6 +99,23 @@ let test_smoke_32_clients_binary () =
   with_server (fun address _ ->
       check_reports (Smoke.run ~clients:32 ~framing:Wire.Binary ~address ()) 32)
 
+(* Pipelined clients: 4 connections, 8 interleaved sessions each, so
+   every connection keeps up to 8 requests in flight.  Outcomes stay
+   bit-identical (the reorder buffer delivers replies in request
+   order), and the wire counters must show the pipeline working:
+   depth above 1, and responses sharing flushes. *)
+let test_smoke_pipelined () =
+  with_server (fun address _ ->
+      let before = Netstats.snapshot () in
+      check_reports (Smoke.run_pipelined ~clients:4 ~pipeline:8 ~address ()) 32;
+      let after = Netstats.snapshot () in
+      Alcotest.(check bool) "flushes counted" true
+        (after.Netstats.flushes > before.Netstats.flushes);
+      Alcotest.(check bool) "responses coalesced into shared flushes" true
+        (after.Netstats.writes_coalesced > before.Netstats.writes_coalesced);
+      Alcotest.(check bool) "pipelined depth above 1" true
+        (after.Netstats.pipelined_depth_max >= 2))
+
 (* The catalog acceptance bar: the same 32 concurrent clients, but all
    on ONE instance — a single shared catalog entry, one derivation, one
    scorer memo — must stay bit-identical to isolated in-process runs. *)
@@ -479,6 +496,8 @@ let () =
             test_catalog_smoke_drill;
           Alcotest.test_case "32 clients over binary framing" `Slow
             test_smoke_32_clients_binary;
+          Alcotest.test_case "32 pipelined sessions, 8 deep per connection"
+            `Slow test_smoke_pipelined;
           Alcotest.test_case "framings are byte-identical" `Quick
             test_framings_bit_identical;
           Alcotest.test_case "1000 idle connections don't starve the loop" `Slow

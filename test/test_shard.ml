@@ -254,8 +254,9 @@ let test_router_spreads_and_journals () =
     Alcotest.(check int) "three members" 3 (List.length members);
     Alcotest.(check int) "sessions counted" sessions n;
     List.iter
-      (fun (_, promoted) ->
-        Alcotest.(check bool) "nothing promoted" false promoted)
+      (fun { P.promoted; lag; _ } ->
+        Alcotest.(check bool) "nothing promoted" false promoted;
+        Alcotest.(check bool) "no standby, no lag" true (lag = None))
       members
   | other -> Alcotest.failf "ring_status: %s" (P.response_to_string other));
   (* end releases the placement and journals it *)
@@ -429,7 +430,7 @@ let test_failover_kill_and_promote () =
       (P.response_to_string other));
   (* ring status shows the promotion *)
   (match call router P.Ring_status with
-  | P.Ring_info { shards = [ ("s0", promoted) ]; _ } ->
+  | P.Ring_info { shards = [ { P.shard = "s0"; promoted; _ } ]; _ } ->
     Alcotest.(check bool) "promoted flag" true promoted
   | other -> Alcotest.failf "ring_status: %s" (P.response_to_string other));
   (* every acked answer survived onto the promoted standby *)

@@ -411,6 +411,83 @@ let test_journal_group_commit () =
         in
         Alcotest.(check (list string)) "all payloads, once each" want got)
 
+let test_journal_windowed_group_commit () =
+  (* Adaptive group commit (--commit-window): staged appends drain as
+     combined writes under one fsync barrier.  A multi-payload
+     append_many forms one batch deterministically; concurrent
+     appenders must still land every payload exactly once, and the
+     batch counters must account for every record. *)
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j.wal" in
+      let j = Journal.create ~fsync:true ~window:0.002 path in
+      let bulk = List.init 5 (Printf.sprintf "bulk-%d") in
+      Journal.append_many j bulk;
+      let s = Journal.batch_stats j in
+      Alcotest.(check bool) "append_many forms one batch of 5" true
+        (s.Journal.max_batch >= 5);
+      let n_threads = 8 and per_thread = 25 in
+      let spawn t =
+        Thread.create
+          (fun () ->
+            for i = 0 to per_thread - 1 do
+              Journal.append j (Printf.sprintf "t%d-%d" t i)
+            done)
+          ()
+      in
+      let threads = List.init n_threads spawn in
+      List.iter Thread.join threads;
+      Journal.close j;
+      let s = Journal.batch_stats j in
+      let total = 5 + (n_threads * per_thread) in
+      Alcotest.(check int) "every record went through a batch" total
+        s.Journal.records;
+      Alcotest.(check int) "histogram sums to the batch count"
+        s.Journal.batches
+        (Array.fold_left ( + ) 0 s.Journal.by_size);
+      match Journal.scan path with
+      | Error (`Corrupt (off, m)) -> Alcotest.failf "corrupt at %d: %s" off m
+      | Ok (records, tail) ->
+        Alcotest.(check bool) "complete" true (tail = Journal.Complete);
+        let got = List.sort compare (List.map snd records) in
+        let want =
+          List.sort compare
+            (bulk
+            @ List.concat_map
+                (fun t ->
+                  List.init per_thread (fun i -> Printf.sprintf "t%d-%d" t i))
+                (List.init n_threads Fun.id))
+        in
+        Alcotest.(check (list string)) "all payloads, once each" want got)
+
+let test_journal_torn_batch () =
+  (* A combined (batched) append cut at any byte must behave exactly
+     like the same records written one by one: a clean prefix of whole
+     records plus one torn tail — never corruption, never a record
+     from the middle of the batch without its predecessors. *)
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "j.wal" in
+      let payloads = List.init 6 (Printf.sprintf "batched-%d") in
+      let j = Journal.create ~fsync:true ~window:0.002 path in
+      Journal.append_many j payloads;
+      Journal.close j;
+      let data = read_file path in
+      let full = String.length data in
+      let cut = Filename.concat dir "cut.wal" in
+      for k = 0 to full do
+        write_file cut (String.sub data 0 k);
+        match Journal.scan cut with
+        | Error (`Corrupt (off, m)) ->
+          Alcotest.failf "batch prefix %d/%d corrupt at %d: %s" k full off m
+        | Ok (records, _tail) ->
+          let got = List.map snd records in
+          let want = List.filteri (fun i _ -> i < List.length got) payloads in
+          Alcotest.(check (list string))
+            (Printf.sprintf "prefix %d: clean prefix of the batch" k)
+            want got
+      done)
+
 let test_journal_torn_tail_every_prefix () =
   (* Cut the file at every byte length: a crash prefix must never read as
      corrupt — only complete or torn — and truncating the torn tail must
@@ -1029,6 +1106,10 @@ let () =
             test_record_codec;
           Alcotest.test_case "tail streams from an offset" `Quick
             test_journal_tail;
+          Alcotest.test_case "windowed group commit batches and counts"
+            `Quick test_journal_windowed_group_commit;
+          Alcotest.test_case "torn combined append is a clean prefix" `Quick
+            test_journal_torn_batch;
           Alcotest.test_case "group commit under threads" `Quick
             test_journal_group_commit;
           Alcotest.test_case "every byte prefix is torn, never corrupt" `Quick
