@@ -398,13 +398,41 @@ let catalog_stats_line (s : Jim_api.Protocol.catalog_stats) =
     s.Jim_api.Protocol.evictions s.Jim_api.Protocol.fingerprints
     s.Jim_api.Protocol.derivations
 
+let crowd_stats_line (c : Jim_api.Protocol.crowd_stats) =
+  Printf.sprintf
+    "crowd: %d labelers, quorum %d%s; %d rounds, %d paid labels, %d majority \
+     flips, %d timeouts, %d re-asks"
+    c.Jim_api.Protocol.labelers c.Jim_api.Protocol.votes
+    (if c.Jim_api.Protocol.weighted then " (weighted)" else "")
+    c.Jim_api.Protocol.rounds c.Jim_api.Protocol.paid_labels
+    c.Jim_api.Protocol.majority_flips c.Jim_api.Protocol.timeouts
+    c.Jim_api.Protocol.re_asks
+
 let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
-    commit_window stats_every catalog_max_entries drain_timeout replicate_to =
-  match resolve_address socket tcp with
+    commit_window stats_every catalog_max_entries drain_timeout replicate_to
+    votes vote_timeout vote_weighted =
+  match
+    match resolve_address socket tcp with
+    | Error e -> Error e
+    | Ok addr ->
+      if votes = 0 then Ok (addr, None)
+      else if votes < 0 || votes mod 2 = 0 then
+        Error "--votes must be odd and positive (0 disables crowd labeling)"
+      else if vote_timeout <= 0. then Error "--vote-timeout must be positive"
+      else
+        Ok
+          ( addr,
+            Some
+              {
+                Jim_server.Coordinator.votes;
+                timeout = vote_timeout;
+                weighted = vote_weighted;
+              } )
+  with
   | Error e ->
     Printf.eprintf "jim serve: %s\n" e;
     2
-  | Ok addr -> (
+  | Ok (addr, crowd) -> (
     let store =
       match data_dir with
       | None -> Ok None
@@ -456,7 +484,8 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
         Jim_catalog.Catalog.create ~max_entries:catalog_max_entries ()
       in
       let service =
-        Jim_server.Service.create ~max_sessions ~idle_ttl ~catalog ?persist ()
+        Jim_server.Service.create ~max_sessions ~idle_ttl ~catalog ?persist
+          ?crowd ()
       in
       let restored =
         match store with
@@ -497,6 +526,15 @@ let run_serve socket tcp max_sessions idle_ttl threads data_dir snapshot_every
           (Jim_server.Wire.address_to_string
              (Jim_server.Wire.bound_address server))
           max_sessions threads;
+        Option.iter
+          (fun (c : Jim_server.Coordinator.config) ->
+            Printf.printf
+              "jim serve: crowd labeling on — quorum %d, %gs straggler \
+               deadline%s\n%!"
+              c.Jim_server.Coordinator.votes c.Jim_server.Coordinator.timeout
+              (if c.Jim_server.Coordinator.weighted then ", accuracy-weighted"
+               else ""))
+          crowd;
         Option.iter
           (fun r ->
             let gen, records = Jim_shard.Repl.position r in
@@ -774,8 +812,150 @@ let run_client_instance ~address ~framing ~fp ~strategy ~seed =
       loop ()
     | other -> fail "start" (P.response_to_string other)
 
+(* Controller half of the multi-process crowd drill: start the session,
+   announce its id (the drill script hands it to the jim labeler
+   processes), wait for convergence and judge the inferred predicate
+   against the noiseless reference run. *)
+let run_client_crowd ~address ~framing ~seed ~strategy:strategy_name ~deadline
+    ~receive_timeout ~expect_flips =
+  let module P = Jim_api.Protocol in
+  let module Wire = Jim_server.Wire in
+  match Strategy.of_string strategy_name with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok strat -> (
+    let p = Jim_server.Smoke.synthetic_params seed in
+    let inst = W.Synthetic.generate p in
+    let reference =
+      Session.run ~seed ~strategy:strat
+        ~oracle:(Oracle.of_goal inst.W.Synthetic.goal)
+        inst.W.Synthetic.relation
+    in
+    match Wire.connect ~retries:50 ~framing address with
+    | Error e ->
+      Printf.eprintf "jim client: connect: %s\n" e;
+      1
+    | Ok conn ->
+      Wire.set_timeout conn receive_timeout;
+      let finish rc =
+        Wire.close conn;
+        rc
+      in
+      let fail what e =
+        Printf.eprintf "jim client: %s: %s\n" what e;
+        finish 1
+      in
+      let call what req k =
+        match Wire.call conn req with
+        | Error e -> fail what e
+        | Ok (P.Failed err) -> fail what (P.error_to_string err)
+        | Ok reply -> k reply
+      in
+      let source =
+        P.Synthetic
+          {
+            n_attrs = p.W.Synthetic.n_attrs;
+            n_tuples = p.W.Synthetic.n_tuples;
+            domain = p.W.Synthetic.domain;
+            goal_rank = p.W.Synthetic.goal_rank;
+            seed = p.W.Synthetic.seed;
+          }
+      in
+      call "start" (P.Start_session { source; strategy = strategy_name; seed })
+      @@ function
+      | P.Started { session; _ } ->
+        Printf.printf "jim client: crowd session %d started (instance seed %d)\n%!"
+          session seed;
+        let t0 = Unix.gettimeofday () in
+        let rec wait () =
+          if Unix.gettimeofday () -. t0 > deadline then
+            fail "crowd"
+              (Printf.sprintf "no convergence within %.0f s (are enough jim \
+                               labeler processes attached?)" deadline)
+          else
+            call "question" (P.Get_question { session }) @@ function
+            | P.Question (Some _) ->
+              Thread.delay 0.05;
+              wait ()
+            | P.Question None ->
+              (call "stats" (P.Crowd_stats { session }) @@ function
+               | P.Crowd_info c ->
+                 (call "result" (P.Result { session }) @@ function
+                  | P.Outcome o ->
+                    (call "end" (P.End_session { session }) @@ fun _ ->
+                     print_endline (crowd_stats_line c);
+                     if
+                       not
+                         (Partition.equal o.Session.query
+                            reference.Session.query)
+                     then begin
+                       Printf.eprintf
+                         "jim client: crowd diverged: inferred %s, reference %s\n"
+                         (Partition.to_string o.Session.query)
+                         (Partition.to_string reference.Session.query);
+                       finish 1
+                     end
+                     else if expect_flips && c.P.majority_flips = 0 then begin
+                       Printf.eprintf
+                         "jim client: crowd converged but the majority never \
+                          overruled a dissenting ballot (expected under the \
+                          drill's seeded noise)\n";
+                       finish 1
+                     end
+                     else begin
+                       Printf.printf
+                         "jim client: crowd converged to the goal predicate \
+                          in %d rounds (%d paid labels)\n"
+                         c.P.rounds c.P.paid_labels;
+                       finish 0
+                     end)
+                  | other -> fail "result" (P.response_to_string other))
+               | other -> fail "stats" (P.response_to_string other))
+            | other -> fail "question" (P.response_to_string other)
+        in
+        wait ()
+      | other -> fail "start" (P.response_to_string other))
+
+let run_labeler socket tcp binary session instance error_rate labeler_seed
+    poll_interval receive_timeout =
+  let framing =
+    if binary then Jim_server.Wire.Binary else Jim_server.Wire.Line
+  in
+  match
+    match resolve_address socket tcp with
+    | Error e -> Error e
+    | Ok address ->
+      if error_rate < 0. || error_rate > 1. then
+        Error "--error-rate must be within [0, 1]"
+      else Ok address
+  with
+  | Error e ->
+    Printf.eprintf "jim labeler: %s\n" e;
+    2
+  | Ok address -> (
+    let inst =
+      W.Synthetic.generate (Jim_server.Smoke.synthetic_params instance)
+    in
+    let oracle =
+      Oracle.noisy ~seed:labeler_seed ~flip_probability:error_rate
+        (Oracle.of_goal inst.W.Synthetic.goal)
+    in
+    match
+      Jim_server.Smoke.run_labeler ~framing ~receive_timeout ~poll_interval
+        ~address ~session ~oracle ()
+    with
+    | Ok (cast, counted) ->
+      Printf.printf "jim labeler: session %d done — %d ballots cast, %d counted\n"
+        session cast counted;
+      0
+    | Error e ->
+      Printf.eprintf "jim labeler: %s\n" e;
+      1)
+
 let run_client socket tcp batch smoke pipeline busy crash_start crash_resume
-    state_file tolerate_drops binary instance catalog_smoke strategy_name seed =
+    state_file tolerate_drops binary instance catalog_smoke strategy_name seed
+    receive_timeout crowd_start crowd_deadline expect_flips =
   let framing =
     if binary then Jim_server.Wire.Binary else Jim_server.Wire.Line
   in
@@ -784,9 +964,17 @@ let run_client socket tcp batch smoke pipeline busy crash_start crash_resume
     Printf.eprintf "jim client: %s\n" e;
     2
   | Ok address -> (
+    match crowd_start with
+    | Some cseed ->
+      run_client_crowd ~address ~framing ~seed:cseed ~strategy:strategy_name
+        ~deadline:crowd_deadline ~receive_timeout ~expect_flips
+    | None -> (
     match (catalog_smoke, instance) with
     | Some clients, _ -> (
-      match Jim_server.Smoke.catalog_smoke ~clients ~framing ~address () with
+      match
+        Jim_server.Smoke.catalog_smoke ~clients ~framing ~receive_timeout
+          ~address ()
+      with
       | Error e ->
         Printf.eprintf "jim client: catalog smoke: %s\n" e;
         1
@@ -816,21 +1004,22 @@ let run_client socket tcp batch smoke pipeline busy crash_start crash_resume
         ~expected:(conns * pipeline)
         ~tolerate_drops "bit-identical to the local run (pipelined)"
         (Jim_server.Smoke.run_pipelined ~clients:conns ~pipeline ~framing
-           ~address ())
+           ~receive_timeout ~address ())
     | Some clients, _, _, _ ->
       print_reports ~expected:clients ~tolerate_drops
         "bit-identical to the local run"
-        (Jim_server.Smoke.run ~clients ~framing ~address ())
+        (Jim_server.Smoke.run ~clients ~framing ~receive_timeout ~address ())
     | None, _, Some clients, _ ->
       print_reports ~expected:clients ~tolerate_drops
         "left half-answered for the crash drill"
-        (Jim_server.Smoke.crash_start ~address ~state_file ~clients ())
+        (Jim_server.Smoke.crash_start ~address ~state_file ~clients
+           ~receive_timeout ())
     | None, _, None, true ->
       print_reports ~tolerate_drops
         "resumed bit-identical to an uninterrupted run"
-        (Jim_server.Smoke.crash_resume ~address ~state_file ())
+        (Jim_server.Smoke.crash_resume ~address ~state_file ~receive_timeout ())
     | None, Some fill, None, false -> (
-      match Jim_server.Smoke.busy_check ~address ~fill with
+      match Jim_server.Smoke.busy_check ~receive_timeout ~address ~fill () with
       | Ok () ->
         Printf.printf
           "busy-check ok: session %d refused with Server_busy\n" (fill + 1);
@@ -865,7 +1054,7 @@ let run_client socket tcp batch smoke pipeline busy crash_start crash_resume
          with End_of_file | Exit -> ());
         Jim_server.Wire.close conn;
         if ic != stdin then close_in ic;
-        !rc)))
+        !rc))))
 
 (* ------------------------------------------------------------------ *)
 (* instance: the catalog surface of a running server                   *)
@@ -1274,13 +1463,41 @@ let serve_cmd =
                 least-recently-used entry with no live sessions is \
                 evicted (entries pinned by live sessions never are).")
   in
+  let votes =
+    Arg.(
+      value & opt int 0
+      & info [ "votes" ] ~docv:"K"
+          ~doc:"Enable crowd labeling: fan each session's pending question \
+                out to its attached labelers ($(b,jim labeler)) and absorb \
+                the majority of $(docv) votes as the session's answer — \
+                only the aggregate is journaled.  $(docv) must be odd; 0 \
+                (the default) disables crowd labeling and direct answers \
+                work as usual.")
+  in
+  let vote_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "vote-timeout" ] ~docv:"SECONDS"
+          ~doc:"Straggler deadline per voting round (with $(b,--votes)): \
+                past it a decisively unbalanced round closes short and a \
+                tied one is re-asked.")
+  in
+  let vote_weighted =
+    Arg.(
+      value & flag
+      & info [ "vote-weighted" ]
+          ~doc:"Weight each ballot by the labeler's running accuracy \
+                estimate (Laplace-smoothed agreement with past \
+                aggregates) instead of counting ballots equally.")
+  in
   let term =
     Term.(
-      const (fun () s t m i th d se cw ste cme dt rt ->
-          run_serve s t m i th d se cw ste cme dt rt)
+      const (fun () s t m i th d se cw ste cme dt rt v vt vw ->
+          run_serve s t m i th d se cw ste cme dt rt v vt vw)
       $ domains_arg $ socket_arg $ tcp_arg $ max_sessions $ idle_ttl $ threads
       $ data_dir $ snapshot_every $ commit_window $ stats_every
-      $ catalog_max_entries $ drain_timeout_arg $ replicate_to)
+      $ catalog_max_entries $ drain_timeout_arg $ replicate_to $ votes
+      $ vote_timeout $ vote_weighted)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1473,18 +1690,121 @@ let client_cmd =
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"Session seed for $(b,--instance) mode.")
   in
+  let receive_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "receive-timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up on any single reply after $(docv) seconds (all \
+                drill modes).  A stalled server or proxy then counts as a \
+                transport drop, never a divergence and never a hang.")
+  in
+  let crowd_start =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crowd-start" ] ~docv:"SEED"
+          ~doc:"Crowd drill controller: start one session on the smoke \
+                workload's synthetic instance seeded $(docv) against a \
+                $(b,jim serve --votes) server, print its session id for \
+                the $(b,jim labeler) processes, wait for convergence and \
+                check the inferred predicate equals the noiseless \
+                reference run's.")
+  in
+  let crowd_deadline =
+    Arg.(
+      value & opt float 120.
+      & info [ "crowd-deadline" ] ~docv:"SECONDS"
+          ~doc:"With $(b,--crowd-start): fail if the crowd has not \
+                converged within $(docv) seconds.")
+  in
+  let expect_flips =
+    Arg.(
+      value & flag
+      & info [ "expect-flips" ]
+          ~doc:"With $(b,--crowd-start): additionally require at least one \
+                majority flip (an overruled dissenting ballot) — the \
+                noisy-labeler drill must actually have exercised \
+                aggregation.")
+  in
   let term =
     Term.(
-      const (fun s t b sm pl bu cs cr st td bin inst csm strat seed ->
-          run_client s t b sm pl bu cs cr st td bin inst csm strat seed)
+      const (fun s t b sm pl bu cs cr st td bin inst csm strat seed rt cst cd ef ->
+          run_client s t b sm pl bu cs cr st td bin inst csm strat seed rt cst
+            cd ef)
       $ socket_arg $ tcp_arg $ batch $ smoke $ pipeline $ busy $ crash_start
       $ crash_resume $ state $ tolerate_drops $ binary $ instance
-      $ catalog_smoke $ strategy_arg $ seed)
+      $ catalog_smoke $ strategy_arg $ seed $ receive_timeout $ crowd_start
+      $ crowd_deadline $ expect_flips)
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Talk to a running jim server: batch, smoke, busy-check or \
-             crash-drill mode.")
+       ~doc:"Talk to a running jim server: batch, smoke, busy-check, \
+             crash-drill or crowd-drill mode.")
+    term
+
+let labeler_cmd =
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Negotiate length-prefixed binary framing after connecting.")
+  in
+  let session =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "session" ] ~docv:"ID"
+          ~doc:"The crowd session to label (printed by $(b,jim client \
+                --crowd-start)).")
+  in
+  let instance =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "instance" ] ~docv:"SEED"
+          ~doc:"Seed of the smoke workload's synthetic instance the \
+                session runs on — the labeler regenerates it locally to \
+                obtain the goal oracle it answers from.")
+  in
+  let error_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "error-rate" ] ~docv:"P"
+          ~doc:"Flip each answer independently with probability $(docv) \
+                (deterministically, from $(b,--labeler-seed)) — the \
+                noisy-worker simulation.")
+  in
+  let labeler_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "labeler-seed" ] ~docv:"SEED"
+          ~doc:"Seeds this labeler's noise stream.")
+  in
+  let poll_interval =
+    Arg.(
+      value & opt float 0.02
+      & info [ "poll-interval" ] ~docv:"SECONDS"
+          ~doc:"Delay between polls of a round this labeler has already \
+                voted in.")
+  in
+  let receive_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "receive-timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up on any single reply after $(docv) seconds.")
+  in
+  let term =
+    Term.(
+      const (fun s t b se inst er ls pi rt ->
+          run_labeler s t b se inst er ls pi rt)
+      $ socket_arg $ tcp_arg $ binary $ session $ instance $ error_rate
+      $ labeler_seed $ poll_interval $ receive_timeout)
+  in
+  Cmd.v
+    (Cmd.info "labeler"
+       ~doc:"A crowd labeler: attach to a session on a $(b,jim serve \
+             --votes) server, poll for each voting round and cast a \
+             (possibly noise-flipped) ballot until the session converges.")
     term
 
 let chaos_cmd =
@@ -1621,6 +1941,7 @@ let () =
             standby_cmd;
             router_cmd;
             client_cmd;
+            labeler_cmd;
             instance_cmd;
             chaos_cmd;
             journal_cmd;

@@ -42,6 +42,10 @@ type request =
   | Repl_status
   | Promote
   | Ring_status
+  | Labeler_attach of { session : int }
+  | Labeler_poll of { session : int; labeler : int }
+  | Vote of { session : int; labeler : int; round : int; label : State.label }
+  | Crowd_stats of { session : int }
 
 type error =
   | Bad_request of string
@@ -53,6 +57,18 @@ type error =
   | Server_busy of { active : int; max : int }
   | Unsupported_version of int
   | Shard_unavailable of string
+  | Unknown_labeler of int
+
+type crowd_stats = {
+  labelers : int;
+  votes : int;  (* quorum size K *)
+  weighted : bool;
+  rounds : int;  (* closed rounds = aggregates journaled *)
+  paid_labels : int;
+  majority_flips : int;
+  timeouts : int;
+  re_asks : int;
+}
 
 type catalog_stats = {
   entries : int;
@@ -112,6 +128,10 @@ type response =
   | Repl_lag of { records : int; bytes : int }
   | Promoted of { sessions : int; generation : int }
   | Ring_info of { shards : shard_status list; sessions : int }
+  | Labeler_attached of { labeler : int; votes : int }
+  | Crowd_question of { round : int; question : question option }
+  | Vote_ok of { round : int; counted : bool; outcome : State.label option }
+  | Crowd_info of crowd_stats
   | Ended
   | Failed of error
 
@@ -128,6 +148,7 @@ let error_to_string = function
     Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v
       version
   | Shard_unavailable m -> "shard unavailable: " ^ m
+  | Unknown_labeler id -> Printf.sprintf "unknown labeler %d" id
 
 let ( let* ) = Result.bind
 
@@ -332,6 +353,8 @@ let session_only_tags : (string * (int -> request)) list =
     ("stats", fun session -> Stats { session });
     ("get_transcript", fun session -> Get_transcript { session });
     ("end_session", fun session -> End_session { session });
+    ("labeler_attach", fun session -> Labeler_attach { session });
+    ("crowd_stats", fun session -> Crowd_stats { session });
   ]
 
 let session_req tag session = envelope "req" tag [ ("session", Json.Int session) ]
@@ -388,6 +411,19 @@ let request_to_json = function
   | Repl_status -> envelope "req" "repl_status" []
   | Promote -> envelope "req" "promote" []
   | Ring_status -> envelope "req" "ring_status" []
+  | Labeler_attach { session } -> session_req "labeler_attach" session
+  | Labeler_poll { session; labeler } ->
+    envelope "req" "labeler_poll"
+      [ ("session", Json.Int session); ("labeler", Json.Int labeler) ]
+  | Vote { session; labeler; round; label } ->
+    envelope "req" "vote"
+      [
+        ("session", Json.Int session);
+        ("labeler", Json.Int labeler);
+        ("round", Json.Int round);
+        ("label", label_to_json label);
+      ]
+  | Crowd_stats { session } -> session_req "crowd_stats" session
 
 let check_version v k =
   match int_field "jim" v with
@@ -468,6 +504,17 @@ let request_of_json v =
     | "repl_status" -> Ok Repl_status
     | "promote" -> Ok Promote
     | "ring_status" -> Ok Ring_status
+    | "labeler_poll" ->
+      let* session = session () in
+      let* labeler = bad (int_field "labeler" v) in
+      Ok (Labeler_poll { session; labeler })
+    | "vote" ->
+      let* session = session () in
+      bad
+        (let* labeler = int_field "labeler" v in
+         let* round = int_field "round" v in
+         let* label = Result.bind (Json.field "label" v) label_of_json in
+         Ok (Vote { session; labeler; round; label }))
     | tag -> Error (Bad_request (Printf.sprintf "unknown request %S" tag)))
 
 (* ------------------------------------------------------------------ *)
@@ -513,6 +560,8 @@ let error_to_json e =
       [ ("kind", Json.String "unsupported_version"); ("version", Json.Int v) ]
     | Shard_unavailable m ->
       [ ("kind", Json.String "shard_unavailable"); ("message", Json.String m) ]
+    | Unknown_labeler id ->
+      [ ("kind", Json.String "unknown_labeler"); ("labeler", Json.Int id) ]
   in
   Json.Obj fields
 
@@ -547,6 +596,9 @@ let error_of_json v =
   | "shard_unavailable" ->
     let* m = string_field "message" v in
     Ok (Shard_unavailable m)
+  | "unknown_labeler" ->
+    let* id = int_field "labeler" v in
+    Ok (Unknown_labeler id)
   | k -> Error (Printf.sprintf "unknown error kind %S" k)
 
 let response_to_json = function
@@ -646,6 +698,36 @@ let response_to_json = function
                      ])))
                shards) );
         ("sessions", Json.Int sessions);
+      ]
+  | Labeler_attached { labeler; votes } ->
+    envelope "resp" "labeler_attached"
+      [ ("labeler", Json.Int labeler); ("votes", Json.Int votes) ]
+  | Crowd_question { round; question } ->
+    envelope "resp" "crowd_question"
+      [
+        ("round", Json.Int round);
+        ( "question",
+          match question with None -> Json.Null | Some q -> question_to_json q );
+      ]
+  | Vote_ok { round; counted; outcome } ->
+    envelope "resp" "vote_ok"
+      [
+        ("round", Json.Int round);
+        ("counted", Json.Bool counted);
+        ( "outcome",
+          match outcome with None -> Json.Null | Some l -> label_to_json l );
+      ]
+  | Crowd_info c ->
+    envelope "resp" "crowd_stats"
+      [
+        ("labelers", Json.Int c.labelers);
+        ("votes", Json.Int c.votes);
+        ("weighted", Json.Bool c.weighted);
+        ("rounds", Json.Int c.rounds);
+        ("paid_labels", Json.Int c.paid_labels);
+        ("majority_flips", Json.Int c.majority_flips);
+        ("timeouts", Json.Int c.timeouts);
+        ("re_asks", Json.Int c.re_asks);
       ]
   | Ended -> envelope "resp" "ended" []
   | Failed e -> envelope "resp" "error" [ ("error", error_to_json e) ]
@@ -796,6 +878,55 @@ let response_of_json v =
        in
        let* sessions = int_field "sessions" v in
        Ok (Ring_info { shards = List.rev shards; sessions }))
+  | "labeler_attached" ->
+    bad
+      (let* labeler = int_field "labeler" v in
+       let* votes = int_field "votes" v in
+       Ok (Labeler_attached { labeler; votes }))
+  | "crowd_question" ->
+    bad
+      (let* round = int_field "round" v in
+       let* q = Json.field "question" v in
+       match q with
+       | Json.Null -> Ok (Crowd_question { round; question = None })
+       | q ->
+         let* q = question_of_json q in
+         Ok (Crowd_question { round; question = Some q }))
+  | "vote_ok" ->
+    bad
+      (let* round = int_field "round" v in
+       let* counted = Result.bind (Json.field "counted" v) Json.as_bool in
+       let* outcome =
+         let* l = Json.field "outcome" v in
+         match l with
+         | Json.Null -> Ok None
+         | l ->
+           let* l = label_of_json l in
+           Ok (Some l)
+       in
+       Ok (Vote_ok { round; counted; outcome }))
+  | "crowd_stats" ->
+    bad
+      (let* labelers = int_field "labelers" v in
+       let* votes = int_field "votes" v in
+       let* weighted = Result.bind (Json.field "weighted" v) Json.as_bool in
+       let* rounds = int_field "rounds" v in
+       let* paid_labels = int_field "paid_labels" v in
+       let* majority_flips = int_field "majority_flips" v in
+       let* timeouts = int_field "timeouts" v in
+       let* re_asks = int_field "re_asks" v in
+       Ok
+         (Crowd_info
+            {
+              labelers;
+              votes;
+              weighted;
+              rounds;
+              paid_labels;
+              majority_flips;
+              timeouts;
+              re_asks;
+            }))
   | "ended" -> Ok Ended
   | "error" ->
     bad

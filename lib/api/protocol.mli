@@ -128,6 +128,33 @@ type request =
   | Ring_status
       (** Ask a router for its consistent-hash ring membership and the
           number of placed sessions.  Reply: {!Ring_info}. *)
+  | Labeler_attach of { session : int }
+      (** Join session [session] as a crowd labeler.  Reply:
+          {!Labeler_attached} with this labeler's id and the session's
+          quorum size.  Only answered by a server started with crowd
+          labeling enabled ([jim serve --votes K]); otherwise a
+          {!Bad_request} with the pinned reason ["crowd labeling
+          disabled (start the server with --votes)"]. *)
+  | Labeler_poll of { session : int; labeler : int }
+      (** Ask for the session's current voting round — the fan-out half
+          of the question broadcast, pull-shaped so it rides the plain
+          request/reply wire.  Reply: {!Crowd_question}.  Polling also
+          drives the round's straggler deadline: an expired round is
+          closed (decisive ballots) or re-asked (tie/absence) before the
+          reply is built.  Idempotent — the underlying question is the
+          session's memoised pending question, so polling never advances
+          the strategy RNG. *)
+  | Vote of { session : int; labeler : int; round : int; label : Jim_core.State.label }
+      (** Cast labeler [labeler]'s ballot for voting round [round].
+          Reply: {!Vote_ok}.  A ballot for a round that already closed
+          (or a second ballot from the same labeler in one round) is
+          refused softly — [counted = false] — so slow labelers resync
+          by polling, not by erroring.  The ballot that completes the
+          quorum closes the round: the aggregate label is absorbed into
+          the engine and journaled as the session's {e only} event for
+          the round, exactly as a direct {!Answer} would be. *)
+  | Crowd_stats of { session : int }
+      (** Ask for the session's crowd counters.  Reply: {!Crowd_info}. *)
 
 type error =
   | Bad_request of string  (** malformed JSON, bad shape, bad arguments *)
@@ -147,6 +174,10 @@ type error =
           requests are never retried after a promotion (at-most-once),
           so the client must decide; non-mutating requests are retried
           transparently and only fail when no standby exists *)
+  | Unknown_labeler of int
+      (** a {!Labeler_poll} or {!Vote} named a labeler id the session
+          never attached (or the session was recovered — labeler
+          registrations are in-memory, not journaled: re-attach) *)
 
 type catalog_stats = {
   entries : int;  (** instances currently cataloged *)
@@ -160,6 +191,24 @@ type catalog_stats = {
       (** full instance derivations (sigclass grouping + round-0
           statuses); [misses >= derivations]: a new source naming
           already-cataloged data fingerprints but does not re-derive *)
+}
+
+type crowd_stats = {
+  labelers : int;  (** labelers currently attached *)
+  votes : int;  (** quorum size [K] — ballots that close a round *)
+  weighted : bool;  (** accuracy-weighted aggregation enabled? *)
+  rounds : int;  (** voting rounds closed with an absorbed aggregate *)
+  paid_labels : int;  (** ballots counted across all closed rounds *)
+  majority_flips : int;
+      (** closed rounds where the aggregate overruled at least one
+          dissenting ballot *)
+  timeouts : int;
+      (** rounds closed at the straggler deadline with fewer than [K]
+          (but decisively unbalanced) ballots *)
+  re_asks : int;
+      (** rounds re-opened — deadline expiry on a tie, or the engine
+          rejecting the aggregate as contradictory — discarding their
+          ballots *)
 }
 
 type shard_status = {
@@ -234,6 +283,22 @@ type response =
       (** reply to {!Ring_status}: ring members with failover state and
           per-shard replication lag (see {!shard_status}) plus the
           number of sessions with a journaled placement *)
+  | Labeler_attached of { labeler : int; votes : int }
+      (** reply to {!Labeler_attach}: this labeler's id (unique within
+          the session) and the quorum size — poll, answer, repeat *)
+  | Crowd_question of { round : int; question : question option }
+      (** reply to {!Labeler_poll}: the current voting round and the
+          question under vote.  [question = None] iff the session is
+          finished — the labeler can detach.  Echo [round] back in the
+          {!Vote}; a reply observed after the round closed simply fails
+          the echo check and the ballot is not counted. *)
+  | Vote_ok of { round : int; counted : bool; outcome : Jim_core.State.label option }
+      (** reply to {!Vote}.  [round] is the session's {e current} round
+          after processing — a resync hint.  [counted] says whether the
+          ballot entered the tally (false: stale round or duplicate).
+          [outcome] is [Some label] exactly when this ballot closed the
+          round and [label] was absorbed and journaled. *)
+  | Crowd_info of crowd_stats  (** reply to {!Crowd_stats} *)
   | Ended
   | Failed of error
 
@@ -255,7 +320,8 @@ val error_to_string : error -> string
       ["server busy: <active>/<max> sessions active"]
     - [Unsupported_version v] →
       ["unsupported protocol version <v> (this server speaks <version>)"]
-    - [Shard_unavailable m] → ["shard unavailable: <m>"] *)
+    - [Shard_unavailable m] → ["shard unavailable: <m>"]
+    - [Unknown_labeler id] → ["unknown labeler <id>"] *)
 
 (** {1 Codec}
 

@@ -6,13 +6,17 @@ type outcome = {
 }
 
 let majority votes worker sg =
-  let pos = ref 0 in
+  (* Draw in a loop (not List.init) so the worker's RNG is consumed in a
+     defined order; the tally itself is order-independent. *)
+  let labels = ref [] in
   for _ = 1 to votes do
-    if Oracle.label worker sg = State.Pos then incr pos
+    labels := Oracle.label worker sg :: !labels
   done;
-  let label = if 2 * !pos > votes then State.Pos else State.Neg in
-  let unanimous = !pos = 0 || !pos = votes in
-  (label, not unanimous)
+  match Votes.majority !labels with
+  | { Votes.label = Some label; dissent } -> (label, dissent)
+  | { Votes.label = None; _ } ->
+    (* an odd ballot count cannot tie; [run] rejects even counts *)
+    assert false
 
 let run ?seed ~votes ~strategy ~worker rel =
   if votes <= 0 || votes mod 2 = 0 then

@@ -5,7 +5,9 @@
     each membership question to several workers and keep the majority
     answer.  This module runs the Fig. 2 loop with per-question majority
     voting, exposing the cost/accuracy trade-off that the E7 ablation
-    bench sweeps. *)
+    bench sweeps.  Aggregation itself lives in {!Votes} — the same code
+    the server's wire-level vote coordinator uses, so the in-process and
+    wire crowd paths provably agree. *)
 
 type outcome = {
   session : Session.outcome;   (** the loop's outcome under majority labels *)

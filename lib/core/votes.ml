@@ -1,0 +1,62 @@
+type verdict = { label : State.label option; dissent : bool }
+
+let tally ballots =
+  if ballots = [] then invalid_arg "Votes.tally: no ballots";
+  let pos = ref 0. and neg = ref 0. in
+  let npos = ref 0 and nneg = ref 0 in
+  List.iter
+    (fun (label, weight) ->
+      if not (weight > 0.) then invalid_arg "Votes.tally: weights must be positive";
+      match label with
+      | State.Pos ->
+        pos := !pos +. weight;
+        incr npos
+      | State.Neg ->
+        neg := !neg +. weight;
+        incr nneg)
+    ballots;
+  let label =
+    if !pos > !neg then Some State.Pos
+    else if !neg > !pos then Some State.Neg
+    else None
+  in
+  { label; dissent = !npos > 0 && !nneg > 0 }
+
+let majority labels = tally (List.map (fun l -> (l, 1.)) labels)
+
+module Estimator = struct
+  type worker = { mutable voted : int; mutable agreed : int }
+
+  type t = {
+    mutable next : int;
+    workers : (int, worker) Hashtbl.t;
+  }
+
+  let create () = { next = 1; workers = Hashtbl.create 8 }
+
+  let add t =
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.replace t.workers id { voted = 0; agreed = 0 };
+    id
+
+  let known t id = Hashtbl.mem t.workers id
+  let count t = Hashtbl.length t.workers
+
+  let weight t id =
+    match Hashtbl.find_opt t.workers id with
+    | None -> invalid_arg (Printf.sprintf "Votes.Estimator.weight: unknown worker %d" id)
+    | Some w -> float_of_int (w.agreed + 1) /. float_of_int (w.voted + 2)
+
+  let record t id ~agreed =
+    match Hashtbl.find_opt t.workers id with
+    | None -> invalid_arg (Printf.sprintf "Votes.Estimator.record: unknown worker %d" id)
+    | Some w ->
+      w.voted <- w.voted + 1;
+      if agreed then w.agreed <- w.agreed + 1
+
+  let counts t id =
+    match Hashtbl.find_opt t.workers id with
+    | None -> invalid_arg (Printf.sprintf "Votes.Estimator.counts: unknown worker %d" id)
+    | Some w -> (w.agreed, w.voted)
+end

@@ -1,0 +1,53 @@
+(** Vote aggregation shared by the in-process crowd simulation
+    ({!Crowd}) and the server's wire-level vote coordinator — one
+    implementation, so the two paths provably agree.
+
+    A ballot is a labelled weight.  Aggregation is weighted majority:
+    the heavier side wins, an exact weight tie elects nobody.  Exactness
+    matters: with uniform weights the sums on each side are repeated
+    additions of the {e same} positive float, so comparing them is
+    exactly comparing ballot counts — weighted aggregation with uniform
+    weights {e equals} unweighted majority, bit for bit (a property the
+    test suite pins with qcheck). *)
+
+type verdict = {
+  label : State.label option;  (** the heavier side; [None] = exact tie *)
+  dissent : bool;  (** both labels received at least one ballot *)
+}
+
+val tally : (State.label * float) list -> verdict
+(** Weighted majority over the ballots.  Raises [Invalid_argument] on an
+    empty ballot list or a non-positive weight. *)
+
+val majority : State.label list -> verdict
+(** [tally] with uniform weight 1.0 per ballot — an odd ballot count can
+    never tie. *)
+
+(** Running per-labeler accuracy, Laplace-smoothed: a labeler's weight
+    is [(agreed + 1) / (voted + 2)] where [agreed] counts the closed
+    rounds whose aggregate the labeler's ballot matched.  Every labeler
+    starts at 0.5, so weighted aggregation over fresh labelers is
+    uniform — identical to exact majority — and drifts toward accurate
+    labelers only as evidence accumulates. *)
+module Estimator : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int
+  (** Register a new labeler; returns its id (1, 2, ...). *)
+
+  val known : t -> int -> bool
+  val count : t -> int
+
+  val weight : t -> int -> float
+  (** Current accuracy estimate in (0, 1).  Raises [Invalid_argument]
+      for an unregistered id. *)
+
+  val record : t -> int -> agreed:bool -> unit
+  (** Account one closed round: the labeler voted, and its ballot did or
+      did not match the absorbed aggregate. *)
+
+  val counts : t -> int -> int * int
+  (** [(agreed, voted)] so far. *)
+end

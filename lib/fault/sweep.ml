@@ -293,14 +293,14 @@ let reference env base =
     Store.close store);
   (fs, progress)
 
-let sweep_ordinals env ~total ~stride ~plans_of =
+let sweep_ordinals env ~check ~total ~stride ~plans_of =
   let points = ref 0 and runs = ref 0 and images = ref 0 in
   let n = ref 1 in
   while !n <= total do
     incr points;
     List.iter
       (fun plan ->
-        ignore (check_plan env plan);
+        ignore (check env plan);
         incr runs;
         images := !images + 2)
       (plans_of !n);
@@ -317,7 +317,7 @@ let crash_sweep ?catalog ?chunk ?(stride = 1) ?(applied = [ 0; 3 ]) spec =
   let base = { Plan.none with write_chunk = chunk } in
   let fs, progress = reference env base in
   let counters =
-    sweep_ordinals env ~total:(Memfs.writes fs) ~stride
+    sweep_ordinals env ~check:check_plan ~total:(Memfs.writes fs) ~stride
       ~plans_of:(fun n ->
         List.map (fun a -> { base with Plan.crash_write = Some (n, a) }) applied)
   in
@@ -328,7 +328,7 @@ let fsync_sweep ?catalog ?(stride = 1) spec =
   let env = env_of ?catalog spec in
   let fs, progress = reference env Plan.none in
   let counters =
-    sweep_ordinals env ~total:(Memfs.fsyncs fs) ~stride
+    sweep_ordinals env ~check:check_plan ~total:(Memfs.fsyncs fs) ~stride
       ~plans_of:(fun n -> [ { Plan.none with fail_fsync = Some n } ])
   in
   stats_of progress counters
@@ -338,7 +338,7 @@ let write_error_sweep ?catalog ?(stride = 1) spec =
   let env = env_of ?catalog spec in
   let fs, progress = reference env Plan.none in
   let counters =
-    sweep_ordinals env ~total:(Memfs.writes fs) ~stride
+    sweep_ordinals env ~check:check_plan ~total:(Memfs.writes fs) ~stride
       ~plans_of:(fun n -> [ { Plan.none with fail_write = Some n } ])
   in
   stats_of progress counters
@@ -451,3 +451,189 @@ let replicated_sweep ?catalog ?(stride = 1) ?(applied = [ 0; 3 ]) spec =
     n := !n + stride
   done;
   stats_of progress (!points, !runs, !images)
+
+(* ------------------------------------------------------------------ *)
+(* Crowd-labeled workload: the same sessions, answered by vote.        *)
+(* Every session runs a [votes]-strong perfect crowd (unanimous goal   *)
+(* labels), so each round's aggregate equals the oracle answer and the *)
+(* reference outcomes stay those of [Session.run].  Only the decisive  *)
+(* ballot touches the store (the absorbed aggregate, journaled as an   *)
+(* ordinary Answered event); crash points therefore land exactly at    *)
+(* aggregate-record boundaries — mid-vote-collection from the crowd's  *)
+(* point of view.  Verification deliberately recovers into a service   *)
+(* *without* crowd labeling: the journal must replay as plain answers, *)
+(* proving no ballot or partial tally ever reached disk.               *)
+
+module Coordinator = Jim_server.Coordinator
+
+let crowd_config votes =
+  (* A deadline the in-process run can never hit: rounds close by quorum
+     only, so the ballot count per aggregate is exact. *)
+  { Coordinator.votes; timeout = 3600.; weighted = false }
+
+let check_votes who votes =
+  if votes <= 0 || votes mod 2 = 0 then
+    invalid_arg (who ^ ": votes must be odd and positive")
+
+let crowd_attach service id votes =
+  Array.init votes (fun _ ->
+      match Service.handle service (Pr.Labeler_attach { session = id }) with
+      | Pr.Labeler_attached { labeler; _ } -> labeler
+      | other -> div "attach (session %d): %s" id (Pr.response_to_string other))
+
+(* One voting round: poll for the question, then every labeler casts the
+   goal label.  The quorum-th ballot must close the round (outcome on its
+   ack); [false] when the session has converged. *)
+let crowd_answer_one service oracle id labelers =
+  match
+    Service.handle service
+      (Pr.Labeler_poll { session = id; labeler = labelers.(0) })
+  with
+  | Pr.Crowd_question { question = None; _ } -> false
+  | Pr.Crowd_question { round; question = Some { Pr.sg; _ } } ->
+    let label = Oracle.label oracle sg in
+    let closed = ref false in
+    Array.iter
+      (fun l ->
+        match
+          Service.handle service
+            (Pr.Vote { session = id; labeler = l; round; label })
+        with
+        | Pr.Vote_ok { outcome = Some _; _ } -> closed := true
+        | Pr.Vote_ok _ -> ()
+        | other -> div "vote (session %d): %s" id (Pr.response_to_string other))
+      labelers;
+    if not !closed then
+      div "session %d: round %d open after %d unanimous ballots" id round
+        (Array.length labelers);
+    true
+  | other -> div "poll (session %d): %s" id (Pr.response_to_string other)
+
+(* As [run_workload], by vote: an "answer" is acked when the decisive
+   ballot's reply carries the aggregate — i.e. after the journal write. *)
+let run_crowd_workload env service ~votes progress =
+  for i = 0 to env.spec.sessions - 1 do
+    start_session env service progress i
+  done;
+  let labelers =
+    Array.map (fun id -> crowd_attach service id votes) progress.ids
+  in
+  let live = Array.make env.spec.sessions true in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    for i = 0 to env.spec.sessions - 1 do
+      if live.(i) then
+        if
+          crowd_answer_one service env.oracles.(i) progress.ids.(i)
+            labelers.(i)
+        then begin
+          progress.acked.(i) <- progress.acked.(i) + 1;
+          continue := true
+        end
+        else live.(i) <- false
+    done
+  done
+
+let drive_crowd env ~votes fs progress =
+  try
+    (match open_on env fs with
+    | Error m -> div "open_dir (fresh crowd): %s" m
+    | Ok (store, _) ->
+      let service =
+        Service.create ?catalog:env.catalog ~persist:(Store.record store)
+          ~crowd:(crowd_config votes) ()
+      in
+      run_crowd_workload env service ~votes progress;
+      Store.close store);
+    `Completed
+  with e when interrupted e -> `Interrupted
+
+(* The uninterrupted crowd reference doubles as the bit-identity proof:
+   a perfect crowd's live outcomes must equal the noiseless in-process
+   [Session.run] exactly. *)
+let crowd_reference env ~votes base =
+  let fs = Memfs.create ~plan:base () in
+  let progress = fresh_progress env.spec in
+  (match open_on env fs with
+  | Error m -> div "crowd reference open_dir: %s" m
+  | Ok (store, _) ->
+    let service =
+      Service.create ?catalog:env.catalog ~persist:(Store.record store)
+        ~crowd:(crowd_config votes) ()
+    in
+    run_crowd_workload env service ~votes progress;
+    Array.iteri
+      (fun i id ->
+        if not (Smoke.outcome_equal (result_of service id) env.expected.(i))
+        then div "crowd reference session %d diverges before any fault" i)
+      progress.ids;
+    Store.close store);
+  (fs, progress)
+
+(* Faulted crowd run + both images verified — through [verify_image]'s
+   plain (crowd-free) service, unchanged: the disk must look exactly as
+   if the aggregates had been direct answers. *)
+let check_crowd_plan env ~votes plan =
+  let fs = Memfs.create ~plan () in
+  let progress = fresh_progress env.spec in
+  let outcome = drive_crowd env ~votes fs progress in
+  let under what f =
+    try f () with
+    | Divergence m -> div "[%s, %s image] %s" (Plan.to_string plan) what m
+  in
+  under "durable" (fun () -> verify_image env progress (Memfs.durable_image fs));
+  under "flushed" (fun () -> verify_image env progress (Memfs.flushed_image fs));
+  outcome
+
+let crowd_crash_sweep ?catalog ?chunk ?(stride = 1) ?(applied = [ 0; 3 ])
+    ?(votes = 3) spec =
+  if stride < 1 then invalid_arg "Sweep.crowd_crash_sweep: stride";
+  check_votes "Sweep.crowd_crash_sweep" votes;
+  let env = env_of ?catalog spec in
+  let base = { Plan.none with write_chunk = chunk } in
+  let fs, progress = crowd_reference env ~votes base in
+  let counters =
+    sweep_ordinals env
+      ~check:(fun env plan -> check_crowd_plan env ~votes plan)
+      ~total:(Memfs.writes fs) ~stride
+      ~plans_of:(fun n ->
+        List.map (fun a -> { base with Plan.crash_write = Some (n, a) }) applied)
+  in
+  stats_of progress counters
+
+(* One fault-free primary/standby pair under the crowd workload: the
+   replication stream carries only the aggregates, so the promoted
+   standby must resume every session bit-identically with no crowd
+   machinery of its own.  (Failover under faults is [replicated_sweep]'s
+   job — the event stream is identical, crowd or not.) *)
+let crowd_replicated_run ?catalog ?(votes = 3) spec =
+  check_votes "Sweep.crowd_replicated_run" votes;
+  let env = env_of ?catalog spec in
+  let fs_b = Memfs.create () in
+  let stb = Standby.create ~io:(Memfs.io fs_b) ~dir:standby_dir () in
+  let fs_p = Memfs.create () in
+  let progress = fresh_progress env.spec in
+  (match open_on env fs_p with
+  | Error m -> div "open_dir (crowd pair): %s" m
+  | Ok (store, _) -> (
+    match Repl.attach store (Repl.of_standby stb) with
+    | Error m -> div "replication attach: %s" m
+    | Ok repl ->
+      let persist ev =
+        Store.record store ev;
+        Repl.send repl ev
+      in
+      let service =
+        Service.create ?catalog:env.catalog ~persist
+          ~crowd:(crowd_config votes) ()
+      in
+      run_crowd_workload env service ~votes progress;
+      Array.iteri
+        (fun i id ->
+          if not (Smoke.outcome_equal (result_of service id) env.expected.(i))
+          then div "crowd pair session %d diverges on the primary" i)
+        progress.ids;
+      Store.close store));
+  verify_pair env progress stb;
+  stats_of progress (1, 1, 1)

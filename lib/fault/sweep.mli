@@ -95,6 +95,36 @@ val chunk_run : ?catalog:Jim_catalog.Catalog.t -> chunk:int -> spec -> stats
     short-write retry loops must reassemble bit-identical journals and
     the workload must complete exactly like the reference run. *)
 
+val crowd_crash_sweep :
+  ?catalog:Jim_catalog.Catalog.t ->
+  ?chunk:int ->
+  ?stride:int ->
+  ?applied:int list ->
+  ?votes:int ->
+  spec ->
+  stats
+(** {!crash_sweep} over the {e crowd-labeled} workload: every session is
+    answered by a [votes]-strong (default 3, must be odd and positive)
+    perfect crowd — attach, poll, unanimous ballots — so each round
+    closes by quorum on the decisive ballot's acknowledgement.  Only the
+    absorbed aggregate is journaled, hence every crash point lands at an
+    aggregate-record boundary: mid-vote-collection, from the crowd's
+    point of view.  Both post-crash images are verified through a
+    service {e without} crowd labeling, proving the journal replays as
+    plain answers (no ballot, no partial tally, ever on disk) and the
+    recovered sessions resume bit-identically.  The fault-free reference
+    run additionally pins the perfect crowd's live outcomes to the
+    noiseless in-process {!Jim_core.Session.run}. *)
+
+val crowd_replicated_run :
+  ?catalog:Jim_catalog.Catalog.t -> ?votes:int -> spec -> stats
+(** One fault-free primary/standby pair under the crowd workload: the
+    replication stream carries only the journaled aggregates, so the
+    promoted standby — which has no crowd machinery at all — must
+    resume every session bit-identically.  Failover under primary
+    crashes is {!replicated_sweep}'s job; the event stream is identical
+    whether answers arrived directly or by vote. *)
+
 val replicated_sweep :
   ?catalog:Jim_catalog.Catalog.t ->
   ?stride:int ->

@@ -31,6 +31,12 @@ type session = {
          lock, so nothing can journal an Answered/Undone after Ended —
          recovery replays the log in order and would otherwise see
          events for a session it already discarded. *)
+  crowd : Coordinator.t option;
+      (* Some iff the service was created with crowd labeling enabled:
+         answers then arrive only as vote aggregates.  In-memory only —
+         a restored session gets a fresh coordinator (labelers
+         re-attach) while its absorbed aggregates replay from the
+         journal as ordinary answers. *)
 }
 
 type t = {
@@ -46,10 +52,17 @@ type t = {
   persist_hook : (Jim_store.Event.t -> unit) option;
       (* called with every state-mutating event *before* its reply is
          built; [None] in the default in-memory mode *)
+  crowd : Coordinator.config option;
+      (* when Some, every session gets a vote coordinator and direct
+         Answer/Undo are refused *)
 }
 
 let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
-    ?catalog ?persist () =
+    ?catalog ?persist ?crowd () =
+  (* Validate eagerly, not at first session start. *)
+  (match crowd with
+  | Some cfg -> ignore (Coordinator.create ~now:0. cfg)
+  | None -> ());
   {
     lock = Mutex.create ();
     sessions = Hashtbl.create 16;
@@ -59,6 +72,7 @@ let create ?(max_sessions = 64) ?(idle_ttl = 600.) ?(now = Unix.gettimeofday)
     now;
     catalog = (match catalog with Some c -> c | None -> Catalog.create ());
     persist_hook = persist;
+    crowd;
   }
 
 let catalog t = t.catalog
@@ -193,6 +207,10 @@ let start_session ?id:pinned t source strategy_name seed =
                   metrics = Metrics.zero;
                   last_used = t.now ();
                   ended = false;
+                  crowd =
+                    Option.map
+                      (fun cfg -> Coordinator.create ~now:(t.now ()) cfg)
+                      t.crowd;
                 }
               in
               Hashtbl.replace t.sessions id s;
@@ -373,6 +391,87 @@ let end_session t id =
     Catalog.release t.catalog s.entry;
     P.Ended
 
+(* ------------------------------------------------------------------ *)
+(* Crowd labeling                                                      *)
+
+let crowd_disabled = "crowd labeling disabled (start the server with --votes)"
+let crowd_answer_guard = "session is crowd-labeled: answers arrive by vote"
+let crowd_undo_guard = "session is crowd-labeled: undo is disabled"
+
+let with_crowd (s : session) f =
+  match s.crowd with
+  | None -> P.Failed (P.Bad_request crowd_disabled)
+  | Some co -> f co
+
+(* Absorb an aggregate through the normal answer path — [do_answer]
+   journals it as a plain Answered event, so recovery, replication and
+   bit-identity need no crowd-specific handling at all.  An aggregate the
+   engine refuses as contradictory (possible under noise) is dropped and
+   the round re-asked: fresh ballots draw fresh noisy labels. *)
+let close_round t s co label =
+  match pending_question s with
+  | None -> None
+  | Some c -> (
+    match do_answer t s c label with
+    | P.Answered _ ->
+      Coordinator.absorbed ~now:(t.now ()) co label;
+      Some label
+    | _ ->
+      Coordinator.rejected ~now:(t.now ()) co;
+      None)
+
+(* Settle an overdue round before building any crowd reply; polls and
+   votes are the coordinator's only clock. *)
+let crowd_expire t s co =
+  if pending_question s <> None then
+    match Coordinator.expire ~now:(t.now ()) co with
+    | Coordinator.Wait -> ()
+    | Coordinator.Aggregate label -> ignore (close_round t s co label)
+
+let do_labeler_attach s =
+  with_crowd s (fun co ->
+      P.Labeler_attached { labeler = Coordinator.attach co; votes = Coordinator.quorum co })
+
+let do_labeler_poll t s labeler =
+  with_crowd s (fun co ->
+      if not (Coordinator.known co labeler) then
+        P.Failed (P.Unknown_labeler labeler)
+      else begin
+        crowd_expire t s co;
+        P.Crowd_question
+          {
+            round = Coordinator.round co;
+            question = Option.map (question_of_cls s.eng) (pending_question s);
+          }
+      end)
+
+let do_vote t s labeler round label =
+  with_crowd s (fun co ->
+      if not (Coordinator.known co labeler) then
+        P.Failed (P.Unknown_labeler labeler)
+      else begin
+        crowd_expire t s co;
+        let stale () =
+          P.Vote_ok { round = Coordinator.round co; counted = false; outcome = None }
+        in
+        match pending_question s with
+        | None -> stale () (* finished: no round is open *)
+        | Some _ -> (
+          match Coordinator.vote ~now:(t.now ()) co ~labeler ~round ~label with
+          | `Unknown -> P.Failed (P.Unknown_labeler labeler)
+          | `Stale -> stale ()
+          | `Counted Coordinator.Wait ->
+            P.Vote_ok
+              { round = Coordinator.round co; counted = true; outcome = None }
+          | `Counted (Coordinator.Aggregate l) ->
+            let outcome = close_round t s co l in
+            P.Vote_ok
+              { round = Coordinator.round co; counted = true; outcome })
+      end)
+
+let do_crowd_stats s =
+  with_crowd s (fun co -> P.Crowd_info (Coordinator.stats co))
+
 let register_instance t source =
   match Catalog.resolve t.catalog source with
   | Error e -> P.Failed e
@@ -448,6 +547,8 @@ let restore_session t (rs : Jim_store.Recovery.session) =
         metrics = Metrics.zero;
         last_used = t.now ();
         ended = false;
+        crowd =
+          Option.map (fun cfg -> Coordinator.create ~now:(t.now ()) cfg) t.crowd;
       }
     in
     let classes = Session.classes eng in
@@ -507,8 +608,15 @@ let handle t req =
   | P.Top_questions { session; k } ->
     with_session t session (fun s -> top_questions s k)
   | P.Answer { session; cls; label } ->
-    with_session t session (fun s -> do_answer t s cls label)
-  | P.Undo { session } -> with_session t session (do_undo t)
+    with_session t session (fun s ->
+        match s.crowd with
+        | Some _ -> P.Failed (P.Bad_request crowd_answer_guard)
+        | None -> do_answer t s cls label)
+  | P.Undo { session } ->
+    with_session t session (fun s ->
+        match s.crowd with
+        | Some _ -> P.Failed (P.Bad_request crowd_undo_guard)
+        | None -> do_undo t s)
   | P.Explain { session; cls } ->
     with_session t session (fun s -> do_explain s cls)
   | P.Result { session } -> with_session t session do_result
@@ -526,6 +634,12 @@ let handle t req =
     P.Failed (P.Bad_request "this node is already serving (not a standby)")
   | P.Ring_status ->
     P.Failed (P.Bad_request "ring_status is answered by the router")
+  | P.Labeler_attach { session } -> with_session t session do_labeler_attach
+  | P.Labeler_poll { session; labeler } ->
+    with_session t session (fun s -> do_labeler_poll t s labeler)
+  | P.Vote { session; labeler; round; label } ->
+    with_session t session (fun s -> do_vote t s labeler round label)
+  | P.Crowd_stats { session } -> with_session t session do_crowd_stats
 
 let handle_line_status t line =
   match P.request_of_string line with

@@ -26,6 +26,7 @@ val create :
   ?now:(unit -> float) ->
   ?catalog:Jim_catalog.Catalog.t ->
   ?persist:(Jim_store.Event.t -> unit) ->
+  ?crowd:Coordinator.config ->
   unit ->
   t
 (** Defaults: 64 sessions, 600 s TTL, [Unix.gettimeofday].  [now] is
@@ -46,7 +47,20 @@ val create :
     purely in-memory.  Session-start events journal the catalog entry's
     concrete origin source (never [Catalog fp] — a restart empties the
     catalog) plus its fingerprint, which the catalog computed exactly
-    once per entry. *)
+    once per entry.
+
+    [crowd] enables crowd labeling: every session gets a {!Coordinator}
+    and its answers arrive only as vote aggregates
+    ([Labeler_attach] / [Labeler_poll] / [Vote]).  Direct [Answer] and
+    [Undo] on a crowd session are refused with the pinned
+    [Bad_request] reasons ["session is crowd-labeled: answers arrive by
+    vote"] and ["session is crowd-labeled: undo is disabled"]; on a
+    service {e without} [crowd], the crowd messages are refused with
+    ["crowd labeling disabled (start the server with --votes)"].  Only
+    the absorbed aggregate reaches [persist] (as an ordinary Answered
+    event), so durability, recovery, replication and bit-identity are
+    untouched by voting.  Raises [Invalid_argument] for even or
+    non-positive [votes] or a non-positive [timeout]. *)
 
 val catalog : t -> Jim_catalog.Catalog.t
 (** The catalog this service resolves through ([Catalog_stats] reads its

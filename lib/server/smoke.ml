@@ -38,9 +38,11 @@ let report ~seed ~strategy ~questions = function
 
 (* Small instances keep 32 concurrent lookahead sessions fast while still
    exercising multi-step inference. *)
-let params seed =
+let synthetic_params seed =
   { Jim_workloads.Synthetic.n_attrs = 5; n_tuples = 40; domain = 8;
     goal_rank = 2; seed }
+
+let params = synthetic_params
 
 let event_equal (a : Session.event) (b : Session.event) =
   a.step = b.step && a.cls = b.cls && a.row = b.row
@@ -129,12 +131,21 @@ let drive_over conn ~seed ~strategy =
     ~source:(synthetic_source (params seed))
     ~instance_seed:seed ~seed ~strategy
 
-let drive_one ?(framing = Wire.Line) ?instance ~address ~seed ~strategy () =
+(* Every driver caps how long it will wait on one reply: a server (or
+   chaos proxy) that stalls instead of answering must classify as a
+   transport drop, never hang the drill.  30 s is far above any honest
+   reply; chaos tests shrink it to provoke the timeout on purpose. *)
+let default_receive_timeout = 30.
+
+let drive_one ?(framing = Wire.Line)
+    ?(receive_timeout = default_receive_timeout) ?instance ~address ~seed
+    ~strategy () =
   match Wire.connect ~retries:50 ~framing address with
   | Error msg ->
     report ~seed ~strategy ~questions:0
       (Error { transport = true; msg = "connect: " ^ msg })
   | Ok conn ->
+    Wire.set_timeout conn receive_timeout;
     let questions, outcome =
       match
         match instance with
@@ -153,7 +164,8 @@ let drive_one ?(framing = Wire.Line) ?instance ~address ~seed ~strategy () =
 
 let strategy_for i = if i mod 2 = 0 then "lookahead-entropy" else "random"
 
-let run ?(clients = 32) ?(framing = Wire.Line) ?instance ~address () =
+let run ?(clients = 32) ?(framing = Wire.Line)
+    ?(receive_timeout = default_receive_timeout) ?instance ~address () =
   let reports = ref [] in
   let lock = Mutex.create () in
   let spawn i =
@@ -161,7 +173,10 @@ let run ?(clients = 32) ?(framing = Wire.Line) ?instance ~address () =
       (fun () ->
         let seed = 100 + i in
         let strategy = strategy_for i in
-        let r = drive_one ~framing ?instance ~address ~seed ~strategy () in
+        let r =
+          drive_one ~framing ~receive_timeout ?instance ~address ~seed
+            ~strategy ()
+        in
         Mutex.lock lock;
         reports := r :: !reports;
         Mutex.unlock lock)
@@ -318,7 +333,7 @@ let drive_pipelined conn slots =
   loop ()
 
 let run_pipelined ?(clients = 4) ?(pipeline = 8) ?(framing = Wire.Line)
-    ~address () =
+    ?(receive_timeout = default_receive_timeout) ~address () =
   let reports = ref [] in
   let lock = Mutex.create () in
   let one ci =
@@ -334,6 +349,7 @@ let run_pipelined ?(clients = 4) ?(pipeline = 8) ?(framing = Wire.Line)
           s.outcome <- Some (Error { transport = true; msg = "connect: " ^ msg }))
         slots
     | Ok conn ->
+      Wire.set_timeout conn receive_timeout;
       (try drive_pipelined conn slots
        with exn ->
          Array.iter
@@ -370,10 +386,11 @@ let run_pipelined ?(clients = 4) ?(pipeline = 8) ?(framing = Wire.Line)
    exactly one derivation). *)
 
 let catalog_smoke ?(clients = 2) ?(instance = 7) ?(framing = Wire.Line)
-    ~address () =
+    ?(receive_timeout = default_receive_timeout) ~address () =
   match Wire.connect ~retries:50 ~framing address with
   | Error msg -> Error ("connect: " ^ msg)
   | Ok conn -> (
+    Wire.set_timeout conn receive_timeout;
     let fp =
       match
         call conn
@@ -404,6 +421,7 @@ let catalog_smoke ?(clients = 2) ?(instance = 7) ?(framing = Wire.Line)
                 report ~seed ~strategy ~questions:0
                   (Error { transport = true; msg = "connect: " ^ msg })
               | Ok c ->
+                Wire.set_timeout c receive_timeout;
                 let questions, outcome =
                   match
                     drive_session c ~source:(P.Catalog fp)
@@ -497,7 +515,8 @@ let answer_rounds conn ~session ~oracle ~rounds =
   in
   loop 0
 
-let crash_start ~address ~state_file ?(clients = 8) () =
+let crash_start ~address ~state_file ?(clients = 8)
+    ?(receive_timeout = default_receive_timeout) () =
   let lock = Mutex.create () in
   let lines = ref [] and reports = ref [] in
   let one i =
@@ -507,6 +526,7 @@ let crash_start ~address ~state_file ?(clients = 8) () =
       match Wire.connect ~retries:50 address with
       | Error msg -> Error { transport = true; msg = "connect: " ^ msg }
       | Ok conn ->
+        Wire.set_timeout conn receive_timeout;
         let r =
           match
             let oracle, expected = expected_outcome ~seed ~strategy in
@@ -539,10 +559,11 @@ let crash_start ~address ~state_file ?(clients = 8) () =
   close_out oc;
   List.sort (fun a b -> compare a.seed b.seed) !reports
 
-let resume_one ~address ~seed ~strategy ~session ~already =
+let resume_one ~receive_timeout ~address ~seed ~strategy ~session ~already =
   match Wire.connect ~retries:50 address with
   | Error msg -> Error { transport = true; msg = "connect: " ^ msg }
   | Ok conn ->
+    Wire.set_timeout conn receive_timeout;
     let r =
       match
         let oracle, expected = expected_outcome ~seed ~strategy in
@@ -585,7 +606,8 @@ let resume_one ~address ~seed ~strategy ~session ~already =
     Wire.close conn;
     r
 
-let crash_resume ~address ~state_file () =
+let crash_resume ~address ~state_file
+    ?(receive_timeout = default_receive_timeout) () =
   let ic = open_in state_file in
   let rec read acc =
     match input_line ic with
@@ -601,7 +623,10 @@ let crash_resume ~address ~state_file () =
         let seed = int_of_string seed
         and session = int_of_string session
         and asked = int_of_string asked in
-        match resume_one ~address ~seed ~strategy ~session ~already:asked with
+        match
+          resume_one ~receive_timeout ~address ~seed ~strategy ~session
+            ~already:asked
+        with
         | Ok questions -> report ~seed ~strategy ~questions (Ok ())
         | Error e -> report ~seed ~strategy ~questions:0 (Error e))
       | _ ->
@@ -615,13 +640,13 @@ let crash_resume ~address ~state_file () =
         })
     lines
 
-let busy_check ~address ~fill =
+let busy_check ?(receive_timeout = default_receive_timeout) ~address ~fill () =
   match Wire.connect ~retries:50 address with
   | Error msg -> Error ("connect: " ^ msg)
   | Ok conn ->
     (* A server that neither accepts nor refuses the overflow session —
        it just never replies — must fail the drill, not hang it. *)
-    Wire.set_timeout conn 30.;
+    Wire.set_timeout conn receive_timeout;
     let start seed =
       call conn
         (P.Start_session
@@ -659,3 +684,214 @@ let busy_check ~address ~fill =
          (fun session -> ignore (call conn (P.End_session { session })))
          sessions;
        verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Crowd drill: one controller session, [labelers] concurrent labeler
+   clients each attaching, polling the voting round and casting a
+   (possibly noise-flipped) ballot, until the session converges.  Each
+   labeler draws exactly one label per round it sees — its noise stream
+   is seeded, so which answers are wrong is deterministic per (labeler
+   seed, round sequence), independent of scheduling.  The aggregate the
+   server absorbs is the only event that reaches the journal. *)
+
+type labeler_spec = {
+  error_rate : float;
+  labeler_seed : int;
+  labeler_address : Wire.address option;
+      (* connect here instead of the controller's address — e.g. through
+         a chaos proxy to make this labeler slow or absent *)
+}
+
+let perfect_labeler seed = { error_rate = 0.; labeler_seed = seed; labeler_address = None }
+
+type crowd_report = {
+  creport : client_report;
+  crowd : P.crowd_stats option;  (* server counters, when fetchable *)
+  got : Session.outcome option;  (* the wire outcome, when reached *)
+  reference : Session.outcome;  (* noiseless Session.run on the instance *)
+}
+
+(* One labeler client.  Returns how many ballots were cast and how many
+   the server counted (stale ballots — rounds closed by quorum or
+   deadline before ours landed — are the difference). *)
+let labeler_loop ?(framing = Wire.Line)
+    ?(receive_timeout = default_receive_timeout) ?(poll_interval = 0.002)
+    ~address ~session ~oracle () =
+  match Wire.connect ~retries:50 ~framing address with
+  | Error msg -> Error { transport = true; msg = "connect: " ^ msg }
+  | Ok conn ->
+    Wire.set_timeout conn receive_timeout;
+    let r =
+      match
+        let* resp = call conn (P.Labeler_attach { session }) in
+        let* labeler =
+          match resp with
+          | P.Labeler_attached { labeler; _ } -> Ok labeler
+          | P.Failed e -> Error (diverged "%s" (P.error_to_string e))
+          | other -> unexpected "Labeler_attach" other
+        in
+        let rec loop last_round cast counted =
+          let* q = call conn (P.Labeler_poll { session; labeler }) in
+          match q with
+          | P.Crowd_question { question = None; _ } -> Ok (cast, counted)
+          | P.Crowd_question { round; question = Some { P.sg; _ } } ->
+            if round = last_round then begin
+              (* already voted this round; wait for the quorum *)
+              Thread.delay poll_interval;
+              loop last_round cast counted
+            end
+            else
+              let label = Oracle.label oracle sg in
+              let* v = call conn (P.Vote { session; labeler; round; label }) in
+              (match v with
+              | P.Vote_ok { counted = c; _ } ->
+                loop round (cast + 1) (counted + if c then 1 else 0)
+              | P.Failed e -> Error (diverged "%s" (P.error_to_string e))
+              | other -> unexpected "Vote" other)
+          | P.Failed (P.Unknown_session _) ->
+            Ok (cast, counted) (* the controller gave up and ended it *)
+          | P.Failed e -> Error (diverged "%s" (P.error_to_string e))
+          | other -> unexpected "Labeler_poll" other
+        in
+        loop 0 0 0
+      with
+      | r -> r
+      | exception exn -> Error (diverged "%s" (Printexc.to_string exn))
+    in
+    Wire.close conn;
+    r
+
+let run_labeler ?framing ?receive_timeout ?poll_interval ~address ~session
+    ~oracle () =
+  match
+    labeler_loop ?framing ?receive_timeout ?poll_interval ~address ~session
+      ~oracle ()
+  with
+  | Ok counts -> Ok counts
+  | Error { msg; _ } -> Error msg
+
+let crowd_run ?(framing = Wire.Line)
+    ?(receive_timeout = default_receive_timeout) ?(poll_interval = 0.002)
+    ?(deadline = 120.) ~address ~seed ~strategy ~labelers () =
+  let inst = Jim_workloads.Synthetic.generate (params seed) in
+  let goal_oracle = Oracle.of_goal inst.Jim_workloads.Synthetic.goal in
+  let strat =
+    match Strategy.of_string strategy with
+    | Ok s -> s
+    | Error msg -> invalid_arg msg
+  in
+  let reference =
+    Session.run ~seed ~strategy:strat ~oracle:goal_oracle
+      inst.Jim_workloads.Synthetic.relation
+  in
+  let fail e =
+    { creport = report ~seed ~strategy ~questions:0 (Error e);
+      crowd = None; got = None; reference }
+  in
+  match Wire.connect ~retries:50 ~framing address with
+  | Error msg -> fail { transport = true; msg = "connect: " ^ msg }
+  | Ok conn -> (
+    Wire.set_timeout conn receive_timeout;
+    let started =
+      call conn
+        (P.Start_session
+           { source = synthetic_source (params seed); strategy; seed })
+    in
+    match started with
+    | Error e ->
+      Wire.close conn;
+      fail e
+    | Ok (P.Failed e) ->
+      Wire.close conn;
+      fail (diverged "%s" (P.error_to_string e))
+    | Ok (P.Started { session; _ }) ->
+      let fails = Array.make (List.length labelers) None in
+      let threads =
+        List.mapi
+          (fun i spec ->
+            Thread.create
+              (fun () ->
+                let oracle =
+                  Oracle.noisy ~seed:spec.labeler_seed
+                    ~flip_probability:spec.error_rate goal_oracle
+                in
+                let address =
+                  Option.value spec.labeler_address ~default:address
+                in
+                match
+                  labeler_loop ~framing ~receive_timeout ~poll_interval
+                    ~address ~session ~oracle ()
+                with
+                | Ok _ -> ()
+                | Error e -> fails.(i) <- Some e)
+              ())
+          labelers
+      in
+      let t0 = Unix.gettimeofday () in
+      let rec wait_done () =
+        if Unix.gettimeofday () -. t0 > deadline then Ok false
+        else
+          let* q = call conn (P.Get_question { session }) in
+          match q with
+          | P.Question None -> Ok true
+          | P.Question (Some _) ->
+            Thread.delay poll_interval;
+            wait_done ()
+          | P.Failed e -> Error (diverged "%s" (P.error_to_string e))
+          | other -> unexpected "Get_question" other
+      in
+      let finished = try wait_done () with exn -> Error (diverged "%s" (Printexc.to_string exn)) in
+      (* Harvest before ending: the coordinator's counters die with the
+         session. *)
+      let crowd =
+        match call conn (P.Crowd_stats { session }) with
+        | Ok (P.Crowd_info c) -> Some c
+        | _ -> None
+      in
+      let got =
+        match call conn (P.Result { session }) with
+        | Ok (P.Outcome o) -> Some o
+        | _ -> None
+      in
+      ignore (call conn (P.End_session { session }));
+      List.iter Thread.join threads;
+      Wire.close conn;
+      let questions = match crowd with Some c -> c.P.rounds | None -> 0 in
+      let labeler_fail =
+        Array.fold_left
+          (fun acc f ->
+            match (acc, f) with
+            | Some _, _ -> acc
+            | None, Some e when not e.transport -> Some e
+            | None, _ -> None)
+          None fails
+      in
+      let outcome =
+        match (finished, labeler_fail, got) with
+        | Error e, _, _ -> Error e
+        | _, Some e, _ -> Error e
+        | Ok false, _, _ ->
+          Error (diverged "no convergence within %.0f s deadline" deadline)
+        | Ok true, None, None -> Error (diverged "no outcome after convergence")
+        | Ok true, None, Some got ->
+          if List.for_all (fun s -> s.error_rate = 0.) labelers then
+            (* Perfect crowd: the whole transcript must be bit-identical
+               to the noiseless in-process run. *)
+            if outcome_equal reference got then Ok ()
+            else
+              Error
+                (diverged
+                   "crowd outcome differs from local Session.run: wire %s/%d, \
+                    local %s/%d"
+                   (Jim_partition.Partition.to_string got.Session.query)
+                   got.Session.interactions
+                   (Jim_partition.Partition.to_string reference.Session.query)
+                   reference.Session.interactions)
+          else Ok () (* noisy: the caller judges [got] against [reference] *)
+      in
+      { creport = report ~seed ~strategy ~questions outcome; crowd; got; reference }
+    | Ok other ->
+      Wire.close conn;
+      (match unexpected "Start_session" other with
+      | Error e -> fail e
+      | Ok _ -> assert false))

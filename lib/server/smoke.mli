@@ -17,8 +17,15 @@ type client_report = {
   detail : string;  (** empty when [ok]; the mismatch/failure otherwise *)
 }
 
+val synthetic_params : int -> Jim_workloads.Synthetic.params
+(** The smoke workload's instance shape (5 attributes, 40 tuples, domain
+    8, rank-2 goal) seeded [seed] — exposed so out-of-process drivers
+    ([jim labeler]) can regenerate the same instance, and with it the
+    goal oracle, from the seed alone. *)
+
 val drive_one :
   ?framing:Wire.framing ->
+  ?receive_timeout:float ->
   ?instance:int ->
   address:Wire.address ->
   seed:int ->
@@ -30,14 +37,19 @@ val drive_one :
     locally), loop question/answer to completion, fetch the outcome and
     compare with the local reference run.  [framing] (default [Line])
     selects the wire framing — the outcome bar is identical under both.
-    [instance] decouples the instance seed from the session seed: when
-    given, every client drives the synthetic instance seeded [instance]
-    (so they all resolve to one catalog entry) while [seed] still seeds
-    the strategy RNG; by default the instance seed is [seed]. *)
+    [receive_timeout] (default 30 s, as on every driver here) caps the
+    wait for any single reply: a server or proxy that stalls instead of
+    answering classifies as a transport drop ([dropped = true]), never a
+    divergence and never a hang.  [instance] decouples the instance seed
+    from the session seed: when given, every client drives the synthetic
+    instance seeded [instance] (so they all resolve to one catalog
+    entry) while [seed] still seeds the strategy RNG; by default the
+    instance seed is [seed]. *)
 
 val run :
   ?clients:int ->
   ?framing:Wire.framing ->
+  ?receive_timeout:float ->
   ?instance:int ->
   address:Wire.address ->
   unit ->
@@ -52,6 +64,7 @@ val run_pipelined :
   ?clients:int ->
   ?pipeline:int ->
   ?framing:Wire.framing ->
+  ?receive_timeout:float ->
   address:Wire.address ->
   unit ->
   client_report list
@@ -70,6 +83,7 @@ val catalog_smoke :
   ?clients:int ->
   ?instance:int ->
   ?framing:Wire.framing ->
+  ?receive_timeout:float ->
   address:Wire.address ->
   unit ->
   (client_report list * Jim_api.Protocol.catalog_stats, string) result
@@ -86,6 +100,7 @@ val crash_start :
   address:Wire.address ->
   state_file:string ->
   ?clients:int ->
+  ?receive_timeout:float ->
   unit ->
   client_report list
 (** Phase one of the crash drill: [clients] (default 8) concurrent
@@ -97,7 +112,11 @@ val crash_start :
     data directory. *)
 
 val crash_resume :
-  address:Wire.address -> state_file:string -> unit -> client_report list
+  address:Wire.address ->
+  state_file:string ->
+  ?receive_timeout:float ->
+  unit ->
+  client_report list
 (** Phase two: for each line of [state_file], check the restarted server
     still holds every acknowledged answer (via [Stats]), drive the
     session to completion, and require the outcome bit-identical to an
@@ -105,12 +124,86 @@ val crash_resume :
     invariant the store exists to provide. *)
 
 val busy_check :
-  address:Wire.address -> fill:int -> (unit, string) result
+  ?receive_timeout:float ->
+  address:Wire.address ->
+  fill:int ->
+  unit ->
+  (unit, string) result
 (** Open [fill] sessions without ending them, then check that one more
     [Start_session] is refused with [Server_busy] (the server must reply,
-    not hang — a 30 s receive timeout turns a hang into an error).  Ends
+    not hang — the receive timeout turns a hang into an error).  Ends
     every session before returning.  Call against a server whose
     [max_sessions] equals [fill]. *)
+
+(** {1 Crowd drill} *)
+
+type labeler_spec = {
+  error_rate : float;
+      (** probability each of this labeler's answers is flipped *)
+  labeler_seed : int;  (** seeds the noise stream — which answers are
+                           wrong is deterministic, not schedule-dependent *)
+  labeler_address : Wire.address option;
+      (** connect here instead of the controller's address — e.g. through
+          a [jim chaos] proxy to make this labeler slow or absent *)
+}
+
+val perfect_labeler : int -> labeler_spec
+(** [error_rate = 0.] at the controller's address. *)
+
+type crowd_report = {
+  creport : client_report;
+      (** [questions] is the count of closed voting rounds; for a
+          perfect crowd (every [error_rate] zero) [ok] requires the
+          outcome bit-identical to the noiseless in-process run, for a
+          noisy crowd it only requires clean convergence — judge [got]
+          against [reference] yourself *)
+  crowd : Jim_api.Protocol.crowd_stats option;
+      (** the server's vote counters, harvested just before ending the
+          session *)
+  got : Jim_core.Session.outcome option;  (** the wire outcome *)
+  reference : Jim_core.Session.outcome;
+      (** the noiseless local {!Jim_core.Session.run} — under noise the
+          transcripts may differ while the inferred [query] still
+          converges to it *)
+}
+
+val run_labeler :
+  ?framing:Wire.framing ->
+  ?receive_timeout:float ->
+  ?poll_interval:float ->
+  address:Wire.address ->
+  session:int ->
+  oracle:Jim_core.Oracle.t ->
+  unit ->
+  (int * int, string) result
+(** One labeler client, driven to session completion: attach, then loop
+    poll → (new round? draw one label from [oracle], vote) → repeat,
+    sleeping [poll_interval] (default 2 ms) between polls of an
+    already-voted round.  Exactly one oracle draw per round seen, so a
+    seeded noisy oracle yields a deterministic error pattern.  Returns
+    [(cast, counted)] — ballots sent vs. ballots the server counted
+    (rounds can close by quorum or deadline before a slow ballot lands).
+    Also the engine behind [jim labeler]. *)
+
+val crowd_run :
+  ?framing:Wire.framing ->
+  ?receive_timeout:float ->
+  ?poll_interval:float ->
+  ?deadline:float ->
+  address:Wire.address ->
+  seed:int ->
+  strategy:string ->
+  labelers:labeler_spec list ->
+  unit ->
+  crowd_report
+(** The full crowd drill against a server started with crowd labeling:
+    start the synthetic session seeded [seed], spawn one {!run_labeler}
+    thread per spec, wait for convergence (pending question gone) within
+    [deadline] (default 120 s) and harvest outcome + vote counters.
+    Divergence, a labeler's protocol failure, or missing the deadline
+    all fail the report; labeler {e transport} failures are tolerated
+    (that is what a chaos proxy manufactures) as long as the session
+    still converges. *)
 
 val outcome_equal : Jim_core.Session.outcome -> Jim_core.Session.outcome -> bool
 (** Structural equality, float fields compared exactly — both sides are

@@ -793,6 +793,10 @@ let recv_line c =
     with
     | reply -> Ok reply
     | exception End_of_file -> Error "server closed the connection"
+    (* SO_RCVTIMEO ([set_timeout]) surfaces through the buffered channel
+       as [Sys_blocked_io], not [Unix_error]: a stalled peer must come
+       back as a transport error, never escape as an exception. *)
+    | exception Sys_blocked_io -> Error "receive timed out"
     | exception Sys_error msg -> Error msg
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
   | Binary -> (
@@ -811,6 +815,7 @@ let recv_line c =
     with
     | reply -> Ok reply
     | exception End_of_file -> Error "server closed the connection"
+    | exception Sys_blocked_io -> Error "receive timed out"
     | exception Failure msg -> Error msg
     | exception Sys_error msg -> Error msg
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))

@@ -488,6 +488,15 @@ let route t line = function
     handle_session t session ~retryable:true ~ended_releases:false line
   | P.Answer { session; _ } | P.Undo { session } ->
     handle_session t session ~retryable:false ~ended_releases:false line
+  (* Crowd messages route by session like any other.  Attach allocates a
+     labeler id and poll/vote can close a round (absorbing an answer), so
+     none of them may be transparently retried after a failover. *)
+  | P.Labeler_attach { session }
+  | P.Labeler_poll { session; _ }
+  | P.Vote { session; _ } ->
+    handle_session t session ~retryable:false ~ended_releases:false line
+  | P.Crowd_stats { session } ->
+    handle_session t session ~retryable:true ~ended_releases:false line
   | P.End_session { session } ->
     handle_session t session ~retryable:false ~ended_releases:true line
 

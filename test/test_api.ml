@@ -122,6 +122,18 @@ let gen_request =
         return Pr.Repl_status;
         return Pr.Promote;
         return Pr.Ring_status;
+        (let* session = id in
+         return (Pr.Labeler_attach { session }));
+        (let* session = id in
+         let* labeler = int_range 1 50 in
+         return (Pr.Labeler_poll { session; labeler }));
+        (let* session = id in
+         let* labeler = int_range 1 50 in
+         let* round = int_range 1 100 in
+         let* label = gen_label in
+         return (Pr.Vote { session; labeler; round; label }));
+        (let* session = id in
+         return (Pr.Crowd_stats { session }));
       ])
 
 let gen_question =
@@ -154,6 +166,8 @@ let gen_error =
          return (Pr.Unknown_instance fp));
         (let* m = gen_string in
          return (Pr.Shard_unavailable m));
+        (let* l = int_range 0 100 in
+         return (Pr.Unknown_labeler l));
       ])
 
 let gen_metrics =
@@ -248,6 +262,29 @@ let gen_catalog_stats =
         derivations;
       })
 
+let gen_crowd_stats =
+  QCheck.Gen.(
+    let nat = int_bound 100000 in
+    let* labelers = nat in
+    let* votes = int_range 1 9 in
+    let* weighted = bool in
+    let* rounds = nat in
+    let* paid_labels = nat in
+    let* majority_flips = nat in
+    let* timeouts = nat in
+    let* re_asks = nat in
+    return
+      {
+        Pr.labelers;
+        votes;
+        weighted;
+        rounds;
+        paid_labels;
+        majority_flips;
+        timeouts;
+        re_asks;
+      })
+
 let gen_response =
   QCheck.Gen.(
     oneof
@@ -314,6 +351,18 @@ let gen_response =
          in
          let* sessions = int_bound 1000 in
          return (Pr.Ring_info { shards; sessions }));
+        (let* labeler = int_range 1 50 in
+         let* votes = int_range 1 9 in
+         return (Pr.Labeler_attached { labeler; votes }));
+        (let* round = int_range 1 100 in
+         let* question = option gen_question in
+         return (Pr.Crowd_question { round; question }));
+        (let* round = int_range 1 100 in
+         let* counted = bool in
+         let* outcome = option gen_label in
+         return (Pr.Vote_ok { round; counted; outcome }));
+        (let* s = gen_crowd_stats in
+         return (Pr.Crowd_info s));
       ])
 
 (* ------------------------------------------------------------------ *)
@@ -378,6 +427,15 @@ let request_eq a b =
   | Pr.Repl_status, Pr.Repl_status -> true
   | Pr.Promote, Pr.Promote -> true
   | Pr.Ring_status, Pr.Ring_status -> true
+  | Pr.Labeler_attach { session = s1 }, Pr.Labeler_attach { session = s2 }
+  | Pr.Crowd_stats { session = s1 }, Pr.Crowd_stats { session = s2 } ->
+    s1 = s2
+  | ( Pr.Labeler_poll { session = s1; labeler = l1 },
+      Pr.Labeler_poll { session = s2; labeler = l2 } ) ->
+    s1 = s2 && l1 = l2
+  | ( Pr.Vote { session = s1; labeler = l1; round = r1; label = lb1 },
+      Pr.Vote { session = s2; labeler = l2; round = r2; label = lb2 } ) ->
+    s1 = s2 && l1 = l2 && r1 = r2 && lb1 = lb2
   | _ -> false
 
 let event_eq (a : Session.event) (b : Session.event) =
@@ -441,6 +499,20 @@ let response_eq a b =
   | ( Pr.Ring_info { shards = sh1; sessions = s1 },
       Pr.Ring_info { shards = sh2; sessions = s2 } ) ->
     sh1 = sh2 && s1 = s2
+  | ( Pr.Labeler_attached { labeler = l1; votes = v1 },
+      Pr.Labeler_attached { labeler = l2; votes = v2 } ) ->
+    l1 = l2 && v1 = v2
+  | ( Pr.Crowd_question { round = r1; question = q1 },
+      Pr.Crowd_question { round = r2; question = q2 } ) ->
+    r1 = r2
+    && (match (q1, q2) with
+       | None, None -> true
+       | Some x, Some y -> question_eq x y
+       | _ -> false)
+  | ( Pr.Vote_ok { round = r1; counted = c1; outcome = o1 },
+      Pr.Vote_ok { round = r2; counted = c2; outcome = o2 } ) ->
+    r1 = r2 && c1 = c2 && o1 = o2
+  | Pr.Crowd_info x, Pr.Crowd_info y -> x = y
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -535,7 +607,23 @@ let test_malformed () =
   bad (Pr.request_of_string {|{"jim":1}|});
   bad (Pr.request_of_string {|{"jim":1,"req":"teleport"}|});
   bad (Pr.request_of_string {|{"jim":1,"req":"answer","session":1}|});
-  bad (Pr.request_of_string {|[1,2,3]|})
+  bad (Pr.request_of_string {|[1,2,3]|});
+  (* crowd messages: missing fields and bad labels are refused whole *)
+  bad (Pr.request_of_string {|{"jim":1,"req":"vote","session":1}|});
+  bad
+    (Pr.request_of_string
+       {|{"jim":1,"req":"vote","session":1,"labeler":2,"round":3,"label":"?"}|});
+  bad (Pr.request_of_string {|{"jim":1,"req":"labeler_poll","session":1}|});
+  (* the outcome field is mandatory — null for "round still open" *)
+  bad
+    (Pr.response_of_string
+       {|{"jim":1,"resp":"vote_ok","round":1,"counted":true}|});
+  (match
+     Pr.response_of_string
+       {|{"jim":1,"resp":"vote_ok","round":4,"counted":false,"outcome":null}|}
+   with
+  | Ok (Pr.Vote_ok { round = 4; counted = false; outcome = None }) -> ()
+  | _ -> Alcotest.fail "null outcome should decode to None")
 
 let test_repl_batch_errors () =
   (* The batch messages fail with the same pinned Bad_request strings
@@ -629,6 +717,7 @@ let test_error_strings () =
           Pr.version );
       ( Pr.Shard_unavailable "s0 down",
         "shard unavailable: s0 down" );
+      (Pr.Unknown_labeler 7, "unknown labeler 7");
     ]
 
 (* ------------------------------------------------------------------ *)

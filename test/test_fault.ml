@@ -241,6 +241,29 @@ let test_replicated_sweep () =
   Alcotest.(check int) "clean cut + torn tail per boundary"
     (2 * st.Sweep.points) st.Sweep.runs
 
+let test_crowd_crash_sweep () =
+  (* The crowd-labeled workload under power cuts: every answer arrives
+     as a 3-ballot unanimous vote, so each crash point lands at an
+     aggregate-record boundary — mid-vote-collection.  Both post-crash
+     images are recovered into a service WITHOUT crowd labeling: the
+     journal must replay as plain answers (no ballot, no partial tally
+     ever reaches disk) and resume bit-identically. *)
+  let st = Sweep.crowd_crash_sweep ~stride:3 Sweep.default in
+  check_stats "crowd crash sweep" st;
+  Alcotest.(check int) "clean cut + torn tail per boundary"
+    (2 * st.Sweep.points) st.Sweep.runs
+
+let test_crowd_replicated_run () =
+  (* The replication stream of a crowd-labeled primary carries only the
+     journaled aggregates; the promoted standby (no crowd machinery)
+     must resume every session bit-identically. *)
+  check_stats "crowd replicated run" ~images_per_run:1
+    (Sweep.crowd_replicated_run Sweep.default)
+
+let test_crowd_crash_sweep_full () =
+  check_stats "crowd crash sweep (stride 1)"
+    (Sweep.crowd_crash_sweep Sweep.default)
+
 (* Group commit under fault: the same sweeps with a positive commit
    window, so the store stages records and combines fsyncs — every
    crash point now lands at a batch boundary (applied=0) or tears the
@@ -647,6 +670,10 @@ let () =
              test_crash_sweep_shared_catalog;
            Alcotest.test_case "replicated pair: promote at crash points" `Quick
              test_replicated_sweep;
+           Alcotest.test_case "crowd votes: crash at aggregate boundaries"
+             `Quick test_crowd_crash_sweep;
+           Alcotest.test_case "crowd votes: replicated standby bit-identity"
+             `Quick test_crowd_replicated_run;
            Alcotest.test_case "group commit: crash at batch boundaries" `Quick
              test_crash_sweep_windowed;
            Alcotest.test_case "group commit: failed combined fsync" `Quick
@@ -662,6 +689,8 @@ let () =
                  test_write_error_sweep_full;
                Alcotest.test_case "power cut inside chunked writes" `Slow
                  test_crash_sweep_chunked;
+               Alcotest.test_case "crowd crash sweep, every ordinal" `Slow
+                 test_crowd_crash_sweep_full;
                Alcotest.test_case "replicated pair, every ordinal" `Slow
                  test_replicated_sweep_full;
                Alcotest.test_case "group commit crash, every ordinal" `Slow

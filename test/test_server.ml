@@ -259,7 +259,7 @@ let test_epoll_backend () =
 
 let test_server_busy () =
   with_server ~max_sessions:2 (fun address service ->
-      (match Smoke.busy_check ~address ~fill:2 with
+      (match Smoke.busy_check ~address ~fill:2 () with
       | Ok () -> ()
       | Error e -> Alcotest.fail e);
       (* busy_check ended its sessions: capacity is free again *)
